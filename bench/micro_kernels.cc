@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the kernels underlying every
+// experiment: hop-capped BFS, bit-parallel MS-BFS, the distance map, path
+// storage and the canonical-split join.
+
+#include <benchmark/benchmark.h>
+
+#include "bfs/bfs.h"
+#include "bfs/msbfs.h"
+#include "core/join.h"
+#include "core/search.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace hcpath {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph* g = [] {
+    Rng rng(7);
+    return new Graph(*GenerateBarabasiAlbert(100000, 4, rng));
+  }();
+  return *g;
+}
+
+void BM_HopCappedBfs(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const Hop cap = static_cast<Hop>(state.range(0));
+  Rng rng(13);
+  for (auto _ : state) {
+    VertexId s = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    VertexDistMap d = HopCappedBfs(g, s, cap, Direction::kForward);
+    benchmark::DoNotOptimize(d.size());
+  }
+}
+BENCHMARK(BM_HopCappedBfs)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_MultiSourceBfs(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const size_t num_sources = static_cast<size_t>(state.range(0));
+  Rng rng(17);
+  std::vector<VertexId> sources;
+  std::vector<Hop> caps;
+  for (size_t i = 0; i < num_sources; ++i) {
+    sources.push_back(static_cast<VertexId>(rng.NextBounded(g.NumVertices())));
+    caps.push_back(5);
+  }
+  for (auto _ : state) {
+    MsBfsResult r = MultiSourceBfs(g, sources, caps, Direction::kForward);
+    benchmark::DoNotOptimize(r.total_discovered);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_sources));
+}
+BENCHMARK(BM_MultiSourceBfs)->Arg(64)->Arg(256);
+
+void BM_SequentialBfsBaseline(benchmark::State& state) {
+  // The baseline MS-BFS replaces: one hop-capped BFS per source.
+  const Graph& g = BenchGraph();
+  const size_t num_sources = static_cast<size_t>(state.range(0));
+  Rng rng(17);
+  std::vector<VertexId> sources;
+  for (size_t i = 0; i < num_sources; ++i) {
+    sources.push_back(static_cast<VertexId>(rng.NextBounded(g.NumVertices())));
+  }
+  for (auto _ : state) {
+    uint64_t total = 0;
+    for (VertexId s : sources) {
+      total += HopCappedBfs(g, s, 5, Direction::kForward).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_sources));
+}
+BENCHMARK(BM_SequentialBfsBaseline)->Arg(64)->Arg(256);
+
+void BM_VertexDistMapLookup(benchmark::State& state) {
+  VertexDistMap map;
+  Rng rng(23);
+  for (int i = 0; i < 100000; ++i) {
+    map.InsertMin(static_cast<VertexId>(rng.NextBounded(1u << 24)), 3);
+  }
+  Rng probe(29);
+  for (auto _ : state) {
+    Hop d = map.Lookup(static_cast<VertexId>(probe.NextBounded(1u << 24)));
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_VertexDistMapLookup);
+
+void BM_PathSetAppend(benchmark::State& state) {
+  std::vector<VertexId> path = {1, 2, 3, 4, 5, 6};
+  for (auto _ : state) {
+    PathSet ps;
+    for (int i = 0; i < 1000; ++i) ps.Add(path);
+    benchmark::DoNotOptimize(ps.TotalVertices());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PathSetAppend);
+
+void BM_HalfSearch(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  VertexDistMap to_t = HopCappedBfs(g, 12345, 6, Direction::kBackward);
+  TargetSlack slack[] = {{&to_t, 6}};
+  for (auto _ : state) {
+    HalfSearchSpec spec;
+    spec.start = 777;
+    spec.budget = 3;
+    spec.dir = Direction::kForward;
+    spec.slacks = slack;
+    PathSet out;
+    Status st = RunHalfSearch(g, spec, &out, nullptr);
+    benchmark::DoNotOptimize(out.size());
+    benchmark::DoNotOptimize(st.ok());
+  }
+}
+BENCHMARK(BM_HalfSearch);
+
+void BM_CanonicalJoin(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  PathSet fwd, bwd;
+  HalfSearchSpec f;
+  f.start = 777;
+  f.budget = 3;
+  f.dir = Direction::kForward;
+  (void)RunHalfSearch(g, f, &fwd, nullptr);
+  HalfSearchSpec b;
+  b.start = 888;
+  b.budget = 3;
+  b.dir = Direction::kBackward;
+  (void)RunHalfSearch(g, b, &bwd, nullptr);
+  CountingSink sink(1);
+  for (auto _ : state) {
+    JoinSpec join;
+    join.forward = &fwd;
+    join.backward = &bwd;
+    join.s = 777;
+    join.t = 888;
+    join.hf = 3;
+    join.hb = 3;
+    auto emitted = JoinAndEmit(join, 0, &sink, nullptr);
+    benchmark::DoNotOptimize(emitted.ok());
+  }
+}
+BENCHMARK(BM_CanonicalJoin);
+
+}  // namespace
+}  // namespace hcpath
+
+BENCHMARK_MAIN();

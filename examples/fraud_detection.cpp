@@ -1,0 +1,97 @@
+// Fraud detection in an e-commerce transaction network (paper §I).
+//
+// A cycle through a new transaction (s -> t) is a strong fraud signal: the
+// money returns to its origin. When a batch of transactions arrives, each
+// transaction (s, t) spawns the query q(t, s, k): every HC-t-s path closed
+// by the new edge (s, t) is a constrained cycle. Batches of transactions
+// often share accounts, which is exactly the sharing BatchEnum exploits.
+//
+//   ./build/examples/fraud_detection
+
+#include <cstdio>
+#include <map>
+
+#include "hcpath/hcpath.h"
+
+using namespace hcpath;
+
+namespace {
+
+/// Collects suspicious cycles, tagging them with the transaction id.
+class FraudSink : public PathSink {
+ public:
+  void OnPath(size_t query_index, PathView path) override {
+    ++cycles_per_tx_[query_index];
+    if (examples_.size() < 5) {
+      std::string cycle = PathToString(path);
+      examples_.push_back("tx#" + std::to_string(query_index) +
+                          " cycle: " + cycle + " + closing edge");
+    }
+  }
+  const std::map<size_t, uint64_t>& cycles() const {
+    return cycles_per_tx_;
+  }
+  const std::vector<std::string>& examples() const { return examples_; }
+
+ private:
+  std::map<size_t, uint64_t> cycles_per_tx_;
+  std::vector<std::string> examples_;
+};
+
+}  // namespace
+
+int main() {
+  // Transaction history: accounts transfer money along directed edges.
+  // A small-world graph models communities of trading accounts.
+  Rng rng(2024);
+  auto history = GenerateSmallWorld(/*n=*/5000, /*k_out=*/5,
+                                    /*rewire_p=*/0.08, rng);
+  if (!history.ok()) return 1;
+
+  // A batch of incoming transactions (s -> t). Several involve the same
+  // community of accounts — the batch has high query similarity.
+  std::vector<std::pair<VertexId, VertexId>> transactions = {
+      {115, 100}, {116, 100}, {115, 101}, {2015, 2000},
+      {2016, 2000}, {3333, 3320},
+  };
+  constexpr int kMaxCycleLen = 6;  // flag cycles up to 6 hops + closing edge
+
+  // One HC-s-t path query per transaction: paths t ->* s.
+  std::vector<PathQuery> queries;
+  for (auto [s, t] : transactions) {
+    queries.push_back({t, s, kMaxCycleLen});
+  }
+
+  BatchPathEnumerator enumerator(*history);
+  BatchOptions options;
+  options.algorithm = Algorithm::kBatchEnumPlus;
+  options.max_paths_per_query = 100000;  // alert threshold, not exhaustive
+
+  FraudSink sink;
+  auto result = enumerator.Run(queries, options, &sink);
+  if (!result.ok()) {
+    std::fprintf(stderr, "batch failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Screened %zu transactions against %u accounts (%llu "
+              "transfers)\n\n",
+              transactions.size(), history->NumVertices(),
+              static_cast<unsigned long long>(history->NumEdges()));
+  for (size_t i = 0; i < transactions.size(); ++i) {
+    auto [s, t] = transactions[i];
+    uint64_t cycles = result->path_counts[i];
+    std::printf("tx#%zu %u -> %u : %llu closing cycle(s)%s\n", i, s, t,
+                static_cast<unsigned long long>(cycles),
+                cycles > 0 ? "  << REVIEW" : "");
+  }
+  std::printf("\nSample evidence:\n");
+  for (const std::string& e : sink.examples()) {
+    std::printf("  %s\n", e.c_str());
+  }
+  std::printf("\nBatch processed in %.3fs (shared %llu cached paths)\n",
+              result->stats.total_seconds,
+              static_cast<unsigned long long>(result->stats.cached_paths));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Knowledge graph completion (paper §I): entities connected by many short
+// paths tend to be related. For a batch of candidate entity pairs, count
+// the HC-s-t paths between them and rank the pairs — a basic path-feature
+// extractor for link prediction. Candidate pairs usually cluster around a
+// few head entities, which is exactly the batch-sharing case.
+//
+//   ./build/examples/knowledge_graph
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bfs/bfs.h"
+#include "hcpath/hcpath.h"
+
+using namespace hcpath;
+
+int main() {
+  // A synthetic KG: power-law entity graph (relations collapsed to edges).
+  Rng rng(99);
+  auto kg = GenerateBarabasiAlbert(/*n=*/20000, /*out_degree=*/4, rng);
+  if (!kg.ok()) return 1;
+
+  // Candidate pairs: for three "head" entities, score candidate tails
+  // from each head's 4-hop neighborhood (in a real completion pipeline the
+  // shortlist comes from an embedding model; unreachable tails would score
+  // zero anyway).
+  std::vector<VertexId> heads = {50, 51, 1234};
+  std::vector<PathQuery> queries;
+  Rng pick(5);
+  for (VertexId head : heads) {
+    VertexDistMap reach = HopCappedBfs(*kg, head, 4, Direction::kForward);
+    const auto& candidates = reach.SortedKeys();
+    for (int c = 0; c < 6 && candidates.size() > 1; ++c) {
+      VertexId tail = candidates[pick.NextBounded(candidates.size())];
+      if (tail == head) continue;
+      queries.push_back({head, tail, 4});
+    }
+  }
+
+  BatchPathEnumerator enumerator(*kg);
+  BatchOptions options;
+  options.algorithm = Algorithm::kBatchEnumPlus;
+  options.gamma = 0.3;  // head-entity queries are similar; merge eagerly
+  options.max_paths_per_query = 50000;
+
+  auto result = enumerator.Run(queries, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Rank pairs by path count (a crude relatedness score).
+  std::vector<size_t> order(queries.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return result->path_counts[a] > result->path_counts[b];
+  });
+
+  std::printf("Candidate entity pairs ranked by 4-hop path support:\n");
+  for (size_t rank = 0; rank < std::min<size_t>(order.size(), 10); ++rank) {
+    size_t i = order[rank];
+    std::printf("  #%zu  (e%u, e%u)  support=%llu\n", rank + 1,
+                queries[i].s, queries[i].t,
+                static_cast<unsigned long long>(result->path_counts[i]));
+  }
+  std::printf("\nBatch stats: %s\n", result->stats.ToString().c_str());
+  return 0;
+}

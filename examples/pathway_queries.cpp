@@ -1,0 +1,86 @@
+// Pathway queries in biological networks (paper §I): find the chains of
+// interactions between pairs of substances. Interaction networks are
+// locally dense (complexes, pathways), so bounded-hop simple paths between
+// related substances are numerous, and batches of queries against the same
+// pathway share most of their computation.
+//
+//   ./build/examples/pathway_queries
+
+#include <cstdio>
+
+#include "hcpath/hcpath.h"
+
+using namespace hcpath;
+
+namespace {
+
+/// Reports each interaction chain as A -| B -| C ... with its length.
+class ChainSink : public PathSink {
+ public:
+  explicit ChainSink(size_t n) : lengths_(n) {}
+  void OnPath(size_t query_index, PathView path) override {
+    lengths_[query_index].push_back(path.size() - 1);
+    if (printed_ < 6) {
+      std::printf("    chain[q%zu]: %s\n", query_index,
+                  PathToString(path).c_str());
+      ++printed_;
+    }
+  }
+  /// Histogram of chain lengths for one query.
+  std::vector<size_t> LengthHistogram(size_t qi, size_t max_k) const {
+    std::vector<size_t> hist(max_k + 1, 0);
+    for (size_t len : lengths_[qi]) ++hist[len];
+    return hist;
+  }
+
+ private:
+  std::vector<std::vector<size_t>> lengths_;
+  int printed_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  // Synthetic interactome: small-world (locally dense complexes with a few
+  // long-range regulatory links).
+  Rng rng(1717);
+  auto net = GenerateSmallWorld(/*n=*/8000, /*k_out=*/8,
+                                /*rewire_p=*/0.02, rng);
+  if (!net.ok()) return 1;
+
+  // Substances of interest: receptors 100..102 against effectors 160, 170.
+  std::vector<PathQuery> queries = {
+      {100, 130, 5}, {101, 130, 5}, {102, 130, 5},
+      {100, 135, 5}, {101, 135, 5},
+  };
+
+  BatchPathEnumerator enumerator(*net);
+  BatchOptions options;
+  options.max_paths_per_query = 200000;
+  ChainSink sink(queries.size());
+  std::printf("Sample interaction chains:\n");
+  auto result = enumerator.Run(queries, options, &sink);
+  if (!result.ok()) {
+    std::fprintf(stderr, "failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nChains per substance pair (by length):\n");
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::printf("  %u ->* %u : %llu chains  [", queries[i].s, queries[i].t,
+                static_cast<unsigned long long>(result->path_counts[i]));
+    auto hist = sink.LengthHistogram(i, 5);
+    for (size_t len = 1; len <= 5; ++len) {
+      std::printf(" %zu-hop:%zu", len, hist[len]);
+    }
+    std::printf(" ]\n");
+  }
+  std::printf("\nShared computation: %llu dominating HC-s path queries, "
+              "%llu cache splices\n",
+              static_cast<unsigned long long>(
+                  result->stats.dominating_nodes),
+              static_cast<unsigned long long>(
+                  result->stats.shortcut_splices));
+  return 0;
+}

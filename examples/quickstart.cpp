@@ -1,0 +1,55 @@
+// Quickstart: build a graph, run a batch of HC-s-t path queries with
+// BatchEnum+, and print every path of the first query.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "hcpath/hcpath.h"
+
+using namespace hcpath;
+
+int main() {
+  // A small random social-network-like graph.
+  Rng rng(7);
+  auto graph = GenerateSmallWorld(/*n=*/2000, /*k_out=*/6,
+                                  /*rewire_p=*/0.05, rng);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+
+  // Three queries processed as one batch; the first two are similar on
+  // purpose (same source neighborhood) so BatchEnum can share work.
+  std::vector<PathQuery> queries = {
+      {10, 40, 6},
+      {11, 40, 6},
+      {500, 515, 5},
+  };
+
+  BatchPathEnumerator enumerator(*graph);
+  BatchOptions options;  // defaults: BatchEnum+, gamma = 0.5
+  CollectingSink sink(queries.size());
+  auto result = enumerator.Run(queries, options, &sink);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::printf("%s -> %llu paths\n", queries[i].ToString().c_str(),
+                static_cast<unsigned long long>(result->path_counts[i]));
+  }
+  std::printf("\nPaths of query 0:\n");
+  const PathSet& paths = sink.paths(0);
+  for (size_t i = 0; i < std::min<size_t>(paths.size(), 10); ++i) {
+    std::printf("  %s\n", PathToString(paths[i]).c_str());
+  }
+  if (paths.size() > 10) {
+    std::printf("  ... and %zu more\n", paths.size() - 10);
+  }
+  std::printf("\nStats: %s\n", result->stats.ToString().c_str());
+  return 0;
+}

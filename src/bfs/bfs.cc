@@ -1,0 +1,58 @@
+#include "bfs/bfs.h"
+
+#include <deque>
+
+namespace hcpath {
+
+VertexDistMap HopCappedBfs(const Graph& g, VertexId source, Hop max_hops,
+                           Direction dir) {
+  VertexDistMap dist;
+  HCPATH_CHECK_LT(source, g.NumVertices());
+  dist.InsertMin(source, 0);
+  std::vector<VertexId> frontier = {source};
+  std::vector<VertexId> next;
+  for (Hop level = 0; level < max_hops && !frontier.empty(); ++level) {
+    next.clear();
+    for (VertexId u : frontier) {
+      for (VertexId v : g.Neighbors(u, dir)) {
+        if (!dist.Contains(v)) {
+          dist.InsertMin(v, static_cast<Hop>(level + 1));
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::vector<Hop> HopCappedBfsDense(const Graph& g, VertexId source,
+                                   Hop max_hops, Direction dir) {
+  std::vector<Hop> dist(g.NumVertices(), kUnreachable);
+  HCPATH_CHECK_LT(source, g.NumVertices());
+  dist[source] = 0;
+  std::vector<VertexId> frontier = {source};
+  std::vector<VertexId> next;
+  for (Hop level = 0; level < max_hops && !frontier.empty(); ++level) {
+    next.clear();
+    for (VertexId u : frontier) {
+      for (VertexId v : g.Neighbors(u, dir)) {
+        if (dist[v] == kUnreachable) {
+          dist[v] = static_cast<Hop>(level + 1);
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+bool ReachableWithin(const Graph& g, VertexId s, VertexId t, Hop max_hops) {
+  if (s >= g.NumVertices() || t >= g.NumVertices()) return false;
+  if (s == t) return true;
+  VertexDistMap dist = HopCappedBfs(g, s, max_hops, Direction::kForward);
+  return dist.Contains(t);
+}
+
+}  // namespace hcpath

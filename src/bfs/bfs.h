@@ -1,0 +1,27 @@
+#ifndef HCPATH_BFS_BFS_H_
+#define HCPATH_BFS_BFS_H_
+
+#include <vector>
+
+#include "bfs/distance_map.h"
+#include "graph/graph.h"
+
+namespace hcpath {
+
+/// Hop-capped single-source BFS from `source` following `dir` edges.
+/// Returns a map holding dist(source, v) for every v with dist <= max_hops
+/// (the source itself has distance 0).
+VertexDistMap HopCappedBfs(const Graph& g, VertexId source, Hop max_hops,
+                           Direction dir);
+
+/// Convenience: dense distance array (kUnreachable beyond the cap). Used by
+/// tests and by the KSP baselines, which want O(1) lookups over all of V.
+std::vector<Hop> HopCappedBfsDense(const Graph& g, VertexId source,
+                                   Hop max_hops, Direction dir);
+
+/// True iff t is reachable from s within max_hops hops.
+bool ReachableWithin(const Graph& g, VertexId s, VertexId t, Hop max_hops);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_BFS_BFS_H_

@@ -1,0 +1,67 @@
+#include "bfs/distance_map.h"
+
+#include <algorithm>
+
+namespace hcpath {
+
+void VertexDistMap::Reserve(size_t expected) {
+  size_t cap = 16;
+  while (cap < expected * 2) cap <<= 1;
+  if (cap > slots_.size()) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.key != kEmptyKey) InsertMin(s.key, s.dist);
+    }
+  }
+}
+
+void VertexDistMap::InsertMin(VertexId v, Hop dist) {
+  HCPATH_DCHECK(v != kEmptyKey);
+  if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) Grow();
+  size_t mask = slots_.size() - 1;
+  size_t i = Probe(v) & mask;
+  while (true) {
+    Slot& s = slots_[i];
+    if (s.key == kEmptyKey) {
+      s.key = v;
+      s.dist = dist;
+      ++size_;
+      sorted_valid_ = false;
+      return;
+    }
+    if (s.key == v) {
+      if (dist < s.dist) s.dist = dist;
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void VertexDistMap::Grow() {
+  size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(cap, Slot{});
+  size_t old_size = size_;
+  size_ = 0;
+  for (const Slot& s : old) {
+    if (s.key != kEmptyKey) InsertMin(s.key, s.dist);
+  }
+  HCPATH_CHECK_EQ(size_, old_size);
+}
+
+const std::vector<VertexId>& VertexDistMap::SortedKeys() const {
+  if (!sorted_valid_) {
+    sorted_keys_.clear();
+    sorted_keys_.reserve(size_);
+    for (const Slot& s : slots_) {
+      if (s.key != kEmptyKey) sorted_keys_.push_back(s.key);
+    }
+    std::sort(sorted_keys_.begin(), sorted_keys_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_keys_;
+}
+
+}  // namespace hcpath

@@ -1,0 +1,93 @@
+#ifndef HCPATH_BFS_DISTANCE_MAP_H_
+#define HCPATH_BFS_DISTANCE_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hcpath {
+
+/// Hop distance; queries use small k so 8 bits suffice.
+using Hop = uint8_t;
+
+/// Distance treated as infinity (vertex not within the hop cap).
+inline constexpr Hop kUnreachable = 0xFF;
+
+/// Insert-only open-addressing hash map VertexId -> Hop, tuned for the
+/// PathEnum index: built once per endpoint by (multi-source) BFS, then
+/// probed on every edge expansion during enumeration.
+///
+/// This mirrors the paper's choice of storing only entities with
+/// dist <= k instead of a dense |V| array per endpoint (Section III).
+class VertexDistMap {
+ public:
+  VertexDistMap() = default;
+
+  /// Pre-sizes for an expected number of entries.
+  void Reserve(size_t expected);
+
+  /// Inserts v -> dist, keeping the smaller value on duplicate insert.
+  void InsertMin(VertexId v, Hop dist);
+
+  /// Distance of v, or kUnreachable when absent.
+  Hop Lookup(VertexId v) const {
+    if (size_ == 0) return kUnreachable;
+    size_t mask = slots_.size() - 1;
+    size_t i = Probe(v) & mask;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.key == kEmptyKey) return kUnreachable;
+      if (s.key == v) return s.dist;
+      i = (i + 1) & mask;
+    }
+  }
+
+  bool Contains(VertexId v) const { return Lookup(v) != kUnreachable; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Keys in ascending vertex-id order (the Γ set of Def 4.4); built lazily
+  /// and cached.
+  const std::vector<VertexId>& SortedKeys() const;
+
+  /// Calls fn(vertex, dist) for every entry, unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != kEmptyKey) fn(s.key, s.dist);
+    }
+  }
+
+  /// Approximate heap bytes used.
+  size_t MemoryBytes() const {
+    return slots_.capacity() * sizeof(Slot) +
+           sorted_keys_.capacity() * sizeof(VertexId);
+  }
+
+ private:
+  struct Slot {
+    VertexId key = kEmptyKey;
+    Hop dist = kUnreachable;
+  };
+
+  static constexpr VertexId kEmptyKey = kInvalidVertex;
+
+  static size_t Probe(VertexId v) {
+    // Fibonacci-style multiplicative hash.
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(v) * 0x9E3779B97F4A7C15ULL) >> 32);
+  }
+
+  void Grow();
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+  mutable std::vector<VertexId> sorted_keys_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_BFS_DISTANCE_MAP_H_

@@ -1,0 +1,139 @@
+#include "bfs/msbfs.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hcpath {
+
+namespace {
+
+/// One wave of <= 64 distinct sources.
+struct Wave {
+  std::vector<VertexId> sources;  // wave-local index -> vertex
+  std::vector<Hop> caps;          // wave-local caps (max across duplicates)
+  Hop max_cap = 0;
+};
+
+void RunWave(const Graph& g, Direction dir, const Wave& wave,
+             std::vector<uint64_t>& seen, std::vector<uint64_t>& next_mask,
+             MsBfsResult& out,
+             const std::vector<std::vector<size_t>>& wave_slot_to_out,
+             const std::vector<Hop>& out_caps) {
+  const size_t ns = wave.sources.size();
+  // `seen` and `next_mask` are |V|-sized scratch arrays shared across waves;
+  // only words touched in this wave are dirtied, and we reset them via the
+  // touched lists below.
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> touched;  // vertices with nonzero next_mask
+  frontier.reserve(ns);
+
+  auto emit = [&](VertexId v, uint64_t mask, Hop dist) {
+    while (mask != 0) {
+      const int slot = __builtin_ctzll(mask);
+      mask &= mask - 1;
+      // The wave runs to the max cap of duplicated sources; each output
+      // copy only records entries within its own cap.
+      for (size_t out_idx : wave_slot_to_out[slot]) {
+        if (dist <= out_caps[out_idx]) {
+          out.per_source[out_idx].InsertMin(v, dist);
+          ++out.total_discovered;
+        }
+      }
+      if (dist < out.min_dist[v]) out.min_dist[v] = dist;
+    }
+  };
+
+  for (size_t i = 0; i < ns; ++i) {
+    VertexId s = wave.sources[i];
+    if ((seen[s] & (1ULL << i)) == 0 && seen[s] == 0) frontier.push_back(s);
+    seen[s] |= 1ULL << i;
+  }
+  // Emit sources at distance 0. A vertex can be the source of several wave
+  // slots only if duplicated, which the caller dedups, so emit per slot.
+  for (size_t i = 0; i < ns; ++i) {
+    emit(wave.sources[i], 1ULL << i, 0);
+  }
+  // Deduplicate the initial frontier (a vertex may appear once per slot).
+  std::sort(frontier.begin(), frontier.end());
+  frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                 frontier.end());
+
+  for (Hop level = 0; level < wave.max_cap && !frontier.empty(); ++level) {
+    touched.clear();
+    for (VertexId u : frontier) {
+      const uint64_t umask = seen[u];
+      for (VertexId v : g.Neighbors(u, dir)) {
+        const uint64_t fresh = umask & ~seen[v];
+        if (fresh != 0) {
+          if (next_mask[v] == 0) touched.push_back(v);
+          next_mask[v] |= fresh;
+        }
+      }
+    }
+    frontier.clear();
+    for (VertexId v : touched) {
+      const uint64_t fresh = next_mask[v] & ~seen[v];
+      next_mask[v] = 0;
+      if (fresh == 0) continue;
+      seen[v] |= fresh;
+      emit(v, fresh, static_cast<Hop>(level + 1));
+      frontier.push_back(v);
+    }
+  }
+
+  // Clear `seen` for the next wave: walk all vertices we marked. Rather than
+  // tracking every marked vertex, reuse min_dist: any vertex seen in this
+  // wave has seen[v] != 0. A full clear is O(|V|) per wave which is fine at
+  // our scales and branch-free.
+  std::fill(seen.begin(), seen.end(), 0);
+}
+
+}  // namespace
+
+MsBfsResult MultiSourceBfs(const Graph& g,
+                           const std::vector<VertexId>& sources,
+                           const std::vector<Hop>& caps, Direction dir) {
+  HCPATH_CHECK_EQ(sources.size(), caps.size());
+  MsBfsResult out;
+  out.per_source.resize(sources.size());
+  out.min_dist.assign(g.NumVertices(), kUnreachable);
+  if (sources.empty()) return out;
+  for (VertexId s : sources) HCPATH_CHECK_LT(s, g.NumVertices());
+
+  // Deduplicate (vertex) -> wave slot; a duplicated source shares one slot
+  // with the max cap among its occurrences.
+  std::unordered_map<VertexId, size_t> slot_of;  // vertex -> global slot id
+  std::vector<VertexId> uniq_sources;
+  std::vector<Hop> uniq_caps;
+  std::vector<std::vector<size_t>> slot_to_out;  // global slot -> out indices
+  for (size_t i = 0; i < sources.size(); ++i) {
+    auto [it, inserted] = slot_of.try_emplace(sources[i], uniq_sources.size());
+    if (inserted) {
+      uniq_sources.push_back(sources[i]);
+      uniq_caps.push_back(caps[i]);
+      slot_to_out.emplace_back();
+    } else {
+      uniq_caps[it->second] = std::max(uniq_caps[it->second], caps[i]);
+    }
+    slot_to_out[it->second].push_back(i);
+  }
+
+  std::vector<uint64_t> seen(g.NumVertices(), 0);
+  std::vector<uint64_t> next_mask(g.NumVertices(), 0);
+
+  for (size_t base = 0; base < uniq_sources.size(); base += 64) {
+    Wave wave;
+    const size_t end = std::min(base + 64, uniq_sources.size());
+    std::vector<std::vector<size_t>> wave_slot_to_out;
+    for (size_t i = base; i < end; ++i) {
+      wave.sources.push_back(uniq_sources[i]);
+      wave.caps.push_back(uniq_caps[i]);
+      wave.max_cap = std::max(wave.max_cap, uniq_caps[i]);
+      wave_slot_to_out.push_back(slot_to_out[i]);
+    }
+    RunWave(g, dir, wave, seen, next_mask, out, wave_slot_to_out, caps);
+  }
+  return out;
+}
+
+}  // namespace hcpath

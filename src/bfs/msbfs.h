@@ -1,0 +1,42 @@
+#ifndef HCPATH_BFS_MSBFS_H_
+#define HCPATH_BFS_MSBFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bfs/distance_map.h"
+#include "graph/graph.h"
+
+namespace hcpath {
+
+/// Result of a multi-source BFS: one hop-capped distance map per source,
+/// plus a dense array of the minimum distance to *any* source. The min
+/// array backs the cheap kGlobalMin shared-pruning mode (DESIGN.md D3) and
+/// the detection traversal's frontier filter.
+struct MsBfsResult {
+  /// per_source[i] holds dist(sources[i], v) for all v within caps[i] hops.
+  std::vector<VertexDistMap> per_source;
+  /// min_dist[v] = min_i dist(sources[i], v), kUnreachable if none.
+  std::vector<Hop> min_dist;
+  /// Total vertices discovered across sources (with multiplicity).
+  uint64_t total_discovered = 0;
+};
+
+/// Bit-parallel multi-source BFS after Then et al. (VLDB'15), the
+/// "state-of-the-art multi-source BFSs [36]" the paper builds its index
+/// with. Sources are processed in waves of up to 64; each vertex carries a
+/// 64-bit "seen" mask and frontiers advance with word-wide OR/ANDNOT,
+/// amortizing edge traversals across sources that explore overlapping
+/// neighborhoods.
+///
+/// `caps[i]` is the per-source hop cap (typically the query's k); the wave
+/// runs to the max cap of its 64 sources, and discoveries beyond a source's
+/// own cap are discarded on output. Duplicate sources are deduplicated
+/// internally and share one BFS.
+MsBfsResult MultiSourceBfs(const Graph& g,
+                           const std::vector<VertexId>& sources,
+                           const std::vector<Hop>& caps, Direction dir);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_BFS_MSBFS_H_

@@ -1,0 +1,54 @@
+#include "core/basic_enum.h"
+
+#include "core/path_enum.h"
+#include "util/timer.h"
+
+namespace hcpath {
+
+void BuildBatchIndex(const Graph& g, const std::vector<PathQuery>& queries,
+                     DistanceIndex* index, BatchStats* stats) {
+  std::vector<VertexId> sources, targets;
+  std::vector<Hop> hops;
+  sources.reserve(queries.size());
+  targets.reserve(queries.size());
+  hops.reserve(queries.size());
+  for (const PathQuery& q : queries) {
+    sources.push_back(q.s);
+    targets.push_back(q.t);
+    hops.push_back(static_cast<Hop>(q.k));
+  }
+  index->Build(g, sources, targets, hops);
+  if (stats != nullptr) {
+    stats->build_index_seconds += index->build_seconds();
+  }
+}
+
+Status RunBasicEnum(const Graph& g, const std::vector<PathQuery>& queries,
+                    const BatchOptions& options, bool optimized_order,
+                    PathSink* sink, BatchStats* stats) {
+  HCPATH_RETURN_NOT_OK(ValidateQueries(g, queries));
+  WallTimer total;
+  DistanceIndex index;
+  BuildBatchIndex(g, queries, &index, stats);
+
+  SingleQueryOptions sq;
+  sq.optimized_order = optimized_order;
+  sq.max_paths = options.max_paths_per_query;
+
+  double enum_seconds = 0;
+  {
+    ScopedTimer timer(&enum_seconds);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      HCPATH_RETURN_NOT_OK(EnumerateWithMaps(
+          g, queries[i], index.FromSourceMap(i), index.ToTargetMap(i), sq, i,
+          sink, stats));
+    }
+  }
+  if (stats != nullptr) {
+    stats->enumerate_seconds += enum_seconds;
+    stats->total_seconds += total.ElapsedSeconds();
+  }
+  return Status::OK();
+}
+
+}  // namespace hcpath

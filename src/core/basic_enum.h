@@ -1,0 +1,31 @@
+#ifndef HCPATH_CORE_BASIC_ENUM_H_
+#define HCPATH_CORE_BASIC_ENUM_H_
+
+#include <vector>
+
+#include "core/options.h"
+#include "core/path.h"
+#include "core/query.h"
+#include "core/stats.h"
+#include "graph/graph.h"
+#include "index/distance_index.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// BasicEnum (Algorithm 1): the batch baseline. One shared index is built
+/// with two multi-source BFSs over all query endpoints, then each query is
+/// processed independently with the PathEnum bidirectional search.
+/// `optimized_order` selects the BasicEnum+ variant.
+Status RunBasicEnum(const Graph& g, const std::vector<PathQuery>& queries,
+                    const BatchOptions& options, bool optimized_order,
+                    PathSink* sink, BatchStats* stats);
+
+/// Shared helper: builds the batch index for `queries` (timed into
+/// stats->build_index_seconds).
+void BuildBatchIndex(const Graph& g, const std::vector<PathQuery>& queries,
+                     DistanceIndex* index, BatchStats* stats);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_BASIC_ENUM_H_

@@ -1,0 +1,27 @@
+#ifndef HCPATH_CORE_BATCH_ENUM_H_
+#define HCPATH_CORE_BATCH_ENUM_H_
+
+#include <vector>
+
+#include "core/options.h"
+#include "core/path.h"
+#include "core/query.h"
+#include "core/stats.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// BatchEnum (Algorithm 4), the paper's contribution: builds the shared
+/// index, clusters the queries (Algorithm 2), detects common dominating
+/// HC-s path queries per cluster and direction (Algorithm 3), enumerates
+/// the sharing graphs in topological order with cached-result splicing, and
+/// assembles every query's HC-s-t paths with the concatenation join.
+/// `optimized_order` selects BatchEnum+.
+Status RunBatchEnum(const Graph& g, const std::vector<PathQuery>& queries,
+                    const BatchOptions& options, bool optimized_order,
+                    PathSink* sink, BatchStats* stats);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_BATCH_ENUM_H_

@@ -1,0 +1,50 @@
+#include "core/brute_force.h"
+
+#include <vector>
+
+namespace hcpath {
+
+namespace {
+
+void Dfs(const Graph& g, const PathQuery& q, size_t query_index,
+         PathSink* sink, std::vector<VertexId>& path) {
+  const VertexId tail = path.back();
+  if (tail == q.t) {
+    sink->OnPath(query_index, path);
+    return;  // extending past t can never yield another simple s-t path
+  }
+  if (path.size() - 1 >= static_cast<size_t>(q.k)) return;
+  for (VertexId u : g.OutNeighbors(tail)) {
+    bool seen = false;
+    for (VertexId w : path) {
+      if (w == u) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    path.push_back(u);
+    Dfs(g, q, query_index, sink, path);
+    path.pop_back();
+  }
+}
+
+}  // namespace
+
+Status BruteForceEnumerate(const Graph& g, const PathQuery& q,
+                           size_t query_index, PathSink* sink) {
+  HCPATH_RETURN_NOT_OK(ValidateQueries(g, {q}));
+  std::vector<VertexId> path;
+  path.reserve(static_cast<size_t>(q.k) + 1);
+  path.push_back(q.s);
+  Dfs(g, q, query_index, sink, path);
+  return Status::OK();
+}
+
+StatusOr<PathSet> BruteForcePaths(const Graph& g, const PathQuery& q) {
+  CollectingSink sink(1);
+  HCPATH_RETURN_NOT_OK(BruteForceEnumerate(g, q, 0, &sink));
+  return PathSet(sink.paths(0));
+}
+
+}  // namespace hcpath

@@ -1,0 +1,23 @@
+#ifndef HCPATH_CORE_BRUTE_FORCE_H_
+#define HCPATH_CORE_BRUTE_FORCE_H_
+
+#include "core/path.h"
+#include "core/query.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// Reference oracle: enumerates all HC-s-t paths of `q` by plain recursive
+/// DFS with no index and no pruning beyond the hop cap. Exponential and
+/// only suitable for tests, where it cross-validates every production
+/// algorithm.
+Status BruteForceEnumerate(const Graph& g, const PathQuery& q,
+                           size_t query_index, PathSink* sink);
+
+/// Convenience wrapper returning a materialized PathSet.
+StatusOr<PathSet> BruteForcePaths(const Graph& g, const PathQuery& q);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_BRUTE_FORCE_H_

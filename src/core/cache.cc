@@ -1,0 +1,61 @@
+#include "core/cache.h"
+
+#include <algorithm>
+
+namespace hcpath {
+
+void ResultCache::Init(std::vector<uint32_t> refcounts,
+                       uint64_t max_vertices) {
+  refcounts_ = std::move(refcounts);
+  entries_.assign(refcounts_.size(), std::nullopt);
+  max_vertices_ = max_vertices;
+  current_vertices_ = 0;
+  peak_vertices_ = 0;
+  total_paths_cached_ = 0;
+}
+
+Status ResultCache::Put(SharingGraph::NodeId node, PathSet&& paths) {
+  HCPATH_CHECK_LT(node, entries_.size());
+  HCPATH_CHECK(!entries_[node].has_value());
+  if (refcounts_[node] == 0) return Status::OK();  // nobody will read it
+  const uint64_t vertices = paths.TotalVertices();
+  if (max_vertices_ != 0 && current_vertices_ + vertices > max_vertices_) {
+    return Status::ResourceExhausted(
+        "sharing cache exceeded max_cache_vertices = " +
+        std::to_string(max_vertices_));
+  }
+  current_vertices_ += vertices;
+  peak_vertices_ = std::max(peak_vertices_, current_vertices_);
+  total_paths_cached_ += paths.size();
+  entries_[node] = std::move(paths);
+  return Status::OK();
+}
+
+const PathSet& ResultCache::Get(SharingGraph::NodeId node) const {
+  HCPATH_CHECK_LT(node, entries_.size());
+  HCPATH_CHECK(entries_[node].has_value())
+      << "cache miss for node " << node << " (evicted too early?)";
+  return *entries_[node];
+}
+
+bool ResultCache::Contains(SharingGraph::NodeId node) const {
+  return node < entries_.size() && entries_[node].has_value();
+}
+
+void ResultCache::Release(SharingGraph::NodeId node) {
+  HCPATH_CHECK_LT(node, entries_.size());
+  HCPATH_CHECK_GT(refcounts_[node], 0u);
+  if (--refcounts_[node] == 0 && entries_[node].has_value()) {
+    current_vertices_ -= entries_[node]->TotalVertices();
+    entries_[node].reset();
+  }
+}
+
+bool ResultCache::Drained() const {
+  for (uint32_t rc : refcounts_) {
+    if (rc != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace hcpath

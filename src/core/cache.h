@@ -1,0 +1,57 @@
+#ifndef HCPATH_CORE_CACHE_H_
+#define HCPATH_CORE_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/path.h"
+#include "core/sharing_graph.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// The materialized-result cache R of Algorithm 4 for one sharing graph:
+/// node id -> PathSet with reference counting. A node's refcount is the
+/// number of consumers that still need its results (sharing-graph users
+/// plus attached queries for roots); Release() drops it and evicts at zero
+/// (Algorithm 4 lines 14-16).
+class ResultCache {
+ public:
+  /// `refcounts[i]` = initial consumer count of node i. `max_vertices`
+  /// bounds the total vertices materialized at once (0 = unlimited).
+  void Init(std::vector<uint32_t> refcounts, uint64_t max_vertices);
+
+  /// Stores the result of `node`. Fails with ResourceExhausted when the
+  /// memory cap would be exceeded. Nodes with zero consumers are dropped
+  /// immediately.
+  Status Put(SharingGraph::NodeId node, PathSet&& paths);
+
+  /// Result of `node`; CHECK-fails if absent (topological processing
+  /// guarantees presence for live dependencies).
+  const PathSet& Get(SharingGraph::NodeId node) const;
+
+  bool Contains(SharingGraph::NodeId node) const;
+
+  /// Drops one reference; evicts the entry at zero.
+  void Release(SharingGraph::NodeId node);
+
+  uint64_t current_vertices() const { return current_vertices_; }
+  uint64_t peak_vertices() const { return peak_vertices_; }
+  uint64_t total_paths_cached() const { return total_paths_cached_; }
+
+  /// True iff every refcount has drained to zero (tested invariant).
+  bool Drained() const;
+
+ private:
+  std::vector<std::optional<PathSet>> entries_;
+  std::vector<uint32_t> refcounts_;
+  uint64_t max_vertices_ = 0;
+  uint64_t current_vertices_ = 0;
+  uint64_t peak_vertices_ = 0;
+  uint64_t total_paths_cached_ = 0;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_CACHE_H_

@@ -1,0 +1,65 @@
+#include "core/clustering.h"
+
+#include <algorithm>
+
+namespace hcpath {
+
+std::vector<std::vector<size_t>> ClusterQueries(const SimilarityMatrix& sim,
+                                                double gamma) {
+  const size_t n = sim.size();
+  std::vector<std::vector<size_t>> clusters(n);
+  for (size_t i = 0; i < n; ++i) clusters[i] = {i};
+  if (n < 2) return clusters;
+
+  // pair_sum[i][j] = sum of µ over cross pairs of clusters i, j; average
+  // linkage δ = pair_sum / (|Ci| * |Cj|). Merging i <- j updates sums by
+  // simple addition, keeping every step O(n).
+  std::vector<std::vector<double>> pair_sum(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) pair_sum[i][j] = sim.Get(i, j);
+    }
+  }
+  std::vector<bool> active(n, true);
+
+  while (true) {
+    double best = gamma;
+    size_t bi = n, bj = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        double delta = pair_sum[i][j] /
+                       (static_cast<double>(clusters[i].size()) *
+                        static_cast<double>(clusters[j].size()));
+        if (delta > best) {
+          best = delta;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (bi == n) break;  // no pair above gamma
+    // Merge bj into bi.
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
+                        clusters[bj].end());
+    clusters[bj].clear();
+    active[bj] = false;
+    for (size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == bi) continue;
+      pair_sum[bi][k] += pair_sum[bj][k];
+      pair_sum[k][bi] = pair_sum[bi][k];
+    }
+  }
+
+  std::vector<std::vector<size_t>> out;
+  for (size_t i = 0; i < n; ++i) {
+    if (active[i]) {
+      std::sort(clusters[i].begin(), clusters[i].end());
+      out.push_back(std::move(clusters[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace hcpath

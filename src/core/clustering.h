@@ -1,0 +1,22 @@
+#ifndef HCPATH_CORE_CLUSTERING_H_
+#define HCPATH_CORE_CLUSTERING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/similarity.h"
+
+namespace hcpath {
+
+/// ClusterQuery (Algorithm 2): hierarchical agglomerative clustering of the
+/// query batch under the group similarity δ (Def 4.6, average linkage).
+/// Repeatedly merges the two clusters with the highest δ until no pair
+/// exceeds γ. Returns clusters as lists of query indices; every query
+/// appears in exactly one cluster. Deterministic: ties break toward the
+/// smallest indices.
+std::vector<std::vector<size_t>> ClusterQueries(const SimilarityMatrix& sim,
+                                                double gamma);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_CLUSTERING_H_

@@ -1,0 +1,101 @@
+#include "core/enumerator.h"
+
+#include "core/basic_enum.h"
+#include "core/batch_enum.h"
+#include "core/path_enum.h"
+#include "util/timer.h"
+
+namespace hcpath {
+
+namespace {
+
+/// Counts per query and forwards to an optional downstream sink.
+class TeeSink : public PathSink {
+ public:
+  TeeSink(size_t num_queries, PathSink* downstream)
+      : counts_(num_queries, 0), downstream_(downstream) {}
+
+  void OnPath(size_t query_index, PathView path) override {
+    ++counts_[query_index];
+    if (downstream_ != nullptr) downstream_->OnPath(query_index, path);
+  }
+
+  std::vector<uint64_t> TakeCounts() { return std::move(counts_); }
+
+ private:
+  std::vector<uint64_t> counts_;
+  PathSink* downstream_;
+};
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kPathEnum:
+      return "PathEnum";
+    case Algorithm::kBasicEnum:
+      return "BasicEnum";
+    case Algorithm::kBasicEnumPlus:
+      return "BasicEnum+";
+    case Algorithm::kBatchEnum:
+      return "BatchEnum";
+    case Algorithm::kBatchEnumPlus:
+      return "BatchEnum+";
+  }
+  return "?";
+}
+
+StatusOr<Algorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "pathenum" || name == "PathEnum") return Algorithm::kPathEnum;
+  if (name == "basic" || name == "BasicEnum") return Algorithm::kBasicEnum;
+  if (name == "basic+" || name == "BasicEnum+") {
+    return Algorithm::kBasicEnumPlus;
+  }
+  if (name == "batch" || name == "BatchEnum") return Algorithm::kBatchEnum;
+  if (name == "batch+" || name == "BatchEnum+") {
+    return Algorithm::kBatchEnumPlus;
+  }
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+StatusOr<BatchResult> BatchPathEnumerator::Run(
+    const std::vector<PathQuery>& queries, const BatchOptions& options,
+    PathSink* sink) {
+  BatchResult result;
+  TeeSink tee(queries.size(), sink);
+  Status st;
+  switch (options.algorithm) {
+    case Algorithm::kPathEnum: {
+      WallTimer total;
+      SingleQueryOptions sq;
+      sq.max_paths = options.max_paths_per_query;
+      st = Status::OK();
+      for (size_t i = 0; i < queries.size() && st.ok(); ++i) {
+        st = PathEnumQuery(g_, queries[i], sq, i, &tee, &result.stats);
+      }
+      result.stats.total_seconds = total.ElapsedSeconds();
+      break;
+    }
+    case Algorithm::kBasicEnum:
+      st = RunBasicEnum(g_, queries, options, /*optimized_order=*/false,
+                        &tee, &result.stats);
+      break;
+    case Algorithm::kBasicEnumPlus:
+      st = RunBasicEnum(g_, queries, options, /*optimized_order=*/true,
+                        &tee, &result.stats);
+      break;
+    case Algorithm::kBatchEnum:
+      st = RunBatchEnum(g_, queries, options, /*optimized_order=*/false,
+                        &tee, &result.stats);
+      break;
+    case Algorithm::kBatchEnumPlus:
+      st = RunBatchEnum(g_, queries, options, /*optimized_order=*/true,
+                        &tee, &result.stats);
+      break;
+  }
+  if (!st.ok()) return st;
+  result.path_counts = tee.TakeCounts();
+  return result;
+}
+
+}  // namespace hcpath

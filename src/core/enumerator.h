@@ -1,0 +1,59 @@
+#ifndef HCPATH_CORE_ENUMERATOR_H_
+#define HCPATH_CORE_ENUMERATOR_H_
+
+#include <vector>
+
+#include "core/options.h"
+#include "core/path.h"
+#include "core/query.h"
+#include "core/stats.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// Outcome of a batch run: per-query result counts plus phase timings and
+/// work counters.
+struct BatchResult {
+  std::vector<uint64_t> path_counts;
+  BatchStats stats;
+
+  uint64_t TotalPaths() const {
+    uint64_t total = 0;
+    for (uint64_t c : path_counts) total += c;
+    return total;
+  }
+};
+
+/// Unified façade over every algorithm in the library. Typical use:
+///
+///   BatchPathEnumerator enumerator(g);
+///   BatchOptions opt;
+///   opt.algorithm = Algorithm::kBatchEnumPlus;
+///   auto result = enumerator.Run(queries, opt, &my_sink);
+///
+/// The sink is optional; pass nullptr to only count paths. The graph must
+/// outlive the enumerator.
+class BatchPathEnumerator {
+ public:
+  explicit BatchPathEnumerator(const Graph& g) : g_(g) {}
+
+  /// Runs all `queries` with the algorithm selected in `options`, streaming
+  /// every path to `sink` (when non-null) and returning per-query counts.
+  StatusOr<BatchResult> Run(const std::vector<PathQuery>& queries,
+                            const BatchOptions& options,
+                            PathSink* sink = nullptr);
+
+ private:
+  const Graph& g_;
+};
+
+const char* AlgorithmName(Algorithm a);
+
+/// Parses "pathenum", "basic", "basic+", "batch", "batch+" (as used by the
+/// bench binaries' --algos flag).
+StatusOr<Algorithm> ParseAlgorithm(const std::string& name);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_ENUMERATOR_H_

@@ -1,0 +1,80 @@
+#include "core/join.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace hcpath {
+
+StatusOr<uint64_t> JoinAndEmit(const JoinSpec& spec, size_t query_index,
+                               PathSink* sink, BatchStats* stats) {
+  HCPATH_CHECK(spec.forward != nullptr && spec.backward != nullptr);
+  HCPATH_CHECK(sink != nullptr);
+  const PathSet& fwd = *spec.forward;
+  const PathSet& bwd = *spec.backward;
+
+  // Group usable backward paths (length in [1, hb]) by their forward-
+  // orientation head == their stored tail (they are stored t-first).
+  std::unordered_map<VertexId, std::vector<uint32_t>> by_midpoint;
+  by_midpoint.reserve(bwd.size());
+  for (size_t i = 0; i < bwd.size(); ++i) {
+    const size_t len = bwd.Length(i);
+    if (len < 1 || len > spec.hb) continue;
+    by_midpoint[bwd.Tail(i)].push_back(static_cast<uint32_t>(i));
+  }
+
+  uint64_t emitted = 0;
+  std::vector<VertexId> buf;
+  buf.reserve(static_cast<size_t>(spec.hf) + spec.hb + 1);
+
+  auto emit = [&](PathView p) -> bool {
+    if (spec.max_paths != 0 && emitted >= spec.max_paths) return false;
+    sink->OnPath(query_index, p);
+    ++emitted;
+    if (stats != nullptr) ++stats->paths_emitted;
+    return true;
+  };
+
+  for (size_t i = 0; i < fwd.size(); ++i) {
+    const size_t len = fwd.Length(i);
+    if (len > spec.hf) continue;  // shared cache may hold longer paths
+    PathView pf = fwd[i];
+    if (pf.back() == spec.t) {
+      // Canonical split with an empty backward part.
+      if (!emit(pf)) {
+        return Status::ResourceExhausted("query exceeded max_paths");
+      }
+    }
+    if (len != spec.hf || spec.hb == 0) continue;
+    auto it = by_midpoint.find(pf.back());
+    if (it == by_midpoint.end()) continue;
+    for (uint32_t bi : it->second) {
+      PathView pb = bwd[bi];
+      if (stats != nullptr) ++stats->join_probes;
+      // pb is (t, x1, ..., xm) with xm == pf.back(); the forward suffix is
+      // (x_{m-1}, ..., x1, t). Simplicity: none of pb's vertices except the
+      // shared midpoint may appear in pf.
+      bool disjoint = true;
+      for (size_t j = 0; j + 1 < pb.size(); ++j) {
+        for (VertexId w : pf) {
+          if (w == pb[j]) {
+            disjoint = false;
+            break;
+          }
+        }
+        if (!disjoint) break;
+      }
+      if (!disjoint) {
+        if (stats != nullptr) ++stats->join_rejected;
+        continue;
+      }
+      buf.assign(pf.begin(), pf.end());
+      for (size_t j = pb.size() - 1; j-- > 0;) buf.push_back(pb[j]);
+      if (!emit(buf)) {
+        return Status::ResourceExhausted("query exceeded max_paths");
+      }
+    }
+  }
+  return emitted;
+}
+
+}  // namespace hcpath

@@ -1,0 +1,44 @@
+#ifndef HCPATH_CORE_JOIN_H_
+#define HCPATH_CORE_JOIN_H_
+
+#include <cstdint>
+
+#include "bfs/distance_map.h"
+#include "core/path.h"
+#include "core/stats.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// Inputs to the path concatenation operator ⊕ (Def 3.1), specialized to
+/// the canonical split that makes the join duplicate-free (DESIGN.md D2):
+/// a result path of length L splits at m = min(L, hf), so
+///   * a forward path of length exactly `hf` joins every backward path of
+///     length in [1, hb] whose forward-orientation head matches its tail;
+///   * a forward path ending at `t` (any length <= hf) is emitted alone.
+///
+/// `forward` holds paths from s in forward orientation; `backward` holds
+/// paths from t in Gr orientation (t first). Both may contain extra paths
+/// (longer than the per-query budgets, or pruned for other sharing
+/// queries); they are filtered here, which is what lets several queries
+/// share one materialized HC-s path result.
+struct JoinSpec {
+  const PathSet* forward = nullptr;
+  const PathSet* backward = nullptr;
+  VertexId s = kInvalidVertex;
+  VertexId t = kInvalidVertex;
+  Hop hf = 0;  ///< forward budget for this query
+  Hop hb = 0;  ///< backward budget for this query
+  uint64_t max_paths = 0;  ///< 0 = unlimited
+};
+
+/// Joins the two halves and emits every HC-s-t path of the query to `sink`
+/// (tagged with `query_index`). Returns the number of paths emitted or
+/// ResourceExhausted if `max_paths` was exceeded.
+StatusOr<uint64_t> JoinAndEmit(const JoinSpec& spec, size_t query_index,
+                               PathSink* sink, BatchStats* stats);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_JOIN_H_

@@ -1,0 +1,77 @@
+#ifndef HCPATH_CORE_OPTIONS_H_
+#define HCPATH_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hcpath {
+
+/// Which batch algorithm to run (Section V, "Algorithms").
+enum class Algorithm {
+  kPathEnum,       ///< per-query PathEnum, index built per query (baseline)
+  kBasicEnum,      ///< Algorithm 1: shared MS-BFS index, independent queries
+  kBasicEnumPlus,  ///< BasicEnum with the optimized search order
+  kBatchEnum,      ///< Algorithm 4: clustering + HC-s path sharing
+  kBatchEnumPlus,  ///< BatchEnum with the optimized search order
+};
+
+const char* AlgorithmName(Algorithm a);
+
+/// Pruning rule for *shared* HC-s path queries (DESIGN.md D3). Single-query
+/// searches always use exact per-target pruning.
+enum class SharedPruning {
+  /// Per-(target, slack) list propagated through Ψ: tightest sound rule,
+  /// O(#sharing targets) per expansion.
+  kPerTarget,
+  /// Batch-wide min-distance array: O(1) per expansion but weaker.
+  kGlobalMin,
+};
+
+/// How query similarity (Def 4.5) is evaluated for clustering.
+enum class SimilarityMode {
+  kAuto,    ///< exact bitsets when |V| is small, sketches otherwise
+  kExact,   ///< exact |Γ| intersections via bitsets
+  kSketch,  ///< bottom-k minhash estimate (fast, approximate)
+};
+
+/// Options controlling a batch run. Defaults mirror the paper's settings
+/// (γ = 0.5, Section V "Settings").
+struct BatchOptions {
+  Algorithm algorithm = Algorithm::kBatchEnumPlus;
+
+  /// Clustering threshold γ of Algorithm 2.
+  double gamma = 0.5;
+
+  SharedPruning shared_pruning = SharedPruning::kPerTarget;
+  SimilarityMode similarity_mode = SimilarityMode::kAuto;
+
+  /// Minimum hop budget for creating a dominating HC-s path query node;
+  /// sharing a 1-hop suffix costs more bookkeeping than it saves.
+  int min_dominating_budget = 1;
+
+  /// Per-cluster cap on dominating nodes, as a multiple of the cluster
+  /// size. Every dominating node re-expands its own detection cone, so on
+  /// saturated clusters (hub-dominated graphs where all reach sets
+  /// coincide) unlimited creation degrades Algorithm 3 from
+  /// O(|Q|(V+E)) toward O(V(V+E)). 0 = unlimited.
+  double max_dominating_per_query = 8.0;
+
+  /// Safety valve: a query producing more results than this fails the run
+  /// with ResourceExhausted instead of exhausting memory. 0 = unlimited.
+  uint64_t max_paths_per_query = 0;
+
+  /// Cap on materialized vertices held in the sharing cache R (0 = off).
+  uint64_t max_cache_vertices = 0;
+
+  /// Disable phase 1 clustering (every query in one cluster); ablation.
+  bool disable_clustering = false;
+
+  /// Disable HC-s path sharing entirely inside BatchEnum (detection still
+  /// runs, shortcuts are ignored); ablation of the cache reuse.
+  bool disable_cache_reuse = false;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_OPTIONS_H_

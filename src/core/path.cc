@@ -1,0 +1,71 @@
+#include "core/path.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace hcpath {
+
+std::string PathToString(PathView p) {
+  std::string out = "(";
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "v" + std::to_string(p[i]);
+  }
+  out += ")";
+  return out;
+}
+
+bool IsSimplePath(PathView p) {
+  for (size_t i = 0; i < p.size(); ++i) {
+    for (size_t j = i + 1; j < p.size(); ++j) {
+      if (p[i] == p[j]) return false;
+    }
+  }
+  return true;
+}
+
+bool PathExistsInGraph(const Graph& g, PathView p) {
+  if (p.empty()) return false;
+  for (VertexId v : p) {
+    if (v >= g.NumVertices()) return false;
+  }
+  for (size_t i = 0; i + 1 < p.size(); ++i) {
+    if (!g.HasEdge(p[i], p[i + 1])) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<VertexId>> PathSet::ToSortedVectors() const {
+  std::vector<std::vector<VertexId>> out;
+  out.reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    PathView p = (*this)[i];
+    out.emplace_back(p.begin(), p.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t PathSet::Fingerprint() const {
+  // Sum of per-path hashes is order-insensitive; each path hashed over its
+  // vertices and length so multisets compare correctly.
+  uint64_t acc = 0;
+  for (size_t i = 0; i < size(); ++i) {
+    PathView p = (*this)[i];
+    uint64_t h = Mix64(p.size());
+    for (VertexId v : p) {
+      h = Mix64(h ^ (0x517cc1b727220a95ULL + v));
+    }
+    acc += h;
+  }
+  return acc ^ Mix64(size());
+}
+
+uint64_t CountingSink::Total() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts_) total += c;
+  return total;
+}
+
+}  // namespace hcpath

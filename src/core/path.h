@@ -1,0 +1,129 @@
+#ifndef HCPATH_CORE_PATH_H_
+#define HCPATH_CORE_PATH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/logging.h"
+
+namespace hcpath {
+
+/// A path is a vertex sequence; its length (hop count) is size() - 1.
+using PathView = std::span<const VertexId>;
+
+std::string PathToString(PathView p);
+
+/// True iff no vertex repeats in p. O(|p|^2) with tiny constants — paths
+/// have at most k+1 <= 31 vertices, where linear scans beat hashing.
+bool IsSimplePath(PathView p);
+
+/// True iff consecutive vertices of p are connected by edges of g.
+bool PathExistsInGraph(const Graph& g, PathView p);
+
+/// Densely packed set of variable-length paths: one flat vertex array plus
+/// an offsets array (CSR for paths). This is the materialized result
+/// representation R of Algorithm 4 — cache-friendly to scan and join, and
+/// two orders of magnitude smaller than vector<vector<>> per path.
+class PathSet {
+ public:
+  PathSet() { offsets_.push_back(0); }
+
+  /// Appends a path (sequence of vertices, length >= 1 vertex).
+  void Add(PathView p) {
+    HCPATH_DCHECK(!p.empty());
+    data_.insert(data_.end(), p.begin(), p.end());
+    offsets_.push_back(static_cast<uint64_t>(data_.size()));
+  }
+
+  /// Appends prefix + suffix as one path without an intermediate copy.
+  void AddConcat(PathView prefix, PathView suffix) {
+    data_.insert(data_.end(), prefix.begin(), prefix.end());
+    data_.insert(data_.end(), suffix.begin(), suffix.end());
+    offsets_.push_back(static_cast<uint64_t>(data_.size()));
+  }
+
+  size_t size() const { return offsets_.size() - 1; }
+  bool empty() const { return size() == 0; }
+
+  PathView operator[](size_t i) const {
+    return {data_.data() + offsets_[i],
+            data_.data() + offsets_[i + 1]};
+  }
+
+  /// Hop count of path i.
+  size_t Length(size_t i) const {
+    return static_cast<size_t>(offsets_[i + 1] - offsets_[i]) - 1;
+  }
+
+  VertexId Head(size_t i) const { return data_[offsets_[i]]; }
+  VertexId Tail(size_t i) const { return data_[offsets_[i + 1] - 1]; }
+
+  void Clear() {
+    data_.clear();
+    offsets_.assign(1, 0);
+  }
+
+  uint64_t MemoryBytes() const {
+    return data_.capacity() * sizeof(VertexId) +
+           offsets_.capacity() * sizeof(uint64_t);
+  }
+
+  uint64_t TotalVertices() const { return data_.size(); }
+
+  /// Lexicographically sorted copy of all paths; canonical form for tests.
+  std::vector<std::vector<VertexId>> ToSortedVectors() const;
+
+  /// Order- and layout-insensitive fingerprint; equal iff the path multisets
+  /// are equal (up to hash collisions). Used to cross-validate algorithms.
+  uint64_t Fingerprint() const;
+
+ private:
+  std::vector<VertexId> data_;
+  std::vector<uint64_t> offsets_;
+};
+
+/// Receives enumerated paths. Implementations must copy the data if they
+/// keep it: the span is only valid during the call.
+class PathSink {
+ public:
+  virtual ~PathSink() = default;
+  /// `query_index` is the position of the owning query in the input batch.
+  virtual void OnPath(size_t query_index, PathView path) = 0;
+};
+
+/// Sink that counts paths per query (the common benchmarking mode).
+class CountingSink : public PathSink {
+ public:
+  explicit CountingSink(size_t num_queries) : counts_(num_queries, 0) {}
+  void OnPath(size_t query_index, PathView) override {
+    ++counts_[query_index];
+  }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+  uint64_t Total() const;
+
+ private:
+  std::vector<uint64_t> counts_;
+};
+
+/// Sink that materializes every path per query (testing / small batches).
+class CollectingSink : public PathSink {
+ public:
+  explicit CollectingSink(size_t num_queries) : sets_(num_queries) {}
+  void OnPath(size_t query_index, PathView path) override {
+    sets_[query_index].Add(path);
+  }
+  const PathSet& paths(size_t query_index) const {
+    return sets_[query_index];
+  }
+  const std::vector<PathSet>& all() const { return sets_; }
+
+ private:
+  std::vector<PathSet> sets_;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_PATH_H_

@@ -1,0 +1,38 @@
+#include "core/query.h"
+
+#include <cstdio>
+
+namespace hcpath {
+
+std::string PathQuery::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "q(s=%u, t=%u, k=%d)", s, t, k);
+  return buf;
+}
+
+Status ValidateQueries(const Graph& g,
+                       const std::vector<PathQuery>& queries) {
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const PathQuery& q = queries[i];
+    if (q.s >= g.NumVertices() || q.t >= g.NumVertices()) {
+      return Status::InvalidArgument("query " + std::to_string(i) +
+                                     " has out-of-range endpoint: " +
+                                     q.ToString());
+    }
+    if (q.s == q.t) {
+      return Status::InvalidArgument(
+          "query " + std::to_string(i) +
+          " has s == t (simple s-t paths require distinct endpoints): " +
+          q.ToString());
+    }
+    if (q.k < 1 || q.k > kMaxHops) {
+      return Status::InvalidArgument("query " + std::to_string(i) +
+                                     " needs 1 <= k <= " +
+                                     std::to_string(kMaxHops) + ": " +
+                                     q.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hcpath

@@ -1,0 +1,41 @@
+#ifndef HCPATH_CORE_QUERY_H_
+#define HCPATH_CORE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bfs/distance_map.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// A hop-constrained s-t simple path query q(s, t, k): enumerate all simple
+/// paths from s to t with at most k hops (Section II of the paper).
+struct PathQuery {
+  VertexId s = kInvalidVertex;
+  VertexId t = kInvalidVertex;
+  int k = 0;
+
+  /// Forward half hop budget ⌈k/2⌉ used by bidirectional search.
+  Hop ForwardBudget() const { return static_cast<Hop>((k + 1) / 2); }
+  /// Backward half hop budget ⌊k/2⌋.
+  Hop BackwardBudget() const { return static_cast<Hop>(k / 2); }
+
+  bool operator==(const PathQuery& other) const {
+    return s == other.s && t == other.t && k == other.k;
+  }
+
+  std::string ToString() const;
+};
+
+/// Validates a batch of queries against a graph: endpoints in range,
+/// s != t, and 1 <= k <= kMaxHops (distances are stored in 8 bits and the
+/// enumeration cost is exponential in k, so we cap it defensively).
+inline constexpr int kMaxHops = 30;
+Status ValidateQueries(const Graph& g, const std::vector<PathQuery>& queries);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_QUERY_H_

@@ -1,0 +1,135 @@
+#include "core/search.h"
+
+#include <algorithm>
+
+namespace hcpath {
+
+namespace {
+
+struct SearchCtx {
+  const Graph& g;
+  const HalfSearchSpec& spec;
+  PathSet* out;
+  BatchStats* stats;
+  std::vector<VertexId> path;
+  Status status = Status::OK();
+};
+
+/// Lemma 3.1 pruning: is `u` admissible at suffix depth `depth`?
+inline bool Admissible(const HalfSearchSpec& spec, VertexId u, int depth) {
+  if (spec.global_min != nullptr) {
+    Hop d = (*spec.global_min)[u];
+    return d != kUnreachable && d <= spec.global_max_slack - depth;
+  }
+  if (spec.slacks.empty()) return true;
+  for (const TargetSlack& ts : spec.slacks) {
+    Hop d = ts.dist->Lookup(u);
+    if (d != kUnreachable && d <= ts.slack - depth) return true;
+  }
+  return false;
+}
+
+inline bool OnPath(const std::vector<VertexId>& path, VertexId u) {
+  for (VertexId w : path) {
+    if (w == u) return true;
+  }
+  return false;
+}
+
+inline const SearchDep* FindDep(std::span<const SearchDep> deps,
+                                VertexId u) {
+  // deps is sorted by vertex; it is tiny (one entry per reuse edge), so a
+  // branchless lower_bound is plenty.
+  auto it = std::lower_bound(
+      deps.begin(), deps.end(), u,
+      [](const SearchDep& d, VertexId v) { return d.vertex < v; });
+  if (it != deps.end() && it->vertex == u) return &*it;
+  return nullptr;
+}
+
+/// Stores the current path if it passes the join filter; returns false on
+/// resource exhaustion.
+bool StoreCurrent(SearchCtx& c) {
+  const size_t len = c.path.size() - 1;
+  if (c.spec.filter_for_join) {
+    const bool useful = len == c.spec.budget ||
+                        c.path.back() == c.spec.store_target;
+    if (!useful) return true;
+  }
+  if (c.spec.max_paths != 0 && c.out->size() >= c.spec.max_paths) {
+    c.status = Status::ResourceExhausted(
+        "half search exceeded max_paths = " +
+        std::to_string(c.spec.max_paths));
+    return false;
+  }
+  c.out->Add(c.path);
+  return true;
+}
+
+bool Dfs(SearchCtx& c) {
+  if (!StoreCurrent(c)) return false;
+  const size_t len = c.path.size() - 1;
+  if (len >= c.spec.budget) return true;
+  const VertexId tail = c.path.back();
+  const int depth = static_cast<int>(len) + 1;
+  for (VertexId u : c.g.Neighbors(tail, c.spec.dir)) {
+    if (c.stats != nullptr) ++c.stats->edges_expanded;
+    if (!Admissible(c.spec, u, depth)) {
+      if (c.stats != nullptr) ++c.stats->edges_pruned;
+      continue;
+    }
+    if (OnPath(c.path, u)) continue;
+    const Hop remaining = static_cast<Hop>(c.spec.budget - depth);
+    const SearchDep* dep =
+        c.spec.deps.empty() ? nullptr : FindDep(c.spec.deps, u);
+    if (dep != nullptr && dep->budget >= remaining) {
+      // Algorithm 4 lines 22-23: splice the cached HC-s path results of the
+      // dominating query instead of recursing. cached[0] == u by
+      // construction; longer cached paths than the remaining budget and
+      // paths revisiting prefix vertices are filtered here (DESIGN.md D6).
+      const PathSet& cached = *dep->paths;
+      const size_t max_vertices = static_cast<size_t>(remaining) + 1;
+      for (size_t i = 0; i < cached.size(); ++i) {
+        PathView cp = cached[i];
+        if (cp.size() > max_vertices) continue;
+        bool disjoint = true;
+        for (size_t j = 1; j < cp.size(); ++j) {
+          if (OnPath(c.path, cp[j])) {
+            disjoint = false;
+            break;
+          }
+        }
+        if (!disjoint) continue;
+        if (c.spec.max_paths != 0 && c.out->size() >= c.spec.max_paths) {
+          c.status = Status::ResourceExhausted(
+              "half search exceeded max_paths = " +
+              std::to_string(c.spec.max_paths));
+          return false;
+        }
+        c.out->AddConcat(c.path, cp);
+        if (c.stats != nullptr) ++c.stats->shortcut_splices;
+      }
+      continue;
+    }
+    c.path.push_back(u);
+    const bool keep_going = Dfs(c);
+    c.path.pop_back();
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status RunHalfSearch(const Graph& g, const HalfSearchSpec& spec,
+                     PathSet* out, BatchStats* stats) {
+  HCPATH_CHECK(spec.start < g.NumVertices());
+  HCPATH_CHECK(out != nullptr);
+  SearchCtx ctx{g, spec, out, stats, {}, Status::OK()};
+  ctx.path.reserve(static_cast<size_t>(spec.budget) + 1);
+  ctx.path.push_back(spec.start);
+  Dfs(ctx);
+  return ctx.status;
+}
+
+}  // namespace hcpath

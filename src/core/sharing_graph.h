@@ -1,0 +1,86 @@
+#ifndef HCPATH_CORE_SHARING_GRAPH_H_
+#define HCPATH_CORE_SHARING_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bfs/distance_map.h"
+#include "graph/graph.h"
+
+namespace hcpath {
+
+/// The query sharing graph Ψ (Def 4.7) for one cluster and one traversal
+/// direction. Nodes are HC-s path queries q_{v, budget}; a directed edge
+/// dep -> user records that the user's enumeration can splice the dep's
+/// materialized results when it steps onto dep's anchor vertex.
+///
+/// Invariants (checked in tests):
+///  * acyclic — reuse edges that would close a cycle are skipped
+///    (DESIGN.md D5);
+///  * at most one node per anchor vertex at any time, the one with the
+///    largest budget (Theorem 4.1).
+class SharingGraph {
+ public:
+  using NodeId = uint32_t;
+  static constexpr NodeId kNoNode = UINT32_MAX;
+
+  /// One (target, slack) pruning entry: `query` indexes the batch, and the
+  /// relevant endpoint map (target map for forward graphs, source map for
+  /// backward) is resolved at enumeration time.
+  struct SlackEntry {
+    uint32_t query = 0;
+    int slack = 0;
+  };
+
+  struct Node {
+    VertexId vertex = kInvalidVertex;
+    Hop budget = 0;
+    bool is_root = false;
+    std::vector<NodeId> deps;   ///< dominating queries this node can splice
+    std::vector<NodeId> users;  ///< nodes that splice this node's results
+    /// vertex -> dep node, sorted by vertex (built as edges are added).
+    std::vector<std::pair<VertexId, NodeId>> dep_at;
+    /// pruning slacks; for roots seeded from attached queries, for others
+    /// propagated by PropagateSlacks().
+    std::vector<SlackEntry> slacks;
+    /// batch query indices attached to this root (empty for non-roots).
+    std::vector<uint32_t> attached_queries;
+  };
+
+  NodeId AddNode(VertexId vertex, Hop budget, bool is_root);
+
+  size_t NumNodes() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& mutable_node(NodeId id) { return nodes_[id]; }
+
+  /// Adds edge dep -> user plus the user's dep_at entry for the dep's
+  /// anchor vertex. Returns false (and adds nothing) if the edge would
+  /// create a cycle or already exists.
+  bool TryAddEdge(NodeId dep, NodeId user);
+
+  /// Topological order with dependencies before users (Kahn).
+  std::vector<NodeId> TopologicalOrder() const;
+
+  /// Pushes root slacks down to dependencies: a dep inherits each user
+  /// slack shifted by the minimum splice depth max(0, κ_user − κ_dep),
+  /// keeping the max slack per (query, endpoint) (DESIGN.md D3).
+  void PropagateSlacks();
+
+  /// Total number of edges.
+  uint64_t NumEdges() const { return num_edges_; }
+
+  /// Count of reuse edges skipped by the cycle guard.
+  uint64_t cycle_edges_skipped() const { return cycle_edges_skipped_; }
+
+ private:
+  bool WouldCreateCycle(NodeId dep, NodeId user) const;
+
+  std::vector<Node> nodes_;
+  uint64_t num_edges_ = 0;
+  uint64_t cycle_edges_skipped_ = 0;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_SHARING_GRAPH_H_

@@ -1,0 +1,202 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+
+#include "util/bitset.h"
+#include "util/hash.h"
+
+namespace hcpath {
+
+namespace {
+
+constexpr size_t kSketchSize = 256;
+constexpr uint64_t kAutoSketchVertexThreshold = 1ull << 20;
+
+double HarmonicMu(double fwd, double bwd) {
+  if (fwd <= 0.0 || bwd <= 0.0) return 0.0;
+  return 2.0 * fwd * bwd / (fwd + bwd);
+}
+
+/// Bottom-k sketch of a vertex set: the k smallest Mix64 hashes, sorted.
+/// Built straight from the distance map to avoid materializing and sorting
+/// the full key set.
+std::vector<uint64_t> BuildSketch(const VertexDistMap& set) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(set.size());
+  set.ForEach([&](VertexId v, Hop) { hashes.push_back(Mix64(v)); });
+  if (hashes.size() > kSketchSize) {
+    std::nth_element(hashes.begin(), hashes.begin() + kSketchSize - 1,
+                     hashes.end());
+    hashes.resize(kSketchSize);
+  }
+  std::sort(hashes.begin(), hashes.end());
+  return hashes;
+}
+
+/// Estimates |A ∩ B| / min(|A|, |B|) from two bottom-k sketches and the
+/// true set sizes. Within the hash window below both sketches' thresholds
+/// each sketch is a *complete* uniform sample of its set, so
+///   shared_in_window / min(a_in_window, b_in_window)
+/// is a consistent estimator of the overlap coefficient.
+double SketchOverlap(const std::vector<uint64_t>& sa, size_t size_a,
+                     const std::vector<uint64_t>& sb, size_t size_b) {
+  if (size_a == 0 || size_b == 0 || sa.empty() || sb.empty()) return 0.0;
+  // A sketch is truncated only when its set exceeds kSketchSize; its last
+  // hash is then the completeness threshold.
+  const uint64_t cap_a = size_a > kSketchSize ? sa.back() : UINT64_MAX;
+  const uint64_t cap_b = size_b > kSketchSize ? sb.back() : UINT64_MAX;
+  const uint64_t tau = std::min(cap_a, cap_b);
+  size_t i = 0, j = 0, shared = 0, a_in = 0, b_in = 0;
+  while (i < sa.size() && sa[i] <= tau) ++i;
+  a_in = i;
+  while (j < sb.size() && sb[j] <= tau) ++j;
+  b_in = j;
+  i = 0;
+  j = 0;
+  while (i < a_in && j < b_in) {
+    if (sa[i] == sb[j]) {
+      ++shared;
+      ++i;
+      ++j;
+    } else if (sa[i] < sb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t denom = std::min(a_in, b_in);
+  if (denom == 0) return 0.0;
+  return std::clamp(
+      static_cast<double>(shared) / static_cast<double>(denom), 0.0, 1.0);
+}
+
+/// Exact overlap of a small sorted set against a large sorted set via
+/// binary search; used when one side fits entirely in a sketch, where the
+/// windowed estimator above has no samples to work with.
+double SmallSetOverlap(const std::vector<VertexId>& small,
+                       const std::vector<VertexId>& big) {
+  if (small.empty() || big.empty()) return 0.0;
+  size_t inter = 0;
+  for (VertexId v : small) {
+    if (std::binary_search(big.begin(), big.end(), v)) ++inter;
+  }
+  return static_cast<double>(inter) / static_cast<double>(small.size());
+}
+
+}  // namespace
+
+double SimilarityMatrix::Average() const {
+  if (n_ < 2) return 0.0;
+  double acc = 0;
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = i + 1; j < n_; ++j) acc += Get(i, j);
+  }
+  return acc / (static_cast<double>(n_) * (n_ - 1) / 2.0);
+}
+
+double OverlapCoefficient(const std::vector<VertexId>& a,
+                          const std::vector<VertexId>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(a.size(), b.size()));
+}
+
+SimilarityMatrix ComputeSimilarityMatrix(
+    const Graph& g, const std::vector<PathQuery>& queries,
+    const DistanceIndex& index, SimilarityMode mode) {
+  const size_t n = queries.size();
+  SimilarityMatrix sim(n);
+  if (n < 2) return sim;
+
+  bool use_sketch = mode == SimilarityMode::kSketch;
+  if (mode == SimilarityMode::kAuto) {
+    // Exact bitset intersections cost |Q|^2 * |V|/64 word operations plus
+    // the bitset fills; switch to sketches once that exceeds a small
+    // fixed budget.
+    const double exact_ops = static_cast<double>(n) * n *
+                             (static_cast<double>(g.NumVertices()) / 64.0);
+    use_sketch = exact_ops > 10e6;
+  }
+
+  if (use_sketch) {
+    std::vector<std::vector<uint64_t>> fwd_sketch(n), bwd_sketch(n);
+    std::vector<size_t> fwd_size(n), bwd_size(n);
+    for (size_t i = 0; i < n; ++i) {
+      fwd_sketch[i] = BuildSketch(index.FromSourceMap(i));
+      bwd_sketch[i] = BuildSketch(index.ToTargetMap(i));
+      fwd_size[i] = index.FromSourceMap(i).size();
+      bwd_size[i] = index.ToTargetMap(i).size();
+    }
+    auto overlap = [&](size_t i, size_t j, bool fwd) {
+      const size_t si = fwd ? fwd_size[i] : bwd_size[i];
+      const size_t sj = fwd ? fwd_size[j] : bwd_size[j];
+      if (std::min(si, sj) <= kSketchSize) {
+        // One side fits in a sketch entirely: intersect it exactly against
+        // the other's full sorted key set (tiny sets vs huge reaches are
+        // common for low-in-degree targets).
+        const auto& gi = fwd ? index.Gamma(i) : index.GammaR(i);
+        const auto& gj = fwd ? index.Gamma(j) : index.GammaR(j);
+        return si <= sj ? SmallSetOverlap(gi, gj) : SmallSetOverlap(gj, gi);
+      }
+      return fwd ? SketchOverlap(fwd_sketch[i], si, fwd_sketch[j], sj)
+                 : SketchOverlap(bwd_sketch[i], si, bwd_sketch[j], sj);
+    };
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        sim.Set(i, j, HarmonicMu(overlap(i, j, true), overlap(i, j, false)));
+      }
+    }
+    return sim;
+  }
+
+  // Exact mode: per-endpoint bitsets, word-parallel intersections.
+  const size_t nv = g.NumVertices();
+  std::vector<DynamicBitset> fwd_bits(n), bwd_bits(n);
+  std::vector<size_t> fwd_size(n), bwd_size(n);
+  for (size_t i = 0; i < n; ++i) {
+    fwd_bits[i].Resize(nv);
+    for (VertexId v : index.Gamma(i)) fwd_bits[i].Set(v);
+    fwd_size[i] = index.Gamma(i).size();
+    bwd_bits[i].Resize(nv);
+    for (VertexId v : index.GammaR(i)) bwd_bits[i].Set(v);
+    bwd_size[i] = index.GammaR(i).size();
+  }
+  auto intersect_count = [](const DynamicBitset& a, const DynamicBitset& b) {
+    const uint64_t* wa = a.words();
+    const uint64_t* wb = b.words();
+    size_t c = 0;
+    for (size_t w = 0; w < a.num_words(); ++w) {
+      c += static_cast<size_t>(__builtin_popcountll(wa[w] & wb[w]));
+    }
+    return c;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double f = 0, b = 0;
+      if (fwd_size[i] != 0 && fwd_size[j] != 0) {
+        f = static_cast<double>(intersect_count(fwd_bits[i], fwd_bits[j])) /
+            static_cast<double>(std::min(fwd_size[i], fwd_size[j]));
+      }
+      if (bwd_size[i] != 0 && bwd_size[j] != 0) {
+        b = static_cast<double>(intersect_count(bwd_bits[i], bwd_bits[j])) /
+            static_cast<double>(std::min(bwd_size[i], bwd_size[j]));
+      }
+      sim.Set(i, j, HarmonicMu(f, b));
+    }
+  }
+  return sim;
+}
+
+}  // namespace hcpath

@@ -1,0 +1,58 @@
+#ifndef HCPATH_CORE_SIMILARITY_H_
+#define HCPATH_CORE_SIMILARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "core/query.h"
+#include "graph/graph.h"
+#include "index/distance_index.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// Symmetric matrix of pairwise HC-s-t path query similarities µ (Def 4.5).
+class SimilarityMatrix {
+ public:
+  explicit SimilarityMatrix(size_t n) : n_(n), values_(n * n, 0.0) {
+    for (size_t i = 0; i < n; ++i) values_[i * n + i] = 1.0;
+  }
+
+  size_t size() const { return n_; }
+  double Get(size_t i, size_t j) const { return values_[i * n_ + j]; }
+  void Set(size_t i, size_t j, double v) {
+    values_[i * n_ + j] = v;
+    values_[j * n_ + i] = v;
+  }
+
+  /// Average pairwise similarity µ_Q over distinct pairs (Exp-1); 0 when
+  /// |Q| < 2.
+  double Average() const;
+
+ private:
+  size_t n_;
+  std::vector<double> values_;
+};
+
+/// µ(qA, qB): harmonic mean of the forward and backward neighborhood
+/// overlap coefficients
+///   o = |Γ(qA) ∩ Γ(qB)| / min(|Γ(qA)|, |Γ(qB)|),
+/// 0 when either intersection is empty (DESIGN.md D7). The Γ sets come from
+/// the batch index, reusing the BFS work exactly as the paper prescribes
+/// ("we do not need to compute Γ(q) ... specialized for query clustering").
+///
+/// `mode` chooses exact bitset intersections or bottom-k minhash sketches
+/// (kAuto picks sketches on graphs above ~1M vertices).
+SimilarityMatrix ComputeSimilarityMatrix(const Graph& g,
+                                         const std::vector<PathQuery>& queries,
+                                         const DistanceIndex& index,
+                                         SimilarityMode mode);
+
+/// Exact overlap coefficient of two sorted vertex sets (exposed for tests).
+double OverlapCoefficient(const std::vector<VertexId>& a,
+                          const std::vector<VertexId>& b);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_SIMILARITY_H_

@@ -1,0 +1,49 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hcpath {
+
+void BatchStats::Accumulate(const BatchStats& other) {
+  build_index_seconds += other.build_index_seconds;
+  cluster_seconds += other.cluster_seconds;
+  detect_seconds += other.detect_seconds;
+  enumerate_seconds += other.enumerate_seconds;
+  total_seconds += other.total_seconds;
+  edges_expanded += other.edges_expanded;
+  edges_pruned += other.edges_pruned;
+  paths_emitted += other.paths_emitted;
+  join_probes += other.join_probes;
+  join_rejected += other.join_rejected;
+  num_clusters += other.num_clusters;
+  sharing_nodes += other.sharing_nodes;
+  dominating_nodes += other.dominating_nodes;
+  sharing_edges += other.sharing_edges;
+  shortcut_splices += other.shortcut_splices;
+  cached_paths += other.cached_paths;
+  cache_peak_vertices = std::max(cache_peak_vertices,
+                                 other.cache_peak_vertices);
+  cycle_edges_skipped += other.cycle_edges_skipped;
+}
+
+std::string BatchStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "total=%.3fs (index=%.3fs cluster=%.3fs detect=%.3fs enum=%.3fs) "
+      "paths=%llu expanded=%llu pruned=%llu clusters=%llu "
+      "nodes=%llu dominating=%llu splices=%llu cached=%llu",
+      total_seconds, build_index_seconds, cluster_seconds, detect_seconds,
+      enumerate_seconds, static_cast<unsigned long long>(paths_emitted),
+      static_cast<unsigned long long>(edges_expanded),
+      static_cast<unsigned long long>(edges_pruned),
+      static_cast<unsigned long long>(num_clusters),
+      static_cast<unsigned long long>(sharing_nodes),
+      static_cast<unsigned long long>(dominating_nodes),
+      static_cast<unsigned long long>(shortcut_splices),
+      static_cast<unsigned long long>(cached_paths));
+  return buf;
+}
+
+}  // namespace hcpath

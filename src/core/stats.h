@@ -1,0 +1,43 @@
+#ifndef HCPATH_CORE_STATS_H_
+#define HCPATH_CORE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hcpath {
+
+/// Counters and phase timings for one batch run. The four phase timers are
+/// exactly the decomposition reported by Exp-3 (Fig 9).
+struct BatchStats {
+  // --- Fig 9 phases (seconds) ---
+  double build_index_seconds = 0;   ///< BuildIndex: multi-source BFSs
+  double cluster_seconds = 0;       ///< ClusterQuery: Algorithm 2
+  double detect_seconds = 0;        ///< IdentifySubquery: Algorithm 3
+  double enumerate_seconds = 0;     ///< Enumeration: search + join + output
+
+  double total_seconds = 0;
+
+  // --- work counters ---
+  uint64_t edges_expanded = 0;      ///< DFS edge expansions performed
+  uint64_t edges_pruned = 0;        ///< expansions rejected by the index
+  uint64_t paths_emitted = 0;       ///< HC-s-t paths output across queries
+  uint64_t join_probes = 0;         ///< forward/backward join attempts
+  uint64_t join_rejected = 0;       ///< join pairs rejected (dup vertex)
+
+  // --- sharing counters (BatchEnum only) ---
+  uint64_t num_clusters = 0;
+  uint64_t sharing_nodes = 0;       ///< HC-s path nodes in all Ψ
+  uint64_t dominating_nodes = 0;    ///< non-root nodes (detected sharing)
+  uint64_t sharing_edges = 0;
+  uint64_t shortcut_splices = 0;    ///< cache concatenations performed
+  uint64_t cached_paths = 0;        ///< paths materialized into R
+  uint64_t cache_peak_vertices = 0; ///< high-water mark of R
+  uint64_t cycle_edges_skipped = 0; ///< reuse edges dropped to keep Ψ a DAG
+
+  void Accumulate(const BatchStats& other);
+  std::string ToString() const;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_STATS_H_

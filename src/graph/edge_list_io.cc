@@ -1,0 +1,117 @@
+#include "graph/edge_list_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+#include "util/stringx.h"
+
+namespace hcpath {
+
+namespace {
+constexpr uint64_t kBinaryMagic = 0x48435041544847ULL;  // "HCPATHG"
+}  // namespace
+
+StatusOr<Graph> LoadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open: " + path);
+  GraphBuilder builder;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == '#' || sv[0] == '%') continue;
+    // Accept both spaces and tabs as separators.
+    std::string norm(sv);
+    for (char& c : norm) {
+      if (c == '\t') c = ' ';
+    }
+    auto fields = Split(norm, ' ');
+    if (fields.size() < 2) {
+      return Status::InvalidArgument("bad edge at " + path + ":" +
+                                     std::to_string(lineno));
+    }
+    auto u = ParseUint64(fields[0]);
+    auto v = ParseUint64(fields[1]);
+    if (!u.ok()) return u.status();
+    if (!v.ok()) return v.status();
+    if (*u >= kInvalidVertex || *v >= kInvalidVertex) {
+      return Status::OutOfRange("vertex id too large at " + path + ":" +
+                                std::to_string(lineno));
+    }
+    builder.AddEdge(static_cast<VertexId>(*u), static_cast<VertexId>(*v));
+  }
+  return builder.Build();
+}
+
+Status SaveEdgeListText(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open: " + path);
+  out << "# hcpath edge list: " << g.NumVertices() << " vertices, "
+      << g.NumEdges() << " edges\n";
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      out << u << ' ' << v << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Graph> LoadEdgeListBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open: " + path);
+  uint64_t magic = 0, n = 0, m = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  if (!in || magic != kBinaryMagic) {
+    return Status::InvalidArgument("not an hcpath binary edge list: " + path);
+  }
+  if (n >= kInvalidVertex) {
+    return Status::OutOfRange("vertex count too large: " + path);
+  }
+  GraphBuilder builder(static_cast<VertexId>(n));
+  builder.Reserve(m);
+  std::vector<VertexId> buf(2 * 4096);
+  uint64_t remaining = m;
+  while (remaining > 0) {
+    uint64_t batch = std::min<uint64_t>(remaining, 4096);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(batch * 2 * sizeof(VertexId)));
+    if (!in) return Status::IOError("truncated binary edge list: " + path);
+    for (uint64_t i = 0; i < batch; ++i) {
+      if (buf[2 * i] >= n || buf[2 * i + 1] >= n) {
+        return Status::OutOfRange("edge endpoint out of range: " + path);
+      }
+      builder.AddEdge(buf[2 * i], buf[2 * i + 1]);
+    }
+    remaining -= batch;
+  }
+  return builder.Build();
+}
+
+Status SaveEdgeListBinary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::IOError("cannot open: " + path);
+  uint64_t magic = kBinaryMagic;
+  uint64_t n = g.NumVertices();
+  uint64_t m = g.NumEdges();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      VertexId pair[2] = {u, v};
+      out.write(reinterpret_cast<const char*>(pair), sizeof(pair));
+    }
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace hcpath

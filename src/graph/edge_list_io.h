@@ -1,0 +1,26 @@
+#ifndef HCPATH_GRAPH_EDGE_LIST_IO_H_
+#define HCPATH_GRAPH_EDGE_LIST_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// Loads a SNAP-style text edge list: one "src dst" pair per line
+/// (whitespace- or tab-separated); lines starting with '#' or '%' are
+/// comments. Self-loops and duplicates are cleaned by GraphBuilder.
+StatusOr<Graph> LoadEdgeListText(const std::string& path);
+
+/// Writes the graph as a text edge list compatible with LoadEdgeListText.
+Status SaveEdgeListText(const Graph& g, const std::string& path);
+
+/// Binary format: magic, vertex count, edge count, then (u,v) uint32 pairs.
+/// Roughly 6x faster to load than text for large graphs.
+StatusOr<Graph> LoadEdgeListBinary(const std::string& path);
+Status SaveEdgeListBinary(const Graph& g, const std::string& path);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_GRAPH_EDGE_LIST_IO_H_

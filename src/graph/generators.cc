@@ -1,0 +1,215 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+#include "util/hash.h"
+
+namespace hcpath {
+
+StatusOr<Graph> GenerateErdosRenyi(VertexId n, uint64_t m, Rng& rng) {
+  if (n < 2) return Status::InvalidArgument("ErdosRenyi needs n >= 2");
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1);
+  if (m > max_edges) {
+    return Status::InvalidArgument("ErdosRenyi: m exceeds n*(n-1)");
+  }
+  GraphBuilder builder(n);
+  builder.Reserve(m);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+StatusOr<Graph> GenerateBarabasiAlbert(VertexId n, uint32_t out_degree,
+                                       Rng& rng) {
+  if (n < 2 || out_degree == 0) {
+    return Status::InvalidArgument("BarabasiAlbert needs n >= 2, degree > 0");
+  }
+  GraphBuilder builder(n);
+  builder.Reserve(static_cast<uint64_t>(n) * out_degree);
+  // `targets` holds one entry per edge endpoint, so uniform sampling from it
+  // realizes preferential attachment.
+  std::vector<VertexId> targets;
+  targets.reserve(2ULL * n * out_degree);
+  // Seed clique among the first out_degree+1 vertices (ring).
+  VertexId seed = std::min<VertexId>(n, out_degree + 1);
+  for (VertexId u = 0; u < seed; ++u) {
+    VertexId v = (u + 1) % seed;
+    if (u != v) {
+      builder.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (VertexId u = seed; u < n; ++u) {
+    for (uint32_t e = 0; e < out_degree; ++e) {
+      VertexId v;
+      if (targets.empty() || rng.NextBernoulli(0.05)) {
+        // Small uniform escape keeps the graph from being a star chain.
+        v = static_cast<VertexId>(rng.NextBounded(u));
+      } else {
+        v = targets[rng.NextBounded(targets.size())];
+      }
+      if (v == u) v = (v + 1) % std::max<VertexId>(u, 1);
+      // Mostly citation-style (new -> old) edges: out-degree stays bounded
+      // by `out_degree` while in-degree is power-law. A small reversed
+      // fraction keeps the graph cyclic (fraud-style cycles exist) without
+      // collapsing k-hop in-neighborhoods to the whole graph.
+      if (rng.NextBernoulli(0.15)) {
+        builder.AddEdge(v, u);
+      } else {
+        builder.AddEdge(u, v);
+      }
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return builder.Build();
+}
+
+StatusOr<Graph> GenerateRMat(uint32_t scale, uint64_t m, double a, double b,
+                             double c, Rng& rng) {
+  if (scale == 0 || scale > 31) {
+    return Status::InvalidArgument("RMat scale must be in [1, 31]");
+  }
+  double d = 1.0 - a - b - c;
+  if (a < 0 || b < 0 || c < 0 || d < 0) {
+    return Status::InvalidArgument("RMat probabilities must be >= 0, sum <= 1");
+  }
+  const VertexId n = static_cast<VertexId>(1u) << scale;
+  GraphBuilder builder(n);
+  builder.Reserve(m);
+  for (uint64_t e = 0; e < m; ++e) {
+    VertexId u = 0, v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.NextDouble();
+      // Slight per-level noise avoids the artificial staircase R-MAT
+      // produces with fixed quadrant probabilities.
+      double aa = a * (0.95 + 0.1 * rng.NextDouble());
+      double bb = b * (0.95 + 0.1 * rng.NextDouble());
+      double cc = c * (0.95 + 0.1 * rng.NextDouble());
+      double norm = aa + bb + cc + d * (0.95 + 0.1 * rng.NextDouble());
+      aa /= norm;
+      bb /= norm;
+      cc /= norm;
+      u <<= 1;
+      v <<= 1;
+      if (r < aa) {
+        // top-left quadrant: no bits set.
+      } else if (r < aa + bb) {
+        v |= 1;
+      } else if (r < aa + bb + cc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+StatusOr<Graph> GenerateSmallWorld(VertexId n, uint32_t k_out,
+                                   double rewire_p, Rng& rng) {
+  if (n < 3 || k_out == 0 || k_out >= n) {
+    return Status::InvalidArgument("SmallWorld needs n >= 3, 0 < k_out < n");
+  }
+  if (rewire_p < 0 || rewire_p > 1) {
+    return Status::InvalidArgument("SmallWorld rewire_p must be in [0, 1]");
+  }
+  GraphBuilder builder(n);
+  builder.Reserve(static_cast<uint64_t>(n) * k_out);
+  for (VertexId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k_out; ++j) {
+      VertexId v = (u + j) % n;
+      if (rng.NextBernoulli(rewire_p)) {
+        v = static_cast<VertexId>(rng.NextBounded(n));
+        if (v == u) v = (v + 1) % n;
+      }
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+StatusOr<Graph> GenerateGrid(uint32_t rows, uint32_t cols) {
+  if (rows == 0 || cols == 0) {
+    return Status::InvalidArgument("Grid needs rows, cols >= 1");
+  }
+  uint64_t n64 = static_cast<uint64_t>(rows) * cols;
+  if (n64 >= kInvalidVertex) return Status::OutOfRange("Grid too large");
+  GraphBuilder builder(static_cast<VertexId>(n64));
+  auto id = [cols](uint32_t r, uint32_t c) {
+    return static_cast<VertexId>(r) * cols + c;
+  };
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return builder.Build();
+}
+
+StatusOr<Graph> GenerateComplete(VertexId n) {
+  if (n < 2) return Status::InvalidArgument("Complete needs n >= 2");
+  if (n > 4096) {
+    return Status::InvalidArgument("Complete graph capped at n = 4096");
+  }
+  GraphBuilder builder(n);
+  builder.Reserve(static_cast<uint64_t>(n) * (n - 1));
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+StatusOr<Graph> GeneratePath(VertexId n) {
+  if (n < 2) return Status::InvalidArgument("Path needs n >= 2");
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u + 1 < n; ++u) builder.AddEdge(u, u + 1);
+  return builder.Build();
+}
+
+StatusOr<Graph> GenerateCycle(VertexId n) {
+  if (n < 2) return Status::InvalidArgument("Cycle needs n >= 2");
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) builder.AddEdge(u, (u + 1) % n);
+  return builder.Build();
+}
+
+StatusOr<Graph> GenerateLayeredDag(uint32_t layers, uint32_t width,
+                                   uint32_t fanout, Rng& rng) {
+  if (layers < 2 || width == 0 || fanout == 0) {
+    return Status::InvalidArgument(
+        "LayeredDag needs layers >= 2, width > 0, fanout > 0");
+  }
+  uint64_t n64 = static_cast<uint64_t>(layers) * width;
+  if (n64 >= kInvalidVertex) return Status::OutOfRange("LayeredDag too large");
+  GraphBuilder builder(static_cast<VertexId>(n64));
+  uint32_t eff_fanout = std::min(fanout, width);
+  for (uint32_t layer = 0; layer + 1 < layers; ++layer) {
+    for (uint32_t i = 0; i < width; ++i) {
+      VertexId u = layer * width + i;
+      auto picks = rng.SampleWithoutReplacement(width, eff_fanout);
+      for (uint64_t p : picks) {
+        builder.AddEdge(u, (layer + 1) * width + static_cast<VertexId>(p));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace hcpath

@@ -1,0 +1,62 @@
+#ifndef HCPATH_GRAPH_GENERATORS_H_
+#define HCPATH_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// Synthetic graph generators standing in for the paper's SNAP/LAW/
+/// NetworkRepository datasets (see DESIGN.md §5). All generators are
+/// deterministic given the Rng seed and produce directed graphs without
+/// self-loops or duplicate edges.
+
+/// G(n, m) Erdős–Rényi digraph: m distinct directed edges drawn uniformly.
+/// Degree distribution is near-uniform (Friendster-like).
+StatusOr<Graph> GenerateErdosRenyi(VertexId n, uint64_t m, Rng& rng);
+
+/// Directed Barabási–Albert preferential attachment: each new vertex
+/// attaches `out_degree` edges to existing vertices chosen proportionally
+/// to their current degree; a random half of the edges are flipped so both
+/// in- and out-degree are skewed (social-network-like power law).
+StatusOr<Graph> GenerateBarabasiAlbert(VertexId n, uint32_t out_degree,
+                                       Rng& rng);
+
+/// R-MAT (Chakrabarti et al.): recursive quadrant sampling with
+/// probabilities (a, b, c, d), a + b + c + d = 1. Heavier `a` gives a more
+/// skewed, web/Twitter-like graph. 2^scale vertices, `m` edges drawn
+/// (duplicates removed, so the final edge count can be slightly lower).
+StatusOr<Graph> GenerateRMat(uint32_t scale, uint64_t m, double a, double b,
+                             double c, Rng& rng);
+
+/// Directed Watts–Strogatz small world: ring of n vertices, each with
+/// `k_out` forward-arc neighbors; every edge rewired with probability
+/// `rewire_p` to a uniform target. Dense, high-clustering (UK-web-like).
+StatusOr<Graph> GenerateSmallWorld(VertexId n, uint32_t k_out,
+                                   double rewire_p, Rng& rng);
+
+/// rows x cols directed grid with east and south edges; handy in tests
+/// because the number of monotone s-t paths is a closed-form binomial.
+StatusOr<Graph> GenerateGrid(uint32_t rows, uint32_t cols);
+
+/// Complete digraph K_n (all ordered pairs). Worst case for enumeration.
+StatusOr<Graph> GenerateComplete(VertexId n);
+
+/// Simple directed path 0 -> 1 -> ... -> n-1.
+StatusOr<Graph> GeneratePath(VertexId n);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+StatusOr<Graph> GenerateCycle(VertexId n);
+
+/// Layered DAG: `layers` layers of `width` vertices; each vertex in layer i
+/// points to `fanout` random vertices of layer i+1. Path counts explode
+/// combinatorially with depth, mimicking Fig 13's exponential growth.
+StatusOr<Graph> GenerateLayeredDag(uint32_t layers, uint32_t width,
+                                   uint32_t fanout, Rng& rng);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_GRAPH_GENERATORS_H_

@@ -1,0 +1,34 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace hcpath {
+
+Graph::Graph(std::vector<uint64_t> out_offsets, std::vector<VertexId> out_adj,
+             std::vector<uint64_t> in_offsets, std::vector<VertexId> in_adj)
+    : out_offsets_(std::move(out_offsets)),
+      out_adj_(std::move(out_adj)),
+      in_offsets_(std::move(in_offsets)),
+      in_adj_(std::move(in_adj)) {
+  HCPATH_CHECK_EQ(out_offsets_.size(), in_offsets_.size());
+  HCPATH_CHECK(!out_offsets_.empty());
+  HCPATH_CHECK_EQ(out_offsets_.back(), out_adj_.size());
+  HCPATH_CHECK_EQ(in_offsets_.back(), in_adj_.size());
+  HCPATH_CHECK_EQ(out_adj_.size(), in_adj_.size());
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::Edges() const {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  out.reserve(NumEdges());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v : OutNeighbors(u)) out.emplace_back(u, v);
+  }
+  return out;
+}
+
+}  // namespace hcpath

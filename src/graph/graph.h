@@ -1,0 +1,101 @@
+#ifndef HCPATH_GRAPH_GRAPH_H_
+#define HCPATH_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace hcpath {
+
+/// Vertex identifier. Graphs are limited to 2^32 - 2 vertices, which covers
+/// every dataset in the paper while halving index memory vs 64-bit ids.
+using VertexId = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = UINT32_MAX;
+
+/// Direction of traversal: forward uses out-edges of G, backward uses
+/// out-edges of the reverse graph Gr (= in-edges of G).
+enum class Direction { kForward, kBackward };
+
+inline Direction Reverse(Direction d) {
+  return d == Direction::kForward ? Direction::kBackward
+                                  : Direction::kForward;
+}
+
+/// Immutable unweighted directed graph in CSR form, storing both the
+/// out-adjacency (G) and in-adjacency (Gr). Neighbor lists are sorted by
+/// vertex id, enabling O(log d) HasEdge and deterministic iteration.
+///
+/// Construct via GraphBuilder or one of the generators.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays. `out_offsets`/`in_offsets`
+  /// have n+1 entries; adjacency arrays are sorted per vertex.
+  Graph(std::vector<uint64_t> out_offsets, std::vector<VertexId> out_adj,
+        std::vector<uint64_t> in_offsets, std::vector<VertexId> in_adj);
+
+  /// Number of vertices.
+  VertexId NumVertices() const {
+    return out_offsets_.empty()
+               ? 0
+               : static_cast<VertexId>(out_offsets_.size() - 1);
+  }
+  /// Number of directed edges.
+  uint64_t NumEdges() const { return out_adj_.size(); }
+
+  /// Out-neighbors of v in G (sorted).
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    HCPATH_DCHECK(v < NumVertices());
+    return {out_adj_.data() + out_offsets_[v],
+            out_adj_.data() + out_offsets_[v + 1]};
+  }
+
+  /// In-neighbors of v in G (sorted) == out-neighbors of v in Gr.
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    HCPATH_DCHECK(v < NumVertices());
+    return {in_adj_.data() + in_offsets_[v],
+            in_adj_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Neighbors in the requested traversal direction.
+  std::span<const VertexId> Neighbors(VertexId v, Direction d) const {
+    return d == Direction::kForward ? OutNeighbors(v) : InNeighbors(v);
+  }
+
+  uint64_t OutDegree(VertexId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  uint64_t InDegree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+  uint64_t Degree(VertexId v, Direction d) const {
+    return d == Direction::kForward ? OutDegree(v) : InDegree(v);
+  }
+
+  /// True iff the directed edge (u, v) exists; O(log outdeg(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// All edges as (src, dst) pairs, ordered by src then dst.
+  std::vector<std::pair<VertexId, VertexId>> Edges() const;
+
+  /// Approximate resident memory of the CSR arrays.
+  uint64_t MemoryBytes() const {
+    return (out_offsets_.size() + in_offsets_.size()) * sizeof(uint64_t) +
+           (out_adj_.size() + in_adj_.size()) * sizeof(VertexId);
+  }
+
+ private:
+  std::vector<uint64_t> out_offsets_;
+  std::vector<VertexId> out_adj_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<VertexId> in_adj_;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_GRAPH_GRAPH_H_

@@ -1,0 +1,73 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace hcpath {
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  HCPATH_CHECK(u != kInvalidVertex && v != kInvalidVertex);
+  num_vertices_ = std::max(num_vertices_, static_cast<VertexId>(
+                                              std::max(u, v) + 1));
+  edges_.emplace_back(u, v);
+}
+
+StatusOr<Graph> GraphBuilder::Build() {
+  if (num_vertices_ == 0) {
+    // An empty graph with a single isolated vertex keeps offset arrays
+    // well-formed for downstream code.
+    num_vertices_ = 1;
+  }
+  // Drop self-loops.
+  self_loops_dropped_ = 0;
+  auto keep_end = std::remove_if(
+      edges_.begin(), edges_.end(),
+      [this](const std::pair<VertexId, VertexId>& e) {
+        if (e.first == e.second) {
+          ++self_loops_dropped_;
+          return true;
+        }
+        return false;
+      });
+  edges_.erase(keep_end, edges_.end());
+
+  std::sort(edges_.begin(), edges_.end());
+  auto uniq_end = std::unique(edges_.begin(), edges_.end());
+  duplicates_dropped_ = static_cast<uint64_t>(edges_.end() - uniq_end);
+  edges_.erase(uniq_end, edges_.end());
+
+  const VertexId n = num_vertices_;
+  const uint64_t m = edges_.size();
+
+  std::vector<uint64_t> out_offsets(n + 1, 0);
+  std::vector<VertexId> out_adj(m);
+  std::vector<uint64_t> in_offsets(n + 1, 0);
+  std::vector<VertexId> in_adj(m);
+
+  for (const auto& [u, v] : edges_) {
+    ++out_offsets[u + 1];
+    ++in_offsets[v + 1];
+  }
+  for (VertexId i = 0; i < n; ++i) {
+    out_offsets[i + 1] += out_offsets[i];
+    in_offsets[i + 1] += in_offsets[i];
+  }
+  // Edges are sorted by (u, v), so filling out_adj in order keeps each
+  // out-neighbor list sorted.
+  {
+    std::vector<uint64_t> cursor(out_offsets.begin(), out_offsets.end() - 1);
+    for (const auto& [u, v] : edges_) out_adj[cursor[u]++] = v;
+  }
+  // For in_adj, a counting pass over (u, v) sorted by u produces, per
+  // destination v, sources in ascending order as well.
+  {
+    std::vector<uint64_t> cursor(in_offsets.begin(), in_offsets.end() - 1);
+    for (const auto& [u, v] : edges_) in_adj[cursor[v]++] = u;
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return Graph(std::move(out_offsets), std::move(out_adj),
+               std::move(in_offsets), std::move(in_adj));
+}
+
+}  // namespace hcpath

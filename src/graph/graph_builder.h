@@ -1,0 +1,48 @@
+#ifndef HCPATH_GRAPH_GRAPH_BUILDER_H_
+#define HCPATH_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// Accumulates directed edges and finalizes them into a CSR Graph.
+///
+/// Duplicate edges are deduplicated and self-loops dropped at Build() time
+/// (a simple path can never use a self-loop, so keeping them would only
+/// waste index space). Vertex count may be declared up front or inferred
+/// from the largest endpoint.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  explicit GraphBuilder(VertexId num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  /// Adds edge (u, v). Ids beyond the declared vertex count grow the graph.
+  void AddEdge(VertexId u, VertexId v);
+
+  void Reserve(size_t num_edges) { edges_.reserve(num_edges); }
+
+  size_t NumBufferedEdges() const { return edges_.size(); }
+
+  /// Number of self-loops dropped so far (populated by Build).
+  uint64_t self_loops_dropped() const { return self_loops_dropped_; }
+  /// Number of duplicate edges removed (populated by Build).
+  uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+
+  /// Sorts, dedups and builds the CSR graph. The builder is left empty.
+  StatusOr<Graph> Build();
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  uint64_t self_loops_dropped_ = 0;
+  uint64_t duplicates_dropped_ = 0;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_GRAPH_GRAPH_BUILDER_H_

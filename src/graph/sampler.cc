@@ -1,0 +1,52 @@
+#include "graph/sampler.h"
+
+#include "graph/graph_builder.h"
+
+namespace hcpath {
+
+StatusOr<SampledGraph> SampleVerticesInduced(const Graph& g, double fraction,
+                                             Rng& rng) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in (0, 1]");
+  }
+  const VertexId n = g.NumVertices();
+  SampledGraph out;
+  out.old_to_new.assign(n, kInvalidVertex);
+  VertexId kept = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (rng.NextBernoulli(fraction)) {
+      out.old_to_new[v] = kept++;
+      out.new_to_old.push_back(v);
+    }
+  }
+  if (kept < 2) {
+    return Status::FailedPrecondition("sample kept fewer than 2 vertices");
+  }
+  GraphBuilder builder(kept);
+  for (VertexId u = 0; u < n; ++u) {
+    if (out.old_to_new[u] == kInvalidVertex) continue;
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (out.old_to_new[v] == kInvalidVertex) continue;
+      builder.AddEdge(out.old_to_new[u], out.old_to_new[v]);
+    }
+  }
+  auto built = builder.Build();
+  if (!built.ok()) return built.status();
+  out.graph = std::move(*built);
+  return out;
+}
+
+StatusOr<Graph> SampleEdges(const Graph& g, double fraction, Rng& rng) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in (0, 1]");
+  }
+  GraphBuilder builder(g.NumVertices());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (rng.NextBernoulli(fraction)) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace hcpath

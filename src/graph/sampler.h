@@ -1,0 +1,30 @@
+#ifndef HCPATH_GRAPH_SAMPLER_H_
+#define HCPATH_GRAPH_SAMPLER_H_
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// Result of a vertex-induced sample: the subgraph plus the mapping from
+/// new vertex ids back to ids in the original graph.
+struct SampledGraph {
+  Graph graph;
+  std::vector<VertexId> old_to_new;  // kInvalidVertex if dropped
+  std::vector<VertexId> new_to_old;
+};
+
+/// Keeps a uniform random `fraction` of vertices (clamped to (0, 1]) and all
+/// edges between kept vertices, with compacted ids. This is the sampling
+/// scheme of Exp-5 (Fig 11): "randomly sample their vertices ... from 20% to
+/// 100%".
+StatusOr<SampledGraph> SampleVerticesInduced(const Graph& g, double fraction,
+                                             Rng& rng);
+
+/// Keeps a uniform random `fraction` of edges; vertex set unchanged.
+StatusOr<Graph> SampleEdges(const Graph& g, double fraction, Rng& rng);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_GRAPH_SAMPLER_H_

@@ -1,0 +1,50 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/stringx.h"
+
+namespace hcpath {
+
+GraphStats ComputeGraphStats(const Graph& g) {
+  GraphStats s;
+  s.num_vertices = g.NumVertices();
+  s.num_edges = g.NumEdges();
+  if (s.num_vertices == 0) return s;
+  s.avg_degree =
+      static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    uint64_t outd = g.OutDegree(v);
+    uint64_t ind = g.InDegree(v);
+    s.max_out_degree = std::max(s.max_out_degree, outd);
+    s.max_in_degree = std::max(s.max_in_degree, ind);
+    s.max_total_degree = std::max(s.max_total_degree, outd + ind);
+    if (outd + ind == 0) ++s.num_isolated;
+  }
+  return s;
+}
+
+std::vector<uint64_t> OutDegreeHistogram(const Graph& g, size_t buckets) {
+  std::vector<uint64_t> hist(std::max<size_t>(buckets, 1), 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    uint64_t d = g.OutDegree(v);
+    if (d >= hist.size()) {
+      ++hist.back();
+    } else {
+      ++hist[d];
+    }
+  }
+  return hist;
+}
+
+std::string FormatStatsRow(const std::string& name, const GraphStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-6s |V|=%-11s |E|=%-12s davg=%-8.1f dmax=%s",
+                name.c_str(), FormatWithCommas(s.num_vertices).c_str(),
+                FormatWithCommas(s.num_edges).c_str(), s.avg_degree,
+                FormatWithCommas(s.max_total_degree).c_str());
+  return buf;
+}
+
+}  // namespace hcpath

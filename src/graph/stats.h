@@ -1,0 +1,36 @@
+#ifndef HCPATH_GRAPH_STATS_H_
+#define HCPATH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hcpath {
+
+/// Summary statistics matching Table I of the paper (|V|, |E|, d_avg,
+/// d_max), plus a few extras useful for sanity-checking generators.
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  double avg_degree = 0;       // total degree (in+out)/2 per vertex, as in
+                               // Table I's undirected-style d_avg = m/n
+  uint64_t max_out_degree = 0;
+  uint64_t max_in_degree = 0;
+  uint64_t max_total_degree = 0;  // Table I's d_max
+  uint64_t num_isolated = 0;
+};
+
+GraphStats ComputeGraphStats(const Graph& g);
+
+/// Degree histogram: bucket[i] = #vertices with out-degree exactly i, for
+/// i < bucket count; the last bucket aggregates the tail.
+std::vector<uint64_t> OutDegreeHistogram(const Graph& g, size_t buckets);
+
+/// Formats stats as a Table-I-style row.
+std::string FormatStatsRow(const std::string& name, const GraphStats& s);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_GRAPH_STATS_H_

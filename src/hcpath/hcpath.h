@@ -1,0 +1,41 @@
+#ifndef HCPATH_HCPATH_H_
+#define HCPATH_HCPATH_H_
+
+/// \file
+/// Umbrella header for the hcpath library: batch hop-constrained s-t
+/// simple path query processing (Yuan et al., ICDE 2024).
+///
+/// Quick start:
+///
+///   #include "hcpath/hcpath.h"
+///   using namespace hcpath;
+///
+///   Rng rng(42);
+///   Graph g = *GenerateBarabasiAlbert(100000, 6, rng);
+///   std::vector<PathQuery> queries = {{.s = 0, .t = 42, .k = 5}};
+///   BatchPathEnumerator enumerator(g);
+///   BatchOptions options;   // BatchEnum+, gamma = 0.5
+///   auto result = enumerator.Run(queries, options);
+///   // result->path_counts[0] == number of HC-s-t paths of query 0
+
+#include "core/basic_enum.h"
+#include "core/batch_enum.h"
+#include "core/brute_force.h"
+#include "core/clustering.h"
+#include "core/enumerator.h"
+#include "core/options.h"
+#include "core/path.h"
+#include "core/path_enum.h"
+#include "core/query.h"
+#include "core/similarity.h"
+#include "core/stats.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/sampler.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+#endif  // HCPATH_HCPATH_H_

@@ -1,0 +1,31 @@
+#include "index/distance_index.h"
+
+#include "util/timer.h"
+
+namespace hcpath {
+
+void DistanceIndex::Build(const Graph& g,
+                          const std::vector<VertexId>& sources,
+                          const std::vector<VertexId>& targets,
+                          const std::vector<Hop>& hops) {
+  HCPATH_CHECK_EQ(sources.size(), targets.size());
+  HCPATH_CHECK_EQ(sources.size(), hops.size());
+  WallTimer timer;
+  MsBfsResult fwd = MultiSourceBfs(g, sources, hops, Direction::kForward);
+  MsBfsResult bwd = MultiSourceBfs(g, targets, hops, Direction::kBackward);
+  from_source_ = std::move(fwd.per_source);
+  to_target_ = std::move(bwd.per_source);
+  min_from_source_ = std::move(fwd.min_dist);
+  min_to_target_ = std::move(bwd.min_dist);
+  build_seconds_ = timer.ElapsedSeconds();
+}
+
+uint64_t DistanceIndex::MemoryBytes() const {
+  uint64_t total = (min_from_source_.capacity() + min_to_target_.capacity()) *
+                   sizeof(Hop);
+  for (const auto& m : from_source_) total += m.MemoryBytes();
+  for (const auto& m : to_target_) total += m.MemoryBytes();
+  return total;
+}
+
+}  // namespace hcpath

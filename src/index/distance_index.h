@@ -1,0 +1,103 @@
+#ifndef HCPATH_INDEX_DISTANCE_INDEX_H_
+#define HCPATH_INDEX_DISTANCE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bfs/msbfs.h"
+#include "graph/graph.h"
+
+namespace hcpath {
+
+/// The PathEnum-style pruning index for a batch of queries (Section III of
+/// the paper): for every query source s, dist_G(s, v) for all v within the
+/// query's hop constraint, and for every target t, dist_Gr(t, v) likewise.
+/// Built with two multi-source BFSs (Algorithm 1, lines 1-2).
+///
+/// Lookups drive Lemma 3.1 pruning: a neighbor v can extend a forward
+/// prefix of length l for query (s, t, k) only if
+///   dist_Gr(t, v) == dist_G(v, t) <= k - l - 1.
+///
+/// The index also exposes:
+///  * Γ(q) / Γr(q) (Def 4.4) as the sorted key sets of the per-endpoint
+///    maps, reused by query clustering exactly as the paper reuses the
+///    index construction traversals;
+///  * dense min-distance arrays over all sources/targets, used by the
+///    detection traversal and by the kGlobalMin shared-pruning mode.
+class DistanceIndex {
+ public:
+  DistanceIndex() = default;
+
+  /// Builds the index. `sources[i]` / `targets[i]` / `hops[i]` describe
+  /// query i. Sources are BFS'd on G, targets on Gr, both capped at the
+  /// query's hop constraint.
+  void Build(const Graph& g, const std::vector<VertexId>& sources,
+             const std::vector<VertexId>& targets,
+             const std::vector<Hop>& hops);
+
+  size_t num_queries() const { return from_source_.size(); }
+
+  /// Full distance map of source i (dist_G(source_i, v)).
+  const VertexDistMap& FromSourceMap(size_t i) const {
+    return from_source_[i];
+  }
+  /// Full distance map of target i (dist_G(v, target_i), built on Gr).
+  const VertexDistMap& ToTargetMap(size_t i) const { return to_target_[i]; }
+
+  /// dist_G(source_i, v); kUnreachable beyond the cap.
+  Hop DistFromSource(size_t i, VertexId v) const {
+    return from_source_[i].Lookup(v);
+  }
+  /// dist_G(v, target_i) (computed on Gr); kUnreachable beyond the cap.
+  Hop DistToTarget(size_t i, VertexId v) const {
+    return to_target_[i].Lookup(v);
+  }
+
+  /// Distance map of endpoint i in the given search direction:
+  /// kForward -> target map (prunes forward searches),
+  /// kBackward -> source map (prunes backward searches).
+  Hop DistToOpposite(Direction dir, size_t i, VertexId v) const {
+    return dir == Direction::kForward ? DistToTarget(i, v)
+                                      : DistFromSource(i, v);
+  }
+
+  /// Γ(q_i): vertices within hops[i] of source i on G (sorted).
+  const std::vector<VertexId>& Gamma(size_t i) const {
+    return from_source_[i].SortedKeys();
+  }
+  /// Γr(q_i): vertices within hops[i] of target i on Gr (sorted).
+  const std::vector<VertexId>& GammaR(size_t i) const {
+    return to_target_[i].SortedKeys();
+  }
+
+  /// min_i dist_G(source_i, v) — dense, kUnreachable if none.
+  const std::vector<Hop>& MinDistFromAnySource() const {
+    return min_from_source_;
+  }
+  /// min_i dist_G(v, target_i) — dense, kUnreachable if none.
+  const std::vector<Hop>& MinDistToAnyTarget() const {
+    return min_to_target_;
+  }
+
+  /// Dense min-dist array that prunes searches in direction `dir`.
+  const std::vector<Hop>& MinDistToOpposite(Direction dir) const {
+    return dir == Direction::kForward ? min_to_target_ : min_from_source_;
+  }
+
+  /// Seconds spent in Build() (the BuildIndex phase of Fig 9).
+  double build_seconds() const { return build_seconds_; }
+
+  /// Approximate heap bytes.
+  uint64_t MemoryBytes() const;
+
+ private:
+  std::vector<VertexDistMap> from_source_;
+  std::vector<VertexDistMap> to_target_;
+  std::vector<Hop> min_from_source_;
+  std::vector<Hop> min_to_target_;
+  double build_seconds_ = 0;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_INDEX_DISTANCE_INDEX_H_

@@ -1,0 +1,43 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+namespace hcpath {
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  if (!chunks_.empty()) {
+    Chunk& c = chunks_.back();
+    // Align the absolute address, not just the offset: the chunk base is
+    // only guaranteed to be new[]-aligned.
+    uintptr_t base = reinterpret_cast<uintptr_t>(c.data.get());
+    size_t offset =
+        ((base + c.used + align - 1) & ~(uintptr_t(align) - 1)) - base;
+    if (offset + bytes <= c.capacity) {
+      c.used = offset + bytes;
+      bytes_allocated_ += bytes;
+      return c.data.get() + offset;
+    }
+  }
+  // Need a new chunk; oversized requests get a dedicated chunk.
+  size_t cap = std::max(chunk_bytes_, bytes + align);
+  Chunk c;
+  c.data = std::make_unique<char[]>(cap);
+  c.capacity = cap;
+  bytes_reserved_ += cap;
+  chunks_.push_back(std::move(c));
+  Chunk& nc = chunks_.back();
+  uintptr_t base = reinterpret_cast<uintptr_t>(nc.data.get());
+  size_t offset = ((base + align - 1) & ~(uintptr_t(align) - 1)) - base;
+  nc.used = offset + bytes;
+  bytes_allocated_ += bytes;
+  return nc.data.get() + offset;
+}
+
+void Arena::Clear() {
+  chunks_.clear();
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+}
+
+}  // namespace hcpath

@@ -1,0 +1,56 @@
+#ifndef HCPATH_UTIL_ARENA_H_
+#define HCPATH_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hcpath {
+
+/// Chunked bump allocator for short-lived, densely packed allocations
+/// (path storage, join scratch). Individual allocations are never freed;
+/// the whole arena is released at once.
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 1 << 20;  // 1 MiB
+
+  explicit Arena(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Typed helper: allocates an uninitialized array of n T.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Total bytes handed out (excluding per-chunk slack).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total bytes reserved from the system.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// Releases every chunk; all previously returned pointers die.
+  void Clear();
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t capacity = 0;
+    size_t used = 0;
+  };
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_UTIL_ARENA_H_

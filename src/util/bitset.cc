@@ -1,0 +1,41 @@
+#include "util/bitset.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hcpath {
+
+void DynamicBitset::Resize(size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.assign((num_bits + 63) / 64, 0);
+}
+
+void DynamicBitset::Reset() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+size_t DynamicBitset::Count() const {
+  size_t c = 0;
+  for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+  return c;
+}
+
+bool DynamicBitset::Any() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+void DynamicBitset::UnionWith(const DynamicBitset& other) {
+  HCPATH_CHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void DynamicBitset::IntersectWith(const DynamicBitset& other) {
+  HCPATH_CHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+}  // namespace hcpath

@@ -1,0 +1,56 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace hcpath {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_.is_open()) {
+    status_ = Status::IOError("cannot open for writing: " + path);
+  }
+}
+
+std::string CsvWriter::ToField(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!status_.ok()) return;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << Escape(fields[i]);
+  }
+  out_ << '\n';
+  if (!out_) status_ = Status::IOError("write failed");
+}
+
+Status CsvWriter::Close() {
+  if (out_.is_open()) {
+    out_.flush();
+    if (!out_) status_ = Status::IOError("flush failed");
+    out_.close();
+  }
+  return status_;
+}
+
+}  // namespace hcpath

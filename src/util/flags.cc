@@ -1,0 +1,145 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "util/stringx.h"
+
+namespace hcpath {
+
+namespace {
+struct Flag {
+  std::string name;
+  std::string help;
+  std::variant<int64_t*, double*, bool*, std::string*> target;
+  std::string default_repr;
+};
+}  // namespace
+
+struct FlagSet::Impl {
+  std::map<std::string, Flag> flags;
+  // Owned storage for flag values.
+  std::vector<std::unique_ptr<int64_t>> ints;
+  std::vector<std::unique_ptr<double>> doubles;
+  std::vector<std::unique_ptr<bool>> bools;
+  std::vector<std::unique_ptr<std::string>> strings;
+};
+
+FlagSet::FlagSet() : impl_(new Impl) {}
+FlagSet::~FlagSet() { delete impl_; }
+
+int64_t* FlagSet::AddInt64(const std::string& name, int64_t default_value,
+                           const std::string& help) {
+  impl_->ints.push_back(std::make_unique<int64_t>(default_value));
+  int64_t* p = impl_->ints.back().get();
+  impl_->flags[name] = Flag{name, help, p, std::to_string(default_value)};
+  return p;
+}
+
+double* FlagSet::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  impl_->doubles.push_back(std::make_unique<double>(default_value));
+  double* p = impl_->doubles.back().get();
+  impl_->flags[name] = Flag{name, help, p, std::to_string(default_value)};
+  return p;
+}
+
+bool* FlagSet::AddBool(const std::string& name, bool default_value,
+                       const std::string& help) {
+  impl_->bools.push_back(std::make_unique<bool>(default_value));
+  bool* p = impl_->bools.back().get();
+  impl_->flags[name] = Flag{name, help, p, default_value ? "true" : "false"};
+  return p;
+}
+
+std::string* FlagSet::AddString(const std::string& name,
+                                const std::string& default_value,
+                                const std::string& help) {
+  impl_->strings.push_back(std::make_unique<std::string>(default_value));
+  std::string* p = impl_->strings.back().get();
+  impl_->flags[name] = Flag{name, help, p, default_value};
+  return p;
+}
+
+namespace {
+Status AssignFlag(Flag& flag, std::string_view value) {
+  if (std::holds_alternative<int64_t*>(flag.target)) {
+    auto v = ParseInt64(value);
+    if (!v.ok()) return v.status();
+    *std::get<int64_t*>(flag.target) = *v;
+  } else if (std::holds_alternative<double*>(flag.target)) {
+    auto v = ParseDouble(value);
+    if (!v.ok()) return v.status();
+    *std::get<double*>(flag.target) = *v;
+  } else if (std::holds_alternative<bool*>(flag.target)) {
+    if (value == "true" || value == "1") {
+      *std::get<bool*>(flag.target) = true;
+    } else if (value == "false" || value == "0") {
+      *std::get<bool*>(flag.target) = false;
+    } else {
+      return Status::InvalidArgument("bad bool for --" + flag.name + ": " +
+                                     std::string(value));
+    }
+  } else {
+    *std::get<std::string*>(flag.target) = std::string(value);
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected positional argument: " +
+                                     std::string(arg));
+    }
+    arg.remove_prefix(2);
+    if (arg == "help") {
+      std::fprintf(stderr, "%s", Usage().c_str());
+      return Status::NotFound("--help requested");
+    }
+    std::string name;
+    std::string_view value;
+    bool has_value = false;
+    size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = arg.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = std::string(arg);
+    }
+    auto it = impl_->flags.find(name);
+    if (it == impl_->flags.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (std::holds_alternative<bool*>(flag.target)) {
+        *std::get<bool*>(flag.target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for --" + name);
+      }
+      value = argv[++i];
+    }
+    HCPATH_RETURN_NOT_OK(AssignFlag(flag, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Usage() const {
+  std::string out = "Flags:\n";
+  for (const auto& [name, flag] : impl_->flags) {
+    out += "  --" + name + " (default: " + flag.default_repr + ")  " +
+           flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace hcpath

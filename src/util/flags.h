@@ -1,0 +1,51 @@
+#ifndef HCPATH_UTIL_FLAGS_H_
+#define HCPATH_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace hcpath {
+
+/// Minimal command-line flag registry for bench/example binaries.
+///
+/// Usage:
+///   FlagSet flags;
+///   int64_t* n = flags.AddInt64("n", 100, "query set size");
+///   HCPATH_CHECK(flags.Parse(argc, argv).ok());
+///
+/// Accepted syntax: --name=value, --name value, and --flag (bools only).
+class FlagSet {
+ public:
+  FlagSet();
+  ~FlagSet();
+  FlagSet(const FlagSet&) = delete;
+  FlagSet& operator=(const FlagSet&) = delete;
+
+  int64_t* AddInt64(const std::string& name, int64_t default_value,
+                    const std::string& help);
+  double* AddDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  bool* AddBool(const std::string& name, bool default_value,
+                const std::string& help);
+  std::string* AddString(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help);
+
+  /// Parses argv; unknown flags and malformed values produce errors.
+  /// "--help" prints usage and returns a NotFound status the caller can use
+  /// to exit cleanly.
+  Status Parse(int argc, char** argv);
+
+  /// Usage text for all registered flags.
+  std::string Usage() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_UTIL_FLAGS_H_

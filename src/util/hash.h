@@ -1,0 +1,41 @@
+#ifndef HCPATH_UTIL_HASH_H_
+#define HCPATH_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hcpath {
+
+/// Finalizer from SplitMix64; an excellent cheap integer mixer used for
+/// open-addressing tables throughout the library.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// 32-bit convenience wrapper over Mix64.
+inline uint32_t Mix32(uint32_t x) {
+  return static_cast<uint32_t>(Mix64(x) >> 32);
+}
+
+/// Boost-style hash combiner for composing multi-field hashes.
+inline void HashCombine(uint64_t& seed, uint64_t v) {
+  seed ^= Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// FNV-1a over raw bytes; used to fingerprint path sets in tests.
+inline uint64_t FnvHashBytes(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace hcpath
+
+#endif  // HCPATH_UTIL_HASH_H_

@@ -1,0 +1,76 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace hcpath {
+
+void Histogram::Add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sorted_valid_ = false;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sorted_valid_ = false;
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Histogram::Min() const {
+  HCPATH_CHECK(!samples_.empty());
+  EnsureSorted();
+  return sorted_.front();
+}
+
+double Histogram::Max() const {
+  HCPATH_CHECK(!samples_.empty());
+  EnsureSorted();
+  return sorted_.back();
+}
+
+double Histogram::Stddev() const {
+  if (samples_.size() < 2) return 0;
+  double m = Mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Histogram::Percentile(double q) const {
+  HCPATH_CHECK(!samples_.empty());
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  if (rank > 0) --rank;
+  return sorted_[rank];
+}
+
+std::string Histogram::Summary() const {
+  if (samples_.empty()) return "n=0";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.4g p50=%.4g p95=%.4g max=%.4g", count(),
+                Mean(), Percentile(0.5), Percentile(0.95), Max());
+  return buf;
+}
+
+}  // namespace hcpath

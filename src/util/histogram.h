@@ -1,0 +1,40 @@
+#ifndef HCPATH_UTIL_HISTOGRAM_H_
+#define HCPATH_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hcpath {
+
+/// Accumulates scalar samples and reports summary statistics. Used by the
+/// bench harness to report per-query time distributions.
+class Histogram {
+ public:
+  void Add(double v);
+  void Merge(const Histogram& other);
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Stddev() const;
+  /// q in [0,1]; nearest-rank percentile. Requires at least one sample.
+  double Percentile(double q) const;
+
+  /// One-line summary: "n=.. mean=.. p50=.. p95=.. max=..".
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_UTIL_HISTOGRAM_H_

@@ -1,0 +1,90 @@
+#ifndef HCPATH_UTIL_LOGGING_H_
+#define HCPATH_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hcpath {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum level emitted to stderr (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (with timestamp, level and
+/// source location) on destruction. LogLevel::kFatal aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a disabled log statement while keeping the << chain compiling.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace hcpath
+
+#define HCPATH_LOG_INTERNAL(level) \
+  ::hcpath::internal::LogMessage(level, __FILE__, __LINE__)
+
+#define LOG_DEBUG() HCPATH_LOG_INTERNAL(::hcpath::LogLevel::kDebug)
+#define LOG_INFO() HCPATH_LOG_INTERNAL(::hcpath::LogLevel::kInfo)
+#define LOG_WARNING() HCPATH_LOG_INTERNAL(::hcpath::LogLevel::kWarning)
+#define LOG_ERROR() HCPATH_LOG_INTERNAL(::hcpath::LogLevel::kError)
+#define LOG_FATAL() HCPATH_LOG_INTERNAL(::hcpath::LogLevel::kFatal)
+
+/// CHECK aborts with a diagnostic when `cond` is false; it is active in all
+/// build types because enumeration invariants guard correctness, not speed.
+#define HCPATH_CHECK(cond)                                            \
+  if (!(cond))                                                        \
+  HCPATH_LOG_INTERNAL(::hcpath::LogLevel::kFatal)                     \
+      << "Check failed: " #cond " "
+
+#define HCPATH_CHECK_EQ(a, b) HCPATH_CHECK((a) == (b))
+#define HCPATH_CHECK_NE(a, b) HCPATH_CHECK((a) != (b))
+#define HCPATH_CHECK_LT(a, b) HCPATH_CHECK((a) < (b))
+#define HCPATH_CHECK_LE(a, b) HCPATH_CHECK((a) <= (b))
+#define HCPATH_CHECK_GT(a, b) HCPATH_CHECK((a) > (b))
+#define HCPATH_CHECK_GE(a, b) HCPATH_CHECK((a) >= (b))
+
+/// DCHECK compiles away in release builds; use on hot paths.
+#ifndef NDEBUG
+#define HCPATH_DCHECK(cond) HCPATH_CHECK(cond)
+#else
+#define HCPATH_DCHECK(cond) \
+  if (false) ::hcpath::internal::NullStream()
+#endif
+
+#endif  // HCPATH_UTIL_LOGGING_H_

@@ -1,0 +1,101 @@
+#include "util/rng.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace hcpath {
+
+namespace {
+uint64_t SplitMix64Next(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64Next(sm);
+  // xoshiro256++ must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  HCPATH_CHECK_GT(bound, 0u);
+  // Lemire's method: multiply-shift with rejection of the biased region.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  HCPATH_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [lo, hi] wrapped; draw directly.
+  if (span == 0) return static_cast<int64_t>(Next());
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  HCPATH_CHECK_LE(k, n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 2 >= n) {
+    // Dense case: shuffle a full permutation prefix.
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(all);
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: rejection sample distinct values.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    uint64_t v = NextBounded(n);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+Rng Rng::Split() { return Rng(Next() ^ 0xa3c59ac2f1c3b7e9ULL); }
+
+}  // namespace hcpath

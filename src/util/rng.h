@@ -1,0 +1,56 @@
+#ifndef HCPATH_UTIL_RNG_H_
+#define HCPATH_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hcpath {
+
+/// Deterministic xoshiro256++ PRNG seeded through SplitMix64.
+///
+/// Every randomized component in hcpath (generators, workloads, samplers)
+/// takes an explicit Rng so experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound); bound must be > 0. Uses Lemire's
+  /// nearly-divisionless rejection method.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in arbitrary order.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  /// Splits off an independently seeded child stream.
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_UTIL_RNG_H_

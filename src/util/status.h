@@ -1,0 +1,116 @@
+#ifndef HCPATH_UTIL_STATUS_H_
+#define HCPATH_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hcpath {
+
+/// Error categories used across the library. Mirrors the usual
+/// database-engine convention (Arrow/RocksDB style): cheap, exception-free
+/// error propagation through return values.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A Status carries either success (`ok()`) or an error code plus message.
+/// All fallible public APIs in hcpath return Status or StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Holds either a value of type T or an error Status. Modeled after
+/// absl::StatusOr / arrow::Result.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from Status by design, matching absl::StatusOr,
+  /// so `return value;` and `return Status::...;` both work.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; callers must check ok() first (enforced in debug
+  /// builds by the standard library's optional assertions).
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates errors to the caller: `HCPATH_RETURN_NOT_OK(DoThing());`
+#define HCPATH_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::hcpath::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+}  // namespace hcpath
+
+#endif  // HCPATH_UTIL_STATUS_H_

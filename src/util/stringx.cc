@@ -1,0 +1,127 @@
+#include "util/stringx.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hcpath {
+
+std::vector<std::string_view> Split(std::string_view s, char sep,
+                                    bool keep_empty) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) pos = s.size();
+    std::string_view field = s.substr(start, pos - start);
+    if (keep_empty || !field.empty()) out.push_back(field);
+    if (pos == s.size()) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+StatusOr<int64_t> ParseInt64(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return Status::InvalidArgument("empty integer");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) return Status::OutOfRange("integer overflow: " + buf);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("bad integer: " + buf);
+  }
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<uint64_t> ParseUint64(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return Status::InvalidArgument("empty integer");
+  if (s[0] == '-') return Status::InvalidArgument("negative unsigned");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno == ERANGE) return Status::OutOfRange("integer overflow: " + buf);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("bad integer: " + buf);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+StatusOr<double> ParseDouble(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return Status::InvalidArgument("empty double");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) return Status::OutOfRange("double overflow: " + buf);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("bad double: " + buf);
+  }
+  return v;
+}
+
+std::string FormatWithCommas(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i >= lead && (i - lead) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[u]);
+  }
+  return buf;
+}
+
+}  // namespace hcpath

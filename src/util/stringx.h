@@ -1,0 +1,40 @@
+#ifndef HCPATH_UTIL_STRINGX_H_
+#define HCPATH_UTIL_STRINGX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hcpath {
+
+/// Splits `s` on `sep`, dropping empty fields when `keep_empty` is false.
+std::vector<std::string_view> Split(std::string_view s, char sep,
+                                    bool keep_empty = false);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict integer / double parsers that reject trailing garbage.
+StatusOr<int64_t> ParseInt64(std::string_view s);
+StatusOr<uint64_t> ParseUint64(std::string_view s);
+StatusOr<double> ParseDouble(std::string_view s);
+
+/// Formats n with thousands separators ("1,234,567") for table output.
+std::string FormatWithCommas(uint64_t n);
+
+/// Human-readable byte count ("3.2 MiB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_UTIL_STRINGX_H_

@@ -1,0 +1,48 @@
+#ifndef HCPATH_WORKLOAD_DATASET_REGISTRY_H_
+#define HCPATH_WORKLOAD_DATASET_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// One named synthetic stand-in for a paper dataset (Table I). The
+/// generator family and density are matched to the original's character;
+/// sizes are scaled to laptop budgets (DESIGN.md §5 records the mapping).
+struct DatasetSpec {
+  std::string name;         ///< paper short name: EP, SL, ..., FS
+  std::string full_name;    ///< paper dataset: Epinions, Slashdot, ...
+  std::string generator;    ///< "ba", "rmat", "er", "ws"
+  uint64_t paper_vertices;  ///< |V| in Table I
+  uint64_t paper_edges;     ///< |E| in Table I
+  VertexId base_vertices;   ///< stand-in |V| at scale 1
+  uint64_t base_edges;      ///< stand-in |E| target at scale 1
+  double skew;              ///< R-MAT `a` parameter / generator skew knob
+  /// Hop range recommended for benches on this dataset; dense stand-ins
+  /// use smaller k to keep result sizes laptop-friendly.
+  int bench_k_min = 4;
+  int bench_k_max = 7;
+};
+
+/// All twelve stand-ins in Table I order.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Spec by short name ("EP" ... "FS").
+StatusOr<DatasetSpec> FindDataset(const std::string& name);
+
+/// Instantiates a stand-in at `scale` (scales |V| and |E| linearly, min
+/// 0.05). Deterministic for a given (name, scale, seed).
+StatusOr<Graph> MakeDataset(const std::string& name, double scale,
+                            uint64_t seed);
+
+/// Default small subset used by quick bench runs: EP SL BK BS (plus TW FS
+/// stand-ins for the scalability experiment).
+std::vector<std::string> DefaultBenchDatasets();
+
+}  // namespace hcpath
+
+#endif  // HCPATH_WORKLOAD_DATASET_REGISTRY_H_

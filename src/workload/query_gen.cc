@@ -1,0 +1,49 @@
+#include "workload/query_gen.h"
+
+#include "bfs/bfs.h"
+
+namespace hcpath {
+
+StatusOr<std::vector<PathQuery>> GenerateRandomQueries(
+    const Graph& g, size_t count, const QueryGenOptions& options, Rng& rng) {
+  if (g.NumVertices() < 2) {
+    return Status::FailedPrecondition("graph too small for queries");
+  }
+  if (options.k_min < 1 || options.k_max < options.k_min ||
+      options.k_max > kMaxHops) {
+    return Status::InvalidArgument("bad k range");
+  }
+  std::vector<PathQuery> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    bool found = false;
+    for (int attempt = 0; attempt < options.max_tries; ++attempt) {
+      const VertexId s =
+          static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+      if (g.OutDegree(s) == 0) continue;
+      const int k = static_cast<int>(
+          rng.NextInt(options.k_min, options.k_max));
+      VertexDistMap reach = HopCappedBfs(g, s, static_cast<Hop>(k),
+                                         Direction::kForward);
+      // Collect admissible targets: within k hops, not s itself, at least
+      // min_distance away.
+      std::vector<VertexId> candidates;
+      candidates.reserve(reach.size());
+      reach.ForEach([&](VertexId v, Hop d) {
+        if (v != s && d >= options.min_distance) candidates.push_back(v);
+      });
+      if (candidates.empty()) continue;
+      const VertexId t = candidates[rng.NextBounded(candidates.size())];
+      out.push_back({s, t, k});
+      found = true;
+      break;
+    }
+    if (!found) {
+      return Status::FailedPrecondition(
+          "could not generate a reachable query after max_tries attempts");
+    }
+  }
+  return out;
+}
+
+}  // namespace hcpath

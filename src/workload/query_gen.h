@@ -1,0 +1,32 @@
+#ifndef HCPATH_WORKLOAD_QUERY_GEN_H_
+#define HCPATH_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// Random query workload matching the paper's setup (Section V,
+/// "Settings"): queries are random (s, t) pairs such that s reaches t
+/// within k hops, with k uniform in [k_min, k_max].
+struct QueryGenOptions {
+  int k_min = 4;
+  int k_max = 7;
+  /// Attempts per query before giving up (graphs with tiny reach).
+  int max_tries = 200;
+  /// Skip targets closer than this many hops (avoids trivial queries).
+  int min_distance = 1;
+};
+
+/// Generates `count` random reachable queries. Fails with
+/// FailedPrecondition when the graph cannot produce them (e.g. edgeless).
+StatusOr<std::vector<PathQuery>> GenerateRandomQueries(
+    const Graph& g, size_t count, const QueryGenOptions& options, Rng& rng);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_WORKLOAD_QUERY_GEN_H_

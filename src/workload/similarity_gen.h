@@ -1,0 +1,42 @@
+#ifndef HCPATH_WORKLOAD_SIMILARITY_GEN_H_
+#define HCPATH_WORKLOAD_SIMILARITY_GEN_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// A query set with a calibrated average pairwise similarity µ_Q (Exp-1 /
+/// Fig 7 varies µ_Q from 0% to 90%).
+struct SimilarQuerySet {
+  std::vector<PathQuery> queries;
+  double achieved_mu = 0;
+};
+
+/// Generates `count` queries whose average similarity µ_Q approximates
+/// `target_mu`:
+///  * a fraction f of the queries is drawn from a few "pools" built around
+///    seed queries (same or 1-hop-perturbed endpoints -> µ close to 1
+///    within a pool);
+///  * the rest are independent random queries (µ close to 0 across);
+///  * f is calibrated by bisection against the measured µ_Q (computed with
+///    the same index + similarity code the algorithms use).
+///
+/// `target_mu` = 0 yields a purely random set. Measurement is exact for
+/// small graphs and sketched for large ones, so `achieved_mu` is reported
+/// back for the bench to print.
+StatusOr<SimilarQuerySet> GenerateQueriesWithSimilarity(
+    const Graph& g, size_t count, int k_min, int k_max, double target_mu,
+    Rng& rng);
+
+/// Measures µ_Q of an arbitrary query set (builds a throwaway index).
+double MeasureAverageSimilarity(const Graph& g,
+                                const std::vector<PathQuery>& queries);
+
+}  // namespace hcpath
+
+#endif  // HCPATH_WORKLOAD_SIMILARITY_GEN_H_

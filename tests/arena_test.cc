@@ -1,0 +1,73 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace hcpath {
+namespace {
+
+TEST(Arena, AllocationsAreWritable) {
+  Arena arena;
+  char* p = static_cast<char*>(arena.Allocate(100));
+  std::memset(p, 0xAB, 100);
+  EXPECT_EQ(static_cast<unsigned char>(p[99]), 0xAB);
+}
+
+TEST(Arena, AlignmentRespected) {
+  Arena arena;
+  for (size_t align : {1ul, 2ul, 4ul, 8ul, 16ul, 64ul}) {
+    void* p = arena.Allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u);
+  }
+}
+
+TEST(Arena, LargeAllocationGetsDedicatedChunk) {
+  Arena arena(1024);
+  void* p = arena.Allocate(1 << 20);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 1u << 20);
+}
+
+TEST(Arena, ManySmallAllocationsDontOverlap) {
+  Arena arena(256);
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 1000; ++i) {
+    int* p = arena.AllocateArray<int>(4);
+    p[0] = i;
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(ptrs[i][0], i);
+}
+
+TEST(Arena, AccountingTracksUsage) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  arena.Allocate(64);
+  arena.Allocate(64);
+  EXPECT_GE(arena.bytes_allocated(), 128u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(Arena, ClearReleasesEverything) {
+  Arena arena;
+  arena.Allocate(1000);
+  arena.Clear();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  // Usable again after clear.
+  void* p = arena.Allocate(16);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(Arena, ZeroByteAllocationIsValid) {
+  Arena arena;
+  void* a = arena.Allocate(0);
+  void* b = arena.Allocate(0);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  EXPECT_NE(a, b);  // each zero-size allocation still gets a unique byte
+}
+
+}  // namespace
+}  // namespace hcpath

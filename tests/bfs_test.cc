@@ -1,0 +1,101 @@
+#include "bfs/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace hcpath {
+namespace {
+
+TEST(HopCappedBfs, DistancesOnPathGraph) {
+  auto g = GeneratePath(6);  // 0 -> 1 -> ... -> 5
+  VertexDistMap d = HopCappedBfs(*g, 0, 3, Direction::kForward);
+  EXPECT_EQ(d.Lookup(0), 0);
+  EXPECT_EQ(d.Lookup(1), 1);
+  EXPECT_EQ(d.Lookup(3), 3);
+  EXPECT_EQ(d.Lookup(4), kUnreachable);  // beyond the cap
+}
+
+TEST(HopCappedBfs, BackwardUsesReverseEdges) {
+  auto g = GeneratePath(5);
+  VertexDistMap d = HopCappedBfs(*g, 4, 10, Direction::kBackward);
+  EXPECT_EQ(d.Lookup(0), 4);
+  EXPECT_EQ(d.Lookup(4), 0);
+  VertexDistMap fwd = HopCappedBfs(*g, 4, 10, Direction::kForward);
+  EXPECT_EQ(fwd.Lookup(0), kUnreachable);
+}
+
+TEST(HopCappedBfs, DenseMatchesSparse) {
+  Rng rng(1);
+  auto g = GenerateErdosRenyi(300, 2000, rng);
+  for (VertexId s : {0u, 7u, 299u}) {
+    VertexDistMap sparse = HopCappedBfs(*g, s, 4, Direction::kForward);
+    std::vector<Hop> dense =
+        HopCappedBfsDense(*g, s, 4, Direction::kForward);
+    for (VertexId v = 0; v < g->NumVertices(); ++v) {
+      EXPECT_EQ(sparse.Lookup(v), dense[v]) << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+TEST(HopCappedBfs, ZeroCapOnlySource) {
+  auto g = GeneratePath(3);
+  VertexDistMap d = HopCappedBfs(*g, 0, 0, Direction::kForward);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.Lookup(0), 0);
+}
+
+TEST(ReachableWithin, Basic) {
+  auto g = GeneratePath(5);
+  EXPECT_TRUE(ReachableWithin(*g, 0, 4, 4));
+  EXPECT_FALSE(ReachableWithin(*g, 0, 4, 3));
+  EXPECT_FALSE(ReachableWithin(*g, 4, 0, 10));
+  EXPECT_TRUE(ReachableWithin(*g, 2, 2, 0));  // trivially reachable
+  EXPECT_FALSE(ReachableWithin(*g, 0, 99, 5));  // out of range
+}
+
+TEST(VertexDistMap, InsertMinKeepsSmaller) {
+  VertexDistMap m;
+  m.InsertMin(5, 3);
+  m.InsertMin(5, 1);
+  m.InsertMin(5, 2);
+  EXPECT_EQ(m.Lookup(5), 1);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(VertexDistMap, GrowsBeyondInitialCapacity) {
+  VertexDistMap m;
+  for (VertexId v = 0; v < 10000; ++v) m.InsertMin(v, v % 250);
+  EXPECT_EQ(m.size(), 10000u);
+  EXPECT_EQ(m.Lookup(9999), 9999 % 250);
+  EXPECT_EQ(m.Lookup(12345), kUnreachable);
+}
+
+TEST(VertexDistMap, SortedKeysAscendingAndCached) {
+  VertexDistMap m;
+  m.InsertMin(9, 1);
+  m.InsertMin(3, 1);
+  m.InsertMin(7, 1);
+  const auto& keys = m.SortedKeys();
+  EXPECT_EQ(keys, (std::vector<VertexId>{3, 7, 9}));
+  m.InsertMin(1, 1);
+  EXPECT_EQ(m.SortedKeys().front(), 1u);  // cache invalidated by insert
+}
+
+TEST(VertexDistMap, ForEachVisitsAll) {
+  VertexDistMap m;
+  m.InsertMin(2, 5);
+  m.InsertMin(4, 6);
+  size_t count = 0;
+  Hop sum = 0;
+  m.ForEach([&](VertexId, Hop d) {
+    ++count;
+    sum = static_cast<Hop>(sum + d);
+  });
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(sum, 11);
+}
+
+}  // namespace
+}  // namespace hcpath

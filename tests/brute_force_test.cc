@@ -1,0 +1,91 @@
+#include "core/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "test_graphs.h"
+
+namespace hcpath {
+namespace {
+
+TEST(BruteForce, PathGraphHasExactlyOnePath) {
+  auto g = GeneratePath(5);
+  auto paths = BruteForcePaths(*g, {0, 4, 4});
+  ASSERT_TRUE(paths.ok());
+  ASSERT_EQ(paths->size(), 1u);
+  EXPECT_EQ(paths->Length(0), 4u);
+}
+
+TEST(BruteForce, HopConstraintCutsOff) {
+  auto g = GeneratePath(5);
+  auto paths = BruteForcePaths(*g, {0, 4, 3});
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 0u);
+}
+
+TEST(BruteForce, GridPathCountIsBinomial) {
+  // On a 3x3 east/south grid, monotone paths corner to corner = C(4,2) = 6,
+  // all of length exactly 4.
+  auto g = GenerateGrid(3, 3);
+  auto paths = BruteForcePaths(*g, {0, 8, 4});
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 6u);
+  auto fewer = BruteForcePaths(*g, {0, 8, 3});
+  EXPECT_EQ(fewer->size(), 0u);
+}
+
+TEST(BruteForce, CompleteGraphCountMatchesFormula) {
+  // K_4, s-t paths with <= 3 hops: direct (1), one intermediate (2),
+  // two intermediates (2) = 5.
+  auto g = GenerateComplete(4);
+  auto paths = BruteForcePaths(*g, {0, 3, 3});
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 5u);
+}
+
+TEST(BruteForce, PaperExampleCounts) {
+  Graph g = PaperFigure1Graph();
+  std::vector<uint64_t> expected = {3, 3, 1, 2, 2};
+  auto queries = PaperFigure1Queries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto paths = BruteForcePaths(g, queries[i]);
+    ASSERT_TRUE(paths.ok());
+    EXPECT_EQ(paths->size(), expected[i])
+        << "query " << i << " " << queries[i].ToString();
+  }
+}
+
+TEST(BruteForce, PaperExampleQ0ExactPaths) {
+  Graph g = PaperFigure1Graph();
+  auto paths = BruteForcePaths(g, {0, 11, 5});
+  ASSERT_TRUE(paths.ok());
+  auto sorted = paths->ToSortedVectors();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0], (std::vector<VertexId>{0, 1, 7, 10, 12, 11}));
+  EXPECT_EQ(sorted[1], (std::vector<VertexId>{0, 4, 9, 3, 6, 11}));
+  EXPECT_EQ(sorted[2], (std::vector<VertexId>{0, 4, 9, 15, 6, 11}));
+}
+
+TEST(BruteForce, AllEmittedPathsAreSimpleAndValid) {
+  Rng rng(5);
+  auto g = GenerateErdosRenyi(40, 250, rng);
+  auto paths = BruteForcePaths(*g, {0, 7, 5});
+  ASSERT_TRUE(paths.ok());
+  for (size_t i = 0; i < paths->size(); ++i) {
+    PathView p = (*paths)[i];
+    EXPECT_TRUE(IsSimplePath(p));
+    EXPECT_TRUE(PathExistsInGraph(*g, p));
+    EXPECT_EQ(p.front(), 0u);
+    EXPECT_EQ(p.back(), 7u);
+    EXPECT_LE(p.size() - 1, 5u);
+  }
+}
+
+TEST(BruteForce, RejectsInvalidQuery) {
+  auto g = GeneratePath(5);
+  EXPECT_FALSE(BruteForcePaths(*g, {0, 0, 3}).ok());
+  EXPECT_FALSE(BruteForcePaths(*g, {0, 4, 0}).ok());
+}
+
+}  // namespace
+}  // namespace hcpath

@@ -1,0 +1,79 @@
+#include "core/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace hcpath {
+namespace {
+
+PathSet MakePaths(int n) {
+  PathSet ps;
+  for (int i = 0; i < n; ++i) {
+    ps.Add(std::vector<VertexId>{static_cast<VertexId>(i),
+                                 static_cast<VertexId>(i + 1)});
+  }
+  return ps;
+}
+
+TEST(ResultCache, PutGetRelease) {
+  ResultCache cache;
+  cache.Init({2, 1}, 0);
+  ASSERT_TRUE(cache.Put(0, MakePaths(3)).ok());
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_EQ(cache.Get(0).size(), 3u);
+  cache.Release(0);
+  EXPECT_TRUE(cache.Contains(0));  // one consumer left
+  cache.Release(0);
+  EXPECT_FALSE(cache.Contains(0));  // evicted at zero
+}
+
+TEST(ResultCache, ZeroRefcountDropsImmediately) {
+  ResultCache cache;
+  cache.Init({0}, 0);
+  ASSERT_TRUE(cache.Put(0, MakePaths(5)).ok());
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_EQ(cache.current_vertices(), 0u);
+}
+
+TEST(ResultCache, TracksVertexAccounting) {
+  ResultCache cache;
+  cache.Init({1, 1}, 0);
+  ASSERT_TRUE(cache.Put(0, MakePaths(4)).ok());  // 8 vertices
+  EXPECT_EQ(cache.current_vertices(), 8u);
+  ASSERT_TRUE(cache.Put(1, MakePaths(2)).ok());  // +4
+  EXPECT_EQ(cache.current_vertices(), 12u);
+  EXPECT_EQ(cache.peak_vertices(), 12u);
+  cache.Release(0);
+  EXPECT_EQ(cache.current_vertices(), 4u);
+  EXPECT_EQ(cache.peak_vertices(), 12u);  // peak sticks
+  EXPECT_EQ(cache.total_paths_cached(), 6u);
+}
+
+TEST(ResultCache, CapacityEnforced) {
+  ResultCache cache;
+  cache.Init({1, 1}, /*max_vertices=*/10);
+  ASSERT_TRUE(cache.Put(0, MakePaths(4)).ok());  // 8 vertices
+  Status st = cache.Put(1, MakePaths(4));        // would be 16 > 10
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResultCache, EvictionFreesCapacity) {
+  ResultCache cache;
+  cache.Init({1, 1}, 10);
+  ASSERT_TRUE(cache.Put(0, MakePaths(4)).ok());
+  cache.Release(0);
+  ASSERT_TRUE(cache.Put(1, MakePaths(4)).ok());  // fits after eviction
+}
+
+TEST(ResultCache, DrainedReflectsOutstandingRefs) {
+  ResultCache cache;
+  cache.Init({1, 2}, 0);
+  EXPECT_FALSE(cache.Drained());
+  cache.Release(0);
+  cache.Release(1);
+  EXPECT_FALSE(cache.Drained());
+  cache.Release(1);
+  EXPECT_TRUE(cache.Drained());
+}
+
+}  // namespace
+}  // namespace hcpath

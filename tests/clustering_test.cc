@@ -1,0 +1,95 @@
+#include "core/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "core/basic_enum.h"
+#include "test_graphs.h"
+
+namespace hcpath {
+namespace {
+
+TEST(Clustering, MergesOnlyAboveGamma) {
+  SimilarityMatrix sim(4);
+  sim.Set(0, 1, 0.9);
+  sim.Set(2, 3, 0.85);
+  sim.Set(0, 2, 0.1);
+  auto clusters = ClusterQueries(sim, 0.5);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(clusters[1], (std::vector<size_t>{2, 3}));
+}
+
+TEST(Clustering, GammaOneKeepsSingletons) {
+  SimilarityMatrix sim(3);
+  sim.Set(0, 1, 0.99);
+  auto clusters = ClusterQueries(sim, 1.0);
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(Clustering, GammaZeroMergesConnectedQueries) {
+  SimilarityMatrix sim(3);
+  sim.Set(0, 1, 0.4);
+  sim.Set(1, 2, 0.4);
+  sim.Set(0, 2, 0.4);
+  auto clusters = ClusterQueries(sim, 0.0);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 3u);
+}
+
+TEST(Clustering, AverageLinkageStopsChaining) {
+  // 0-1 similar, 2 similar to 1 only; with average linkage and a high
+  // threshold, 2 must not chain into {0,1} because δ({0,1},{2}) averages
+  // in the dissimilar pair (0,2).
+  SimilarityMatrix sim(3);
+  sim.Set(0, 1, 0.95);
+  sim.Set(1, 2, 0.8);
+  sim.Set(0, 2, 0.0);
+  auto clusters = ClusterQueries(sim, 0.7);
+  // δ({0,1},{2}) = (0.8 + 0.0)/2 = 0.4 < 0.7 -> stays out.
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(clusters[1], (std::vector<size_t>{2}));
+}
+
+TEST(Clustering, EveryQueryInExactlyOneCluster) {
+  SimilarityMatrix sim(10);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = i + 1; j < 10; ++j) {
+      sim.Set(i, j, (i / 5 == j / 5) ? 0.9 : 0.05);
+    }
+  }
+  auto clusters = ClusterQueries(sim, 0.5);
+  std::vector<int> seen(10, 0);
+  for (const auto& c : clusters) {
+    for (size_t q : c) ++seen[q];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(Clustering, PaperExampleFormsTwoGroups) {
+  // Example 4.1: with γ = 0.8, Q splits into {q0, q1, q2} and {q3, q4}.
+  Graph g = PaperFigure1Graph();
+  auto queries = PaperFigure1Queries();
+  DistanceIndex index;
+  BuildBatchIndex(g, queries, &index, nullptr);
+  SimilarityMatrix sim =
+      ComputeSimilarityMatrix(g, queries, index, SimilarityMode::kExact);
+  auto clusters = ClusterQueries(sim, 0.8);
+  ASSERT_EQ(clusters.size(), 2u);
+  // Order-insensitive comparison.
+  std::vector<std::vector<size_t>> expect = {{0, 1, 2}, {3, 4}};
+  EXPECT_TRUE((clusters[0] == expect[0] && clusters[1] == expect[1]) ||
+              (clusters[0] == expect[1] && clusters[1] == expect[0]))
+      << "got " << clusters.size() << " clusters";
+}
+
+TEST(Clustering, SingleQueryTrivial) {
+  SimilarityMatrix sim(1);
+  auto clusters = ClusterQueries(sim, 0.5);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0], (std::vector<size_t>{0}));
+}
+
+}  // namespace
+}  // namespace hcpath

@@ -1,0 +1,84 @@
+#include "index/distance_index.h"
+
+#include <gtest/gtest.h>
+
+#include "bfs/bfs.h"
+#include "graph/generators.h"
+
+namespace hcpath {
+namespace {
+
+TEST(DistanceIndex, MatchesDirectBfs) {
+  Rng grng(3);
+  auto g = GenerateErdosRenyi(300, 2500, grng);
+  std::vector<VertexId> sources = {0, 10, 20};
+  std::vector<VertexId> targets = {5, 15, 25};
+  std::vector<Hop> hops = {4, 5, 6};
+
+  DistanceIndex index;
+  index.Build(*g, sources, targets, hops);
+  ASSERT_EQ(index.num_queries(), 3u);
+
+  for (size_t i = 0; i < 3; ++i) {
+    VertexDistMap fwd =
+        HopCappedBfs(*g, sources[i], hops[i], Direction::kForward);
+    VertexDistMap bwd =
+        HopCappedBfs(*g, targets[i], hops[i], Direction::kBackward);
+    fwd.ForEach([&](VertexId v, Hop d) {
+      EXPECT_EQ(index.DistFromSource(i, v), d);
+    });
+    bwd.ForEach([&](VertexId v, Hop d) {
+      EXPECT_EQ(index.DistToTarget(i, v), d);
+    });
+  }
+}
+
+TEST(DistanceIndex, GammaSetsAreSortedReachSets) {
+  auto g = GeneratePath(10);
+  DistanceIndex index;
+  index.Build(*g, {0}, {9}, {3});
+  // Γ(q): within 3 hops of vertex 0 forward: {0,1,2,3}.
+  EXPECT_EQ(index.Gamma(0), (std::vector<VertexId>{0, 1, 2, 3}));
+  // Γr(q): within 3 hops of 9 on the reverse graph: {6,7,8,9}.
+  EXPECT_EQ(index.GammaR(0), (std::vector<VertexId>{6, 7, 8, 9}));
+}
+
+TEST(DistanceIndex, MinArraysAggregateAllEndpoints) {
+  auto g = GeneratePath(8);
+  DistanceIndex index;
+  index.Build(*g, {0, 4}, {7, 7}, {2, 2});
+  const auto& min_from = index.MinDistFromAnySource();
+  EXPECT_EQ(min_from[0], 0);
+  EXPECT_EQ(min_from[5], 1);  // from source 4
+  EXPECT_EQ(min_from[3], kUnreachable);  // 3 hops from 0, 2-hop cap
+  const auto& min_to = index.MinDistToAnyTarget();
+  EXPECT_EQ(min_to[7], 0);
+  EXPECT_EQ(min_to[5], 2);
+  EXPECT_EQ(min_to[4], kUnreachable);
+}
+
+TEST(DistanceIndex, DistToOppositeSelectsDirection) {
+  auto g = GeneratePath(5);
+  DistanceIndex index;
+  index.Build(*g, {0}, {4}, {4});
+  // Forward search prunes against the target map.
+  EXPECT_EQ(index.DistToOpposite(Direction::kForward, 0, 2), 2);
+  // Backward search prunes against the source map.
+  EXPECT_EQ(index.DistToOpposite(Direction::kBackward, 0, 2), 2);
+  EXPECT_EQ(&index.MinDistToOpposite(Direction::kForward),
+            &index.MinDistToAnyTarget());
+  EXPECT_EQ(&index.MinDistToOpposite(Direction::kBackward),
+            &index.MinDistFromAnySource());
+}
+
+TEST(DistanceIndex, BuildTimeAndMemoryReported) {
+  Rng grng(5);
+  auto g = GenerateErdosRenyi(500, 4000, grng);
+  DistanceIndex index;
+  index.Build(*g, {0, 1}, {2, 3}, {5, 5});
+  EXPECT_GE(index.build_seconds(), 0.0);
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace hcpath

@@ -1,0 +1,78 @@
+#include "graph/edge_list_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace hcpath {
+namespace {
+
+TEST(EdgeListIO, TextRoundTrip) {
+  Rng rng(1);
+  auto g = GenerateErdosRenyi(50, 200, rng);
+  std::string path = ::testing::TempDir() + "/g.txt";
+  ASSERT_TRUE(SaveEdgeListText(*g, path).ok());
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->Edges(), g->Edges());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIO, BinaryRoundTrip) {
+  Rng rng(2);
+  auto g = GenerateErdosRenyi(80, 400, rng);
+  std::string path = ::testing::TempDir() + "/g.bin";
+  ASSERT_TRUE(SaveEdgeListBinary(*g, path).ok());
+  auto loaded = LoadEdgeListBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->Edges(), g->Edges());
+  EXPECT_EQ(loaded->NumVertices(), g->NumVertices());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIO, TextAcceptsCommentsAndTabs) {
+  std::string path = ::testing::TempDir() + "/snap.txt";
+  {
+    std::ofstream out(path);
+    out << "# SNAP comment\n% another comment\n0\t1\n1 2\n\n2\t0\n";
+  }
+  auto g = LoadEdgeListText(path);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumEdges(), 3u);
+  EXPECT_TRUE(g->HasEdge(1, 2));
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIO, TextRejectsMalformedLine) {
+  std::string path = ::testing::TempDir() + "/bad.txt";
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot_an_edge\n";
+  }
+  EXPECT_FALSE(LoadEdgeListText(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIO, MissingFileIsIOError) {
+  auto g = LoadEdgeListText("/no/such/file.txt");
+  EXPECT_EQ(g.status().code(), StatusCode::kIOError);
+  auto gb = LoadEdgeListBinary("/no/such/file.bin");
+  EXPECT_EQ(gb.status().code(), StatusCode::kIOError);
+}
+
+TEST(EdgeListIO, BinaryRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a graph";
+  }
+  EXPECT_FALSE(LoadEdgeListBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hcpath

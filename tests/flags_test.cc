@@ -1,0 +1,92 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hcpath {
+namespace {
+
+std::vector<char*> MakeArgv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(Flags, ParsesAllTypes) {
+  FlagSet flags;
+  int64_t* n = flags.AddInt64("n", 10, "count");
+  double* gamma = flags.AddDouble("gamma", 0.5, "threshold");
+  bool* verbose = flags.AddBool("verbose", false, "verbosity");
+  std::string* name = flags.AddString("name", "EP", "dataset");
+
+  std::vector<std::string> args = {"--n=42", "--gamma", "0.9", "--verbose",
+                                   "--name=FS"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(*n, 42);
+  EXPECT_DOUBLE_EQ(*gamma, 0.9);
+  EXPECT_TRUE(*verbose);
+  EXPECT_EQ(*name, "FS");
+}
+
+TEST(Flags, DefaultsWhenUnset) {
+  FlagSet flags;
+  int64_t* n = flags.AddInt64("n", 7, "count");
+  std::vector<std::string> args;
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(*n, 7);
+}
+
+TEST(Flags, UnknownFlagFails) {
+  FlagSet flags;
+  flags.AddInt64("n", 1, "");
+  std::vector<std::string> args = {"--bogus=1"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(Flags, BadValueFails) {
+  FlagSet flags;
+  flags.AddInt64("n", 1, "");
+  std::vector<std::string> args = {"--n=notanumber"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(Flags, ExplicitBoolValues) {
+  FlagSet flags;
+  bool* b = flags.AddBool("b", true, "");
+  std::vector<std::string> args = {"--b=false"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_FALSE(*b);
+}
+
+TEST(Flags, MissingValueFails) {
+  FlagSet flags;
+  flags.AddInt64("n", 1, "");
+  std::vector<std::string> args = {"--n"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(Flags, PositionalArgumentRejected) {
+  FlagSet flags;
+  std::vector<std::string> args = {"stray"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(Flags, UsageListsFlags) {
+  FlagSet flags;
+  flags.AddInt64("queries", 100, "number of queries");
+  std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--queries"), std::string::npos);
+  EXPECT_NE(usage.find("number of queries"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcpath

@@ -1,0 +1,86 @@
+// Parameterized sweep over the clustering threshold γ: results must be
+// invariant, cluster counts monotone, and sharing confined to clusters.
+
+#include <gtest/gtest.h>
+
+#include "hcpath/hcpath.h"
+#include "test_graphs.h"
+
+namespace hcpath {
+namespace {
+
+class GammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaSweep, ResultsInvariantUnderGamma) {
+  const double gamma = GetParam();
+  Graph g = PaperFigure1Graph();
+  auto queries = PaperFigure1Queries();
+  BatchPathEnumerator enumerator(g);
+  BatchOptions opt;
+  opt.gamma = gamma;
+  opt.algorithm = Algorithm::kBatchEnum;
+  auto result = enumerator.Run(queries, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->path_counts, (std::vector<uint64_t>{3, 3, 1, 2, 2}));
+  EXPECT_GE(result->stats.num_clusters, 1u);
+  EXPECT_LE(result->stats.num_clusters, queries.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, GammaSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                           0.6, 0.7, 0.8, 0.9, 1.0));
+
+TEST(GammaMonotonicity, ClusterCountGrowsWithGamma) {
+  Rng rng(3);
+  Graph g = *GenerateSmallWorld(500, 4, 0.05, rng);
+  // Two hotspots of similar queries plus noise.
+  std::vector<PathQuery> queries;
+  for (int i = 0; i < 5; ++i) {
+    queries.push_back({10, static_cast<VertexId>(24 + i), 5});
+    queries.push_back({300, static_cast<VertexId>(314 + i), 5});
+  }
+  BatchPathEnumerator enumerator(g);
+  uint64_t prev = 0;
+  for (double gamma : {0.1, 0.5, 0.95}) {
+    BatchOptions opt;
+    opt.gamma = gamma;
+    auto result = enumerator.Run(queries, opt);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->stats.num_clusters, prev);
+    prev = result->stats.num_clusters;
+  }
+}
+
+TEST(GammaExtremes, GammaOneDisablesSharingAcrossDistinctQueries) {
+  Graph g = PaperFigure1Graph();
+  // Distinct queries never reach δ > 1, so every cluster is a singleton
+  // and no dominating nodes can be detected.
+  std::vector<PathQuery> queries = {{0, 11, 5}, {2, 13, 5}};
+  BatchPathEnumerator enumerator(g);
+  BatchOptions opt;
+  opt.gamma = 1.0;
+  opt.algorithm = Algorithm::kBatchEnum;
+  auto result = enumerator.Run(queries, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.dominating_nodes, 0u);
+  EXPECT_EQ(result->stats.num_clusters, 2u);
+}
+
+TEST(GammaExtremes, PaperExampleDetectsSharingAtPaperGamma) {
+  // Example 4.2: at γ = 0.8 the cluster {q0, q1, q2} yields dominating
+  // queries q_{v1,2} and q_{v4,2} on G.
+  Graph g = PaperFigure1Graph();
+  auto queries = PaperFigure1Queries();
+  BatchPathEnumerator enumerator(g);
+  BatchOptions opt;
+  opt.gamma = 0.8;
+  opt.algorithm = Algorithm::kBatchEnum;
+  auto result = enumerator.Run(queries, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.num_clusters, 2u);
+  EXPECT_GE(result->stats.dominating_nodes, 2u);
+  EXPECT_GT(result->stats.shortcut_splices, 0u);
+}
+
+}  // namespace
+}  // namespace hcpath

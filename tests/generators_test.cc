@@ -1,0 +1,122 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace hcpath {
+namespace {
+
+TEST(Generators, ErdosRenyiExactEdgeCount) {
+  Rng rng(1);
+  auto g = GenerateErdosRenyi(100, 500, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 100u);
+  EXPECT_EQ(g->NumEdges(), 500u);
+}
+
+TEST(Generators, ErdosRenyiRejectsBadArgs) {
+  Rng rng(1);
+  EXPECT_FALSE(GenerateErdosRenyi(1, 10, rng).ok());
+  EXPECT_FALSE(GenerateErdosRenyi(10, 1000, rng).ok());  // > n*(n-1)
+}
+
+TEST(Generators, ErdosRenyiDeterministicPerSeed) {
+  Rng a(7), b(7);
+  auto g1 = GenerateErdosRenyi(50, 200, a);
+  auto g2 = GenerateErdosRenyi(50, 200, b);
+  EXPECT_EQ(g1->Edges(), g2->Edges());
+}
+
+TEST(Generators, BarabasiAlbertIsSkewed) {
+  Rng rng(3);
+  auto g = GenerateBarabasiAlbert(5000, 5, rng);
+  ASSERT_TRUE(g.ok());
+  GraphStats s = ComputeGraphStats(*g);
+  EXPECT_EQ(s.num_vertices, 5000u);
+  // Preferential attachment must produce hubs: max total degree far above
+  // the mean.
+  EXPECT_GT(static_cast<double>(s.max_total_degree), 8 * s.avg_degree);
+}
+
+TEST(Generators, BarabasiAlbertRejectsBadArgs) {
+  Rng rng(1);
+  EXPECT_FALSE(GenerateBarabasiAlbert(1, 3, rng).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(100, 0, rng).ok());
+}
+
+TEST(Generators, RMatShapeAndSkew) {
+  Rng rng(5);
+  auto g = GenerateRMat(12, 20000, 0.57, 0.19, 0.19, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 4096u);
+  EXPECT_GT(g->NumEdges(), 15000u);  // some duplicates removed
+  GraphStats s = ComputeGraphStats(*g);
+  EXPECT_GT(static_cast<double>(s.max_total_degree), 5 * s.avg_degree);
+}
+
+TEST(Generators, RMatRejectsBadArgs) {
+  Rng rng(1);
+  EXPECT_FALSE(GenerateRMat(0, 100, 0.5, 0.2, 0.2, rng).ok());
+  EXPECT_FALSE(GenerateRMat(32, 100, 0.5, 0.2, 0.2, rng).ok());
+  EXPECT_FALSE(GenerateRMat(10, 100, 0.9, 0.2, 0.2, rng).ok());  // sum > 1
+}
+
+TEST(Generators, SmallWorldDegreeIsUniform) {
+  Rng rng(2);
+  auto g = GenerateSmallWorld(1000, 8, 0.1, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 1000u);
+  // Every vertex emits exactly k_out edges (minus the rare dedup).
+  EXPECT_NEAR(static_cast<double>(g->NumEdges()), 8000.0, 100.0);
+}
+
+TEST(Generators, SmallWorldRejectsBadArgs) {
+  Rng rng(1);
+  EXPECT_FALSE(GenerateSmallWorld(2, 1, 0.1, rng).ok());
+  EXPECT_FALSE(GenerateSmallWorld(100, 100, 0.1, rng).ok());
+  EXPECT_FALSE(GenerateSmallWorld(100, 5, 1.5, rng).ok());
+}
+
+TEST(Generators, GridHasMonotonePathCounts) {
+  auto g = GenerateGrid(3, 3);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 9u);
+  // Each interior vertex has east+south edges: total = 2*rows*cols-rows-cols.
+  EXPECT_EQ(g->NumEdges(), 12u);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(0, 3));
+  EXPECT_FALSE(g->HasEdge(1, 0));
+}
+
+TEST(Generators, CompleteGraph) {
+  auto g = GenerateComplete(5);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 20u);
+  EXPECT_FALSE(GenerateComplete(1).ok());
+  EXPECT_FALSE(GenerateComplete(5000).ok());
+}
+
+TEST(Generators, PathAndCycle) {
+  auto p = GeneratePath(4);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->NumEdges(), 3u);
+  auto c = GenerateCycle(4);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->NumEdges(), 4u);
+  EXPECT_TRUE(c->HasEdge(3, 0));
+}
+
+TEST(Generators, LayeredDagIsAcyclicByConstruction) {
+  Rng rng(9);
+  auto g = GenerateLayeredDag(4, 10, 3, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 40u);
+  // Edges only go from layer i to layer i+1.
+  for (auto [u, v] : g->Edges()) {
+    EXPECT_EQ(v / 10, u / 10 + 1);
+  }
+}
+
+}  // namespace
+}  // namespace hcpath

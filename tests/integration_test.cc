@@ -1,0 +1,184 @@
+// Integration and failure-injection coverage that spans modules:
+// dataset registry -> workload -> algorithms, resource-cap behavior,
+// and end-to-end invariants on realistic stand-ins.
+
+#include <gtest/gtest.h>
+
+#include "hcpath/hcpath.h"
+#include "ksp/dksp.h"
+#include "ksp/onepass.h"
+#include "workload/dataset_registry.h"
+#include "workload/query_gen.h"
+#include "workload/similarity_gen.h"
+
+namespace hcpath {
+namespace {
+
+TEST(Integration, RegistryWorkloadBatchPipeline) {
+  auto g = MakeDataset("EP", 0.1, 3);
+  ASSERT_TRUE(g.ok());
+  Rng rng(11);
+  QueryGenOptions qopt;
+  qopt.k_min = 4;
+  qopt.k_max = 6;
+  auto queries = GenerateRandomQueries(*g, 25, qopt, rng);
+  ASSERT_TRUE(queries.ok());
+
+  BatchPathEnumerator enumerator(*g);
+  std::vector<uint64_t> reference;
+  for (Algorithm algo :
+       {Algorithm::kPathEnum, Algorithm::kBasicEnum,
+        Algorithm::kBasicEnumPlus, Algorithm::kBatchEnum,
+        Algorithm::kBatchEnumPlus}) {
+    BatchOptions opt;
+    opt.algorithm = algo;
+    auto result = enumerator.Run(*queries, opt);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algo);
+    if (reference.empty()) {
+      reference = result->path_counts;
+      uint64_t total = result->TotalPaths();
+      EXPECT_GT(total, 0u);
+    } else {
+      EXPECT_EQ(result->path_counts, reference) << AlgorithmName(algo);
+    }
+  }
+}
+
+TEST(Integration, SimilarityWorkloadSharesComputation) {
+  auto g = MakeDataset("EP", 0.1, 3);
+  ASSERT_TRUE(g.ok());
+  Rng rng(13);
+  auto qs = GenerateQueriesWithSimilarity(*g, 30, 4, 6, 0.9, rng);
+  ASSERT_TRUE(qs.ok());
+  ASSERT_GT(qs->achieved_mu, 0.5);
+
+  BatchPathEnumerator enumerator(*g);
+  BatchOptions basic;
+  basic.algorithm = Algorithm::kBasicEnum;
+  auto b = enumerator.Run(qs->queries, basic);
+  ASSERT_TRUE(b.ok());
+
+  BatchOptions batch;
+  batch.algorithm = Algorithm::kBatchEnum;
+  auto s = enumerator.Run(qs->queries, batch);
+  ASSERT_TRUE(s.ok());
+
+  EXPECT_EQ(b->path_counts, s->path_counts);
+  // The shared run must expand strictly fewer edges on a 90%-similar set.
+  EXPECT_LT(s->stats.edges_expanded, b->stats.edges_expanded);
+  EXPECT_GT(s->stats.shortcut_splices, 0u);
+}
+
+TEST(Integration, DominatingCapBoundsSharingGraph) {
+  Graph g = *MakeDataset("EP", 0.05, 3);
+  Rng rng(17);
+  auto qs = GenerateQueriesWithSimilarity(g, 20, 4, 6, 0.9, rng);
+  ASSERT_TRUE(qs.ok());
+
+  BatchPathEnumerator enumerator(g);
+  BatchOptions capped;
+  capped.algorithm = Algorithm::kBatchEnum;
+  capped.max_dominating_per_query = 0.1;  // ~2 dominating nodes total
+  auto c = enumerator.Run(qs->queries, capped);
+  ASSERT_TRUE(c.ok());
+
+  BatchOptions uncapped;
+  uncapped.algorithm = Algorithm::kBatchEnum;
+  uncapped.max_dominating_per_query = 0;  // unlimited
+  auto u = enumerator.Run(qs->queries, uncapped);
+  ASSERT_TRUE(u.ok());
+
+  EXPECT_EQ(c->path_counts, u->path_counts);  // caps never change results
+  EXPECT_LE(c->stats.dominating_nodes, 3u);
+  EXPECT_GE(u->stats.dominating_nodes, c->stats.dominating_nodes);
+}
+
+TEST(Integration, ResourceCapsFailWithoutCrashing) {
+  auto g = GenerateComplete(12);
+  ASSERT_TRUE(g.ok());
+  std::vector<PathQuery> queries = {{0, 11, 6}, {1, 11, 6}};
+  BatchPathEnumerator enumerator(*g);
+  for (Algorithm algo : {Algorithm::kPathEnum, Algorithm::kBasicEnum,
+                         Algorithm::kBatchEnumPlus}) {
+    BatchOptions opt;
+    opt.algorithm = algo;
+    opt.max_paths_per_query = 50;
+    auto result = enumerator.Run(queries, opt);
+    ASSERT_FALSE(result.ok()) << AlgorithmName(algo);
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(Integration, KspBaselinesAgreeWithBatchOnStandIn) {
+  auto g = MakeDataset("EP", 0.05, 3);
+  ASSERT_TRUE(g.ok());
+  Rng rng(19);
+  QueryGenOptions qopt;
+  qopt.k_min = 3;
+  qopt.k_max = 4;
+  auto queries = GenerateRandomQueries(*g, 5, qopt, rng);
+  ASSERT_TRUE(queries.ok());
+
+  BatchPathEnumerator enumerator(*g);
+  BatchOptions opt;
+  auto reference = enumerator.Run(*queries, opt);
+  ASSERT_TRUE(reference.ok());
+
+  for (size_t i = 0; i < queries->size(); ++i) {
+    CountingSink dksp(1), onepass(1);
+    ASSERT_TRUE(DkspEnumerate(*g, (*queries)[i], 0, &dksp, {}).ok());
+    ASSERT_TRUE(OnePassEnumerate(*g, (*queries)[i], 0, &onepass, {}).ok());
+    EXPECT_EQ(dksp.counts()[0], reference->path_counts[i]) << i;
+    EXPECT_EQ(onepass.counts()[0], reference->path_counts[i]) << i;
+  }
+}
+
+TEST(Integration, HubHeavyStandInStaysCorrect) {
+  // WT is the saturated/hub-heavy corner: reach sets collide, clusters are
+  // giant, outputs are large. Counts must still agree across algorithms.
+  auto g = MakeDataset("WT", 0.1, 3);
+  ASSERT_TRUE(g.ok());
+  Rng rng(23);
+  QueryGenOptions qopt;
+  qopt.k_min = 3;
+  qopt.k_max = 4;
+  auto queries = GenerateRandomQueries(*g, 10, qopt, rng);
+  ASSERT_TRUE(queries.ok());
+
+  BatchPathEnumerator enumerator(*g);
+  BatchOptions basic;
+  basic.algorithm = Algorithm::kBasicEnum;
+  auto b = enumerator.Run(*queries, basic);
+  ASSERT_TRUE(b.ok());
+  BatchOptions batch;
+  batch.algorithm = Algorithm::kBatchEnumPlus;
+  auto s = enumerator.Run(*queries, batch);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(b->path_counts, s->path_counts);
+  EXPECT_GT(b->TotalPaths(), 0u);
+}
+
+TEST(Integration, ScalabilitySamplingPreservesCorrectness) {
+  auto g = MakeDataset("EP", 0.1, 3);
+  ASSERT_TRUE(g.ok());
+  Rng srng(29);
+  auto sampled = SampleVerticesInduced(*g, 0.5, srng);
+  ASSERT_TRUE(sampled.ok());
+  Rng rng(31);
+  QueryGenOptions qopt;
+  qopt.k_min = 4;
+  qopt.k_max = 5;
+  auto queries = GenerateRandomQueries(sampled->graph, 10, qopt, rng);
+  ASSERT_TRUE(queries.ok());
+  BatchPathEnumerator enumerator(sampled->graph);
+  BatchOptions a, b;
+  a.algorithm = Algorithm::kBasicEnum;
+  b.algorithm = Algorithm::kBatchEnum;
+  auto ra = enumerator.Run(*queries, a);
+  auto rb = enumerator.Run(*queries, b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->path_counts, rb->path_counts);
+}
+
+}  // namespace
+}  // namespace hcpath

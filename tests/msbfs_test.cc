@@ -1,0 +1,93 @@
+#include "bfs/msbfs.h"
+
+#include <gtest/gtest.h>
+
+#include "bfs/bfs.h"
+#include "graph/generators.h"
+
+namespace hcpath {
+namespace {
+
+class MsBfsEquivalence : public ::testing::TestWithParam<int> {};
+
+// Property: multi-source BFS must match per-source single BFS exactly,
+// across source counts that exercise one and several 64-wide waves.
+TEST_P(MsBfsEquivalence, MatchesSingleSourceBfs) {
+  const int num_sources = GetParam();
+  Rng grng(17);
+  auto g = GenerateBarabasiAlbert(800, 4, grng);
+  ASSERT_TRUE(g.ok());
+
+  Rng rng(23);
+  std::vector<VertexId> sources;
+  std::vector<Hop> caps;
+  for (int i = 0; i < num_sources; ++i) {
+    sources.push_back(static_cast<VertexId>(rng.NextBounded(800)));
+    caps.push_back(static_cast<Hop>(2 + rng.NextBounded(4)));
+  }
+
+  for (Direction dir : {Direction::kForward, Direction::kBackward}) {
+    MsBfsResult ms = MultiSourceBfs(*g, sources, caps, dir);
+    ASSERT_EQ(ms.per_source.size(), sources.size());
+    for (size_t i = 0; i < sources.size(); ++i) {
+      VertexDistMap single = HopCappedBfs(*g, sources[i], caps[i], dir);
+      EXPECT_EQ(ms.per_source[i].size(), single.size())
+          << "source " << i << " size mismatch";
+      single.ForEach([&](VertexId v, Hop d) {
+        EXPECT_EQ(ms.per_source[i].Lookup(v), d)
+            << "source " << sources[i] << " v=" << v;
+      });
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SourceCounts, MsBfsEquivalence,
+                         ::testing::Values(1, 2, 63, 64, 65, 150));
+
+TEST(MsBfs, MinDistIsPointwiseMinimum) {
+  Rng grng(31);
+  auto g = GenerateErdosRenyi(400, 3000, grng);
+  std::vector<VertexId> sources = {1, 5, 9};
+  std::vector<Hop> caps = {4, 4, 4};
+  MsBfsResult ms = MultiSourceBfs(*g, sources, caps, Direction::kForward);
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    Hop expected = kUnreachable;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      expected = std::min(expected, ms.per_source[i].Lookup(v));
+    }
+    EXPECT_EQ(ms.min_dist[v], expected) << "v=" << v;
+  }
+}
+
+TEST(MsBfs, DuplicateSourcesShareOneTraversal) {
+  Rng grng(37);
+  auto g = GenerateErdosRenyi(200, 1500, grng);
+  std::vector<VertexId> sources = {3, 3, 3};
+  std::vector<Hop> caps = {2, 4, 3};
+  MsBfsResult ms = MultiSourceBfs(*g, sources, caps, Direction::kForward);
+  // Each copy is capped at its own k even though the BFS ran to max cap.
+  VertexDistMap d2 = HopCappedBfs(*g, 3, 2, Direction::kForward);
+  VertexDistMap d4 = HopCappedBfs(*g, 3, 4, Direction::kForward);
+  EXPECT_EQ(ms.per_source[0].size(), d2.size());
+  EXPECT_EQ(ms.per_source[1].size(), d4.size());
+}
+
+TEST(MsBfs, EmptySourcesYieldEmptyResult) {
+  Rng grng(41);
+  auto g = GenerateErdosRenyi(50, 200, grng);
+  MsBfsResult ms = MultiSourceBfs(*g, {}, {}, Direction::kForward);
+  EXPECT_TRUE(ms.per_source.empty());
+  for (Hop d : ms.min_dist) EXPECT_EQ(d, kUnreachable);
+}
+
+TEST(MsBfs, CapZeroDiscoversOnlySources) {
+  auto g = GeneratePath(10);
+  MsBfsResult ms = MultiSourceBfs(*g, {2, 7}, {0, 0}, Direction::kForward);
+  EXPECT_EQ(ms.per_source[0].size(), 1u);
+  EXPECT_EQ(ms.per_source[1].size(), 1u);
+  EXPECT_EQ(ms.min_dist[2], 0);
+  EXPECT_EQ(ms.min_dist[3], kUnreachable);
+}
+
+}  // namespace
+}  // namespace hcpath

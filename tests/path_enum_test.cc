@@ -1,0 +1,126 @@
+#include "core/path_enum.h"
+
+#include <gtest/gtest.h>
+
+#include "bfs/bfs.h"
+#include "core/brute_force.h"
+#include "graph/generators.h"
+#include "test_graphs.h"
+
+namespace hcpath {
+namespace {
+
+void ExpectMatchesOracle(const Graph& g, const PathQuery& q,
+                         bool optimized) {
+  CollectingSink got(1);
+  SingleQueryOptions opt;
+  opt.optimized_order = optimized;
+  ASSERT_TRUE(PathEnumQuery(g, q, opt, 0, &got, nullptr).ok());
+  auto expected = BruteForcePaths(g, q);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(got.paths(0).ToSortedVectors(), expected->ToSortedVectors())
+      << q.ToString() << " optimized=" << optimized;
+}
+
+TEST(PathEnum, MatchesOracleOnPaperExample) {
+  Graph g = PaperFigure1Graph();
+  for (const PathQuery& q : PaperFigure1Queries()) {
+    ExpectMatchesOracle(g, q, false);
+    ExpectMatchesOracle(g, q, true);
+  }
+}
+
+TEST(PathEnum, MatchesOracleOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    auto g = GenerateErdosRenyi(60, 400, rng);
+    Rng qrng(seed + 100);
+    for (int i = 0; i < 10; ++i) {
+      VertexId s = static_cast<VertexId>(qrng.NextBounded(60));
+      VertexId t = static_cast<VertexId>(qrng.NextBounded(60));
+      if (s == t) continue;
+      int k = static_cast<int>(1 + qrng.NextBounded(6));
+      ExpectMatchesOracle(*g, {s, t, k}, false);
+      ExpectMatchesOracle(*g, {s, t, k}, true);
+    }
+  }
+}
+
+TEST(PathEnum, KEqualsOneFindsDirectEdgeOnly) {
+  Graph g = PaperFigure1Graph();
+  CollectingSink sink(1);
+  ASSERT_TRUE(PathEnumQuery(g, {0, 1, 1}, {}, 0, &sink, nullptr).ok());
+  ASSERT_EQ(sink.paths(0).size(), 1u);
+  EXPECT_EQ(sink.paths(0).Length(0), 1u);
+  CollectingSink none(1);
+  ASSERT_TRUE(PathEnumQuery(g, {0, 9, 1}, {}, 0, &none, nullptr).ok());
+  EXPECT_EQ(none.paths(0).size(), 0u);
+}
+
+TEST(PathEnum, UnreachableTargetYieldsNothingQuickly) {
+  auto g = GeneratePath(10);
+  CollectingSink sink(1);
+  BatchStats stats;
+  ASSERT_TRUE(PathEnumQuery(*g, {9, 0, 8}, {}, 0, &sink, &stats).ok());
+  EXPECT_EQ(sink.paths(0).size(), 0u);
+  EXPECT_EQ(stats.edges_expanded, 0u);  // early-out before any search
+}
+
+TEST(PathEnum, StatsArePopulated) {
+  Graph g = PaperFigure1Graph();
+  CountingSink sink(1);
+  BatchStats stats;
+  ASSERT_TRUE(PathEnumQuery(g, {0, 11, 5}, {}, 0, &sink, &stats).ok());
+  EXPECT_EQ(stats.paths_emitted, 3u);
+  EXPECT_GT(stats.edges_expanded, 0u);
+  EXPECT_GT(stats.total_seconds, 0.0);
+}
+
+TEST(PathEnum, MaxPathsGivesResourceExhausted) {
+  auto g = GenerateComplete(10);
+  CountingSink sink(1);
+  SingleQueryOptions opt;
+  opt.max_paths = 5;
+  Status st = PathEnumQuery(*g, {0, 9, 5}, opt, 0, &sink, nullptr);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ChooseForwardBudget, BalancedWithoutOptimization) {
+  auto g = GeneratePath(10);
+  VertexDistMap fs = HopCappedBfs(*g, 0, 7, Direction::kForward);
+  VertexDistMap tt = HopCappedBfs(*g, 7, 7, Direction::kBackward);
+  EXPECT_EQ(ChooseForwardBudget(fs, tt, 7, false), 4);
+  EXPECT_EQ(ChooseForwardBudget(fs, tt, 6, false), 3);
+}
+
+TEST(ChooseForwardBudget, OptimizedShiftsTowardCheaperSide) {
+  // Forward side: 4-ary out-tree rooted at s (reach grows exponentially
+  // per level). Backward side of the deepest leaf: a single chain. Every
+  // forward hop costs ~4x more reach, so the optimizer should hand the
+  // forward side as few hops as the window allows.
+  GraphBuilder b;
+  VertexId next = 1;
+  std::vector<VertexId> frontier = {0};
+  VertexId deepest = 0;
+  for (int level = 0; level < 6; ++level) {
+    std::vector<VertexId> children;
+    for (VertexId u : frontier) {
+      for (int c = 0; c < (level < 3 ? 4 : 1); ++c) {
+        b.AddEdge(u, next);
+        children.push_back(next);
+        ++next;
+      }
+    }
+    frontier = children;
+    deepest = frontier.front();
+  }
+  Graph g = *b.Build();
+  VertexDistMap fs = HopCappedBfs(g, 0, 6, Direction::kForward);
+  VertexDistMap tt = HopCappedBfs(g, deepest, 6, Direction::kBackward);
+  Hop optimized = ChooseForwardBudget(fs, tt, 6, true);
+  EXPECT_LT(optimized, 3);  // balanced would be 3
+  EXPECT_GE(optimized, 1);  // window floor
+}
+
+}  // namespace
+}  // namespace hcpath

@@ -1,0 +1,63 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace hcpath {
+namespace {
+
+TEST(PathQuery, Budgets) {
+  PathQuery q{0, 1, 5};
+  EXPECT_EQ(q.ForwardBudget(), 3);
+  EXPECT_EQ(q.BackwardBudget(), 2);
+  PathQuery even{0, 1, 6};
+  EXPECT_EQ(even.ForwardBudget(), 3);
+  EXPECT_EQ(even.BackwardBudget(), 3);
+  PathQuery one{0, 1, 1};
+  EXPECT_EQ(one.ForwardBudget(), 1);
+  EXPECT_EQ(one.BackwardBudget(), 0);
+}
+
+TEST(PathQuery, ToStringAndEquality) {
+  PathQuery q{3, 9, 4};
+  EXPECT_EQ(q.ToString(), "q(s=3, t=9, k=4)");
+  EXPECT_EQ(q, (PathQuery{3, 9, 4}));
+  EXPECT_FALSE(q == (PathQuery{3, 9, 5}));
+}
+
+TEST(ValidateQueries, AcceptsGoodBatch) {
+  auto g = GeneratePath(10);
+  std::vector<PathQuery> qs = {{0, 5, 5}, {1, 9, 8}};
+  EXPECT_TRUE(ValidateQueries(*g, qs).ok());
+}
+
+TEST(ValidateQueries, RejectsOutOfRangeEndpoint) {
+  auto g = GeneratePath(10);
+  EXPECT_FALSE(ValidateQueries(*g, {{0, 10, 3}}).ok());
+  EXPECT_FALSE(ValidateQueries(*g, {{10, 0, 3}}).ok());
+}
+
+TEST(ValidateQueries, RejectsSelfQuery) {
+  auto g = GeneratePath(10);
+  Status st = ValidateQueries(*g, {{4, 4, 3}});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("s == t"), std::string::npos);
+}
+
+TEST(ValidateQueries, RejectsBadHopConstraint) {
+  auto g = GeneratePath(10);
+  EXPECT_FALSE(ValidateQueries(*g, {{0, 1, 0}}).ok());
+  EXPECT_FALSE(ValidateQueries(*g, {{0, 1, -3}}).ok());
+  EXPECT_FALSE(ValidateQueries(*g, {{0, 1, kMaxHops + 1}}).ok());
+  EXPECT_TRUE(ValidateQueries(*g, {{0, 1, kMaxHops}}).ok());
+}
+
+TEST(ValidateQueries, ReportsOffendingIndex) {
+  auto g = GeneratePath(10);
+  Status st = ValidateQueries(*g, {{0, 1, 3}, {2, 2, 3}});
+  EXPECT_NE(st.message().find("query 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcpath

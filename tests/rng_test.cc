@@ -1,0 +1,114 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace hcpath {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBoundedStaysInRange) {
+  Rng rng(5);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBoundedCoversAllValues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(8);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.03);  // rough uniformity
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliApproximatesP) {
+  Rng rng(6);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(10);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(11);
+  for (uint64_t n : {10ull, 1000ull}) {
+    for (uint64_t k : std::vector<uint64_t>{0, 1, 5, n / 2, n}) {
+      auto sample = rng.SampleWithoutReplacement(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<uint64_t> uniq(sample.begin(), sample.end());
+      EXPECT_EQ(uniq.size(), k);
+      for (uint64_t v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng a(42);
+  Rng child = a.Split();
+  // The child stream should not replay the parent's output.
+  Rng b(42);
+  b.Split();
+  EXPECT_EQ(child.Next(), Rng(42).Split().Next());  // deterministic split
+}
+
+}  // namespace
+}  // namespace hcpath

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/sampler.h"
+#include "graph/stats.h"
+
+namespace hcpath {
+namespace {
+
+TEST(Sampler, VertexSampleKeepsRoughFraction) {
+  Rng grng(1);
+  auto g = GenerateErdosRenyi(2000, 10000, grng);
+  Rng rng(2);
+  auto sampled = SampleVerticesInduced(*g, 0.5, rng);
+  ASSERT_TRUE(sampled.ok()) << sampled.status();
+  EXPECT_NEAR(static_cast<double>(sampled->graph.NumVertices()), 1000.0,
+              100.0);
+  // Induced edges survive only when both endpoints survive: about 25%.
+  EXPECT_LT(sampled->graph.NumEdges(), 4000u);
+}
+
+TEST(Sampler, MappingIsConsistent) {
+  Rng grng(3);
+  auto g = GenerateErdosRenyi(200, 2000, grng);
+  Rng rng(4);
+  auto sampled = SampleVerticesInduced(*g, 0.7, rng);
+  ASSERT_TRUE(sampled.ok());
+  // Every sampled edge must exist in the original under the mapping.
+  for (auto [u, v] : sampled->graph.Edges()) {
+    VertexId ou = sampled->new_to_old[u];
+    VertexId ov = sampled->new_to_old[v];
+    EXPECT_TRUE(g->HasEdge(ou, ov));
+    EXPECT_EQ(sampled->old_to_new[ou], u);
+  }
+}
+
+TEST(Sampler, FullFractionKeepsEverything) {
+  Rng grng(5);
+  auto g = GenerateErdosRenyi(100, 500, grng);
+  Rng rng(6);
+  auto sampled = SampleVerticesInduced(*g, 1.0, rng);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_EQ(sampled->graph.NumVertices(), g->NumVertices());
+  EXPECT_EQ(sampled->graph.NumEdges(), g->NumEdges());
+}
+
+TEST(Sampler, RejectsBadFraction) {
+  Rng grng(7);
+  auto g = GenerateErdosRenyi(50, 100, grng);
+  Rng rng(8);
+  EXPECT_FALSE(SampleVerticesInduced(*g, 0.0, rng).ok());
+  EXPECT_FALSE(SampleVerticesInduced(*g, 1.5, rng).ok());
+  EXPECT_FALSE(SampleEdges(*g, -0.1, rng).ok());
+}
+
+TEST(Sampler, EdgeSampleKeepsVertexSet) {
+  Rng grng(9);
+  auto g = GenerateErdosRenyi(100, 1000, grng);
+  Rng rng(10);
+  auto sampled = SampleEdges(*g, 0.3, rng);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_EQ(sampled->NumVertices(), g->NumVertices());
+  EXPECT_NEAR(static_cast<double>(sampled->NumEdges()), 300.0, 70.0);
+}
+
+TEST(GraphStats, MatchesHandComputedValues) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  Graph g = *b.Build();
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_vertices, 4u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 0.75);
+  EXPECT_EQ(s.max_out_degree, 2u);
+  EXPECT_EQ(s.max_in_degree, 2u);
+  EXPECT_EQ(s.max_total_degree, 2u);  // every touched vertex has in+out = 2
+  EXPECT_EQ(s.num_isolated, 1u);      // vertex 3
+}
+
+TEST(GraphStats, DegreeHistogram) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  Graph g = *b.Build();
+  auto hist = OutDegreeHistogram(g, 3);
+  // deg 0: vertices 2,3,4 -> 3; deg 1: vertex 1; deg >= 2 tail: vertex 0.
+  EXPECT_EQ(hist[0], 3u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(GraphStats, FormatRowContainsName) {
+  GraphStats s;
+  s.num_vertices = 75000;
+  s.num_edges = 500000;
+  std::string row = FormatStatsRow("EP", s);
+  EXPECT_NE(row.find("EP"), std::string::npos);
+  EXPECT_NE(row.find("75,000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcpath

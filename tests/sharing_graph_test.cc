@@ -1,0 +1,126 @@
+#include "core/sharing_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace hcpath {
+namespace {
+
+using NodeId = SharingGraph::NodeId;
+
+TEST(SharingGraph, AddNodesAndEdges) {
+  SharingGraph psi;
+  NodeId a = psi.AddNode(10, 3, true);
+  NodeId b = psi.AddNode(20, 2, false);
+  EXPECT_TRUE(psi.TryAddEdge(b, a));  // a uses b
+  EXPECT_EQ(psi.NumNodes(), 2u);
+  EXPECT_EQ(psi.NumEdges(), 1u);
+  EXPECT_EQ(psi.node(a).deps, (std::vector<NodeId>{b}));
+  EXPECT_EQ(psi.node(b).users, (std::vector<NodeId>{a}));
+}
+
+TEST(SharingGraph, DuplicateEdgeIsIdempotent) {
+  SharingGraph psi;
+  NodeId a = psi.AddNode(1, 3, true);
+  NodeId b = psi.AddNode(2, 2, false);
+  EXPECT_TRUE(psi.TryAddEdge(b, a));
+  EXPECT_TRUE(psi.TryAddEdge(b, a));
+  EXPECT_EQ(psi.NumEdges(), 1u);
+}
+
+TEST(SharingGraph, CycleEdgeIsRejected) {
+  SharingGraph psi;
+  NodeId a = psi.AddNode(1, 3, false);
+  NodeId b = psi.AddNode(2, 2, false);
+  NodeId c = psi.AddNode(3, 1, false);
+  ASSERT_TRUE(psi.TryAddEdge(a, b));  // b uses a
+  ASSERT_TRUE(psi.TryAddEdge(b, c));  // c uses b
+  EXPECT_FALSE(psi.TryAddEdge(c, a));  // a uses c -> cycle
+  EXPECT_EQ(psi.cycle_edges_skipped(), 1u);
+  EXPECT_FALSE(psi.TryAddEdge(a, a));  // self loop
+}
+
+TEST(SharingGraph, TopologicalOrderRespectsDeps) {
+  SharingGraph psi;
+  NodeId a = psi.AddNode(1, 3, true);
+  NodeId b = psi.AddNode(2, 2, false);
+  NodeId c = psi.AddNode(3, 1, false);
+  psi.TryAddEdge(c, b);  // b uses c
+  psi.TryAddEdge(b, a);  // a uses b
+  auto order = psi.TopologicalOrder();
+  ASSERT_EQ(order.size(), 3u);
+  auto pos = [&](NodeId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(c), pos(b));
+  EXPECT_LT(pos(b), pos(a));
+}
+
+TEST(SharingGraph, DepAtKeepsLargestBudgetPerVertex) {
+  SharingGraph psi;
+  NodeId user = psi.AddNode(1, 5, true);
+  NodeId small = psi.AddNode(7, 2, false);
+  NodeId big = psi.AddNode(7, 4, false);
+  // Both anchored at vertex 7 (can happen across anchor displacement).
+  ASSERT_TRUE(psi.TryAddEdge(small, user));
+  ASSERT_TRUE(psi.TryAddEdge(big, user));
+  const auto& dep_at = psi.node(user).dep_at;
+  ASSERT_EQ(dep_at.size(), 1u);
+  EXPECT_EQ(dep_at[0].first, 7u);
+  EXPECT_EQ(dep_at[0].second, big);
+}
+
+TEST(SharingGraph, SlackPropagationShiftsBySpliceDepth) {
+  SharingGraph psi;
+  NodeId root = psi.AddNode(0, 3, true);  // budget 3
+  psi.mutable_node(root).slacks.push_back({0, 7});  // query 0, slack k=7
+  NodeId dom = psi.AddNode(5, 2, false);  // budget 2
+  ASSERT_TRUE(psi.TryAddEdge(dom, root));
+  psi.PropagateSlacks();
+  // Min splice depth = 3 - 2 = 1, so dom inherits slack 7 - 1 = 6.
+  ASSERT_EQ(psi.node(dom).slacks.size(), 1u);
+  EXPECT_EQ(psi.node(dom).slacks[0].query, 0u);
+  EXPECT_EQ(psi.node(dom).slacks[0].slack, 6);
+}
+
+TEST(SharingGraph, SlackPropagationKeepsMaxPerQuery) {
+  SharingGraph psi;
+  NodeId r1 = psi.AddNode(0, 3, true);
+  NodeId r2 = psi.AddNode(1, 2, true);
+  psi.mutable_node(r1).slacks.push_back({0, 7});
+  psi.mutable_node(r2).slacks.push_back({0, 4});
+  NodeId dom = psi.AddNode(5, 2, false);
+  ASSERT_TRUE(psi.TryAddEdge(dom, r1));
+  ASSERT_TRUE(psi.TryAddEdge(dom, r2));
+  psi.PropagateSlacks();
+  ASSERT_EQ(psi.node(dom).slacks.size(), 1u);
+  // From r1: 7 - 1 = 6; from r2: 4 - 0 = 4; keep 6.
+  EXPECT_EQ(psi.node(dom).slacks[0].slack, 6);
+}
+
+TEST(SharingGraph, SlackPropagationIsTransitive) {
+  SharingGraph psi;
+  NodeId root = psi.AddNode(0, 4, true);
+  psi.mutable_node(root).slacks.push_back({0, 8});
+  NodeId mid = psi.AddNode(1, 3, false);
+  NodeId leaf = psi.AddNode(2, 1, false);
+  ASSERT_TRUE(psi.TryAddEdge(mid, root));
+  ASSERT_TRUE(psi.TryAddEdge(leaf, mid));
+  psi.PropagateSlacks();
+  // root -> mid: 8 - (4-3) = 7; mid -> leaf: 7 - (3-1) = 5.
+  ASSERT_EQ(psi.node(leaf).slacks.size(), 1u);
+  EXPECT_EQ(psi.node(leaf).slacks[0].slack, 5);
+}
+
+TEST(SharingGraph, LargerBudgetDepGetsNoNegativeShift) {
+  SharingGraph psi;
+  NodeId user = psi.AddNode(0, 2, true);
+  psi.mutable_node(user).slacks.push_back({0, 5});
+  NodeId dep = psi.AddNode(0, 4, false);  // bigger budget (copy-filter case)
+  ASSERT_TRUE(psi.TryAddEdge(dep, user));
+  psi.PropagateSlacks();
+  ASSERT_EQ(psi.node(dep).slacks.size(), 1u);
+  EXPECT_EQ(psi.node(dep).slacks[0].slack, 5);  // shift clamped at 0
+}
+
+}  // namespace
+}  // namespace hcpath

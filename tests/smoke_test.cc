@@ -1,0 +1,54 @@
+// End-to-end smoke test: every algorithm agrees with the brute-force
+// oracle on a small random graph.
+
+#include <gtest/gtest.h>
+
+#include "hcpath/hcpath.h"
+
+namespace hcpath {
+namespace {
+
+TEST(Smoke, AllAlgorithmsAgreeOnSmallGraph) {
+  Rng rng(7);
+  auto g = GenerateErdosRenyi(60, 300, rng);
+  ASSERT_TRUE(g.ok()) << g.status();
+
+  auto queries = [&]() {
+    std::vector<PathQuery> qs;
+    Rng qrng(11);
+    while (qs.size() < 8) {
+      VertexId s = static_cast<VertexId>(qrng.NextBounded(60));
+      VertexId t = static_cast<VertexId>(qrng.NextBounded(60));
+      if (s == t) continue;
+      qs.push_back({s, t, 5});
+    }
+    return qs;
+  }();
+
+  // Oracle counts.
+  std::vector<uint64_t> expected;
+  for (const PathQuery& q : queries) {
+    auto paths = BruteForcePaths(*g, q);
+    ASSERT_TRUE(paths.ok()) << paths.status();
+    expected.push_back(paths->size());
+  }
+
+  BatchPathEnumerator enumerator(*g);
+  for (Algorithm algo :
+       {Algorithm::kPathEnum, Algorithm::kBasicEnum,
+        Algorithm::kBasicEnumPlus, Algorithm::kBatchEnum,
+        Algorithm::kBatchEnumPlus}) {
+    BatchOptions opt;
+    opt.algorithm = algo;
+    auto result = enumerator.Run(queries, opt);
+    ASSERT_TRUE(result.ok()) << result.status();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(result->path_counts[i], expected[i])
+          << AlgorithmName(algo) << " disagrees on query " << i << " "
+          << queries[i].ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcpath

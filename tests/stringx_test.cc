@@ -1,0 +1,85 @@
+#include "util/stringx.h"
+
+#include <gtest/gtest.h>
+
+namespace hcpath {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  auto kept = Split("a,b,,c", ',', /*keep_empty=*/true);
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept[2], "");
+}
+
+TEST(Split, NoSeparator) {
+  auto parts = Split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Split, EmptyString) {
+  EXPECT_TRUE(Split("", ',').empty());
+  EXPECT_EQ(Split("", ',', true).size(), 1u);
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(ParseInt64, ValidAndInvalid) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_EQ(*ParseInt64("  13  "), 13);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12abc").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(ParseUint64, RejectsNegative) {
+  EXPECT_EQ(*ParseUint64("18446744073709551615"), UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("-1").ok());
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(FormatWithCommas, GroupsDigits) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(1468365182), "1,468,365,182");
+}
+
+TEST(FormatBytes, PicksUnit) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KiB");
+  EXPECT_EQ(FormatBytes(3u << 20), "3.0 MiB");
+}
+
+}  // namespace
+}  // namespace hcpath

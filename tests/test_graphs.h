@@ -1,0 +1,54 @@
+#ifndef HCPATH_TESTS_TEST_GRAPHS_H_
+#define HCPATH_TESTS_TEST_GRAPHS_H_
+
+#include "core/query.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+
+namespace hcpath {
+
+/// The running example of the paper (Fig 1): vertices v0..v15 with the
+/// edges needed to realize the HC-s-t paths listed in Examples 2.1 / 4.2 /
+/// 4.3. Expected results:
+///   q0(v0, v11, 5) -> 3 paths, q1(v2, v13, 5) -> 3, q2(v5, v12, 5) -> 1,
+///   q3(v4, v14, 4) -> 2, q4(v9, v14, 3) -> 2.
+inline Graph PaperFigure1Graph() {
+  GraphBuilder b(16);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 4);
+  b.AddEdge(2, 1);
+  b.AddEdge(2, 4);
+  b.AddEdge(5, 1);
+  b.AddEdge(1, 7);
+  b.AddEdge(1, 8);
+  b.AddEdge(7, 10);
+  b.AddEdge(7, 8);
+  b.AddEdge(4, 9);
+  b.AddEdge(9, 3);
+  b.AddEdge(9, 15);
+  b.AddEdge(9, 8);
+  b.AddEdge(3, 6);
+  b.AddEdge(15, 6);
+  b.AddEdge(6, 11);
+  b.AddEdge(6, 13);
+  b.AddEdge(6, 14);
+  b.AddEdge(10, 12);
+  b.AddEdge(12, 11);
+  b.AddEdge(12, 13);
+  return *b.Build();
+}
+
+/// The five queries of Fig 1.
+inline std::vector<PathQuery> PaperFigure1Queries() {
+  return {
+      {0, 11, 5},  // q0
+      {2, 13, 5},  // q1
+      {5, 12, 5},  // q2
+      {4, 14, 4},  // q3
+      {9, 14, 3},  // q4
+  };
+}
+
+}  // namespace hcpath
+
+#endif  // HCPATH_TESTS_TEST_GRAPHS_H_

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "bfs/bfs.h"
+#include "workload/dataset_registry.h"
+#include "workload/query_gen.h"
+#include "workload/similarity_gen.h"
+
+namespace hcpath {
+namespace {
+
+TEST(QueryGen, AllQueriesAreReachableWithinK) {
+  Rng grng(1);
+  auto g = MakeDataset("EP", 0.05, 7);
+  ASSERT_TRUE(g.ok()) << g.status();
+  Rng rng(2);
+  QueryGenOptions opt;
+  opt.k_min = 3;
+  opt.k_max = 6;
+  auto queries = GenerateRandomQueries(*g, 30, opt, rng);
+  ASSERT_TRUE(queries.ok()) << queries.status();
+  ASSERT_EQ(queries->size(), 30u);
+  for (const PathQuery& q : *queries) {
+    EXPECT_NE(q.s, q.t);
+    EXPECT_GE(q.k, 3);
+    EXPECT_LE(q.k, 6);
+    EXPECT_TRUE(ReachableWithin(*g, q.s, q.t, static_cast<Hop>(q.k)))
+        << q.ToString();
+  }
+}
+
+TEST(QueryGen, DeterministicPerSeed) {
+  auto g = MakeDataset("EP", 0.05, 7);
+  Rng a(5), b(5);
+  auto qa = GenerateRandomQueries(*g, 10, {}, a);
+  auto qb = GenerateRandomQueries(*g, 10, {}, b);
+  ASSERT_TRUE(qa.ok() && qb.ok());
+  EXPECT_EQ(*qa, *qb);
+}
+
+TEST(QueryGen, RejectsBadKRange) {
+  auto g = MakeDataset("EP", 0.05, 7);
+  Rng rng(1);
+  QueryGenOptions opt;
+  opt.k_min = 0;
+  EXPECT_FALSE(GenerateRandomQueries(*g, 5, opt, rng).ok());
+  opt.k_min = 5;
+  opt.k_max = 4;
+  EXPECT_FALSE(GenerateRandomQueries(*g, 5, opt, rng).ok());
+}
+
+TEST(SimilarityGen, HitsLowAndHighTargets) {
+  // Scale/hop range chosen so k-hop balls stay far below |V|; otherwise
+  // every query pair saturates to µ ≈ 1 and similarity is meaningless.
+  auto g = MakeDataset("EP", 0.3, 11);
+  ASSERT_TRUE(g.ok());
+  Rng rng(13);
+  auto low = GenerateQueriesWithSimilarity(*g, 40, 3, 4, 0.0, rng);
+  ASSERT_TRUE(low.ok()) << low.status();
+  // Scale-free graphs have an intrinsic µ floor (hub-concentrated reach
+  // sets overlap even for unrelated queries); require it to stay moderate.
+  EXPECT_LT(low->achieved_mu, 0.5);
+
+  Rng rng2(17);
+  auto high = GenerateQueriesWithSimilarity(*g, 40, 3, 4, 0.8, rng2);
+  ASSERT_TRUE(high.ok()) << high.status();
+  EXPECT_GT(high->achieved_mu, 0.55);
+  EXPECT_EQ(high->queries.size(), 40u);
+  // The generator must produce clearly separated similarity levels.
+  EXPECT_GT(high->achieved_mu - low->achieved_mu, 0.2);
+}
+
+TEST(SimilarityGen, RejectsImpossibleTarget) {
+  auto g = MakeDataset("EP", 0.05, 11);
+  Rng rng(1);
+  EXPECT_FALSE(GenerateQueriesWithSimilarity(*g, 10, 4, 6, 1.5, rng).ok());
+}
+
+TEST(DatasetRegistry, HasAllTwelvePaperDatasets) {
+  const auto& all = AllDatasets();
+  ASSERT_EQ(all.size(), 12u);
+  std::vector<std::string> names;
+  for (const auto& spec : all) names.push_back(spec.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"EP", "SL", "BK", "WT", "BS",
+                                             "SK", "UK", "DA", "PO", "LJ",
+                                             "TW", "FS"}));
+}
+
+TEST(DatasetRegistry, FindAndMissing) {
+  EXPECT_TRUE(FindDataset("TW").ok());
+  EXPECT_EQ(FindDataset("TW")->full_name, "Twitter-2010");
+  EXPECT_FALSE(FindDataset("XX").ok());
+  EXPECT_FALSE(MakeDataset("XX", 1.0, 1).ok());
+}
+
+TEST(DatasetRegistry, ScaleShrinksGraphs) {
+  auto small = MakeDataset("EP", 0.05, 3);
+  auto bigger = MakeDataset("EP", 0.1, 3);
+  ASSERT_TRUE(small.ok() && bigger.ok());
+  EXPECT_LT(small->NumVertices(), bigger->NumVertices());
+  EXPECT_LT(small->NumEdges(), bigger->NumEdges());
+}
+
+TEST(DatasetRegistry, DeterministicForSeed) {
+  auto a = MakeDataset("BK", 0.05, 42);
+  auto b = MakeDataset("BK", 0.05, 42);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->NumEdges(), b->NumEdges());
+  EXPECT_EQ(a->Edges(), b->Edges());
+}
+
+TEST(DatasetRegistry, EveryStandInInstantiatesAtTinyScale) {
+  for (const auto& spec : AllDatasets()) {
+    auto g = MakeDataset(spec.name, 0.05, 1);
+    ASSERT_TRUE(g.ok()) << spec.name << ": " << g.status();
+    EXPECT_GT(g->NumVertices(), 0u) << spec.name;
+    EXPECT_GT(g->NumEdges(), 0u) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace hcpath
