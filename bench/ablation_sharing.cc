@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
     for (const Variant& v : kVariants) {
       BatchOptions opt;
       opt.gamma = *cf.gamma;
+      opt.num_threads = static_cast<int>(*cf.threads);
       opt.disable_clustering = v.disable_clustering;
       opt.disable_cache_reuse = v.disable_reuse;
       opt.shared_pruning = v.pruning;

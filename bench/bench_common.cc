@@ -18,6 +18,12 @@ CommonFlags::CommonFlags() {
   queries = flags.AddInt64("queries", 100, "query set size");
   seed = flags.AddInt64("seed", 42, "workload / generator seed");
   gamma = flags.AddDouble("gamma", 0.5, "clustering threshold gamma");
+  // Default 1 (the sequential reference) so exp1-exp7 timings stay
+  // comparable with the paper's single-threaded figures and with earlier
+  // trajectories; thread scaling is exp8's job, or opt in with --threads.
+  threads = flags.AddInt64("threads", 1,
+                           "engine compute threads (<= 0 = all cores, "
+                           "1 = sequential reference)");
   csv = flags.AddString("csv", "", "optional CSV output path");
   time_budget =
       flags.AddDouble("time_budget", 120.0, "per-run budget in seconds (OT)");

@@ -25,6 +25,7 @@ struct CommonFlags {
   int64_t* queries;        ///< query set size
   int64_t* seed;
   double* gamma;           ///< clustering threshold γ
+  int64_t* threads;        ///< engine workers: 0 = all cores, 1 = sequential
   std::string* csv;        ///< optional CSV output path ("" = off)
   double* time_budget;     ///< per-run wall budget in seconds (OT beyond)
   bool* quick;             ///< shrink the sweep for smoke runs

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     }
     BatchOptions opt;
     opt.gamma = *cf.gamma;
+    opt.num_threads = static_cast<int>(*cf.threads);
     opt.max_paths_per_query = 5'000'000;
     RunOutcome o = TimeAlgorithm(g, qs->queries, Algorithm::kBatchEnumPlus,
                                  opt, *cf.time_budget);

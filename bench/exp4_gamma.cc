@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
     for (double gamma : gammas) {
       BatchOptions opt;
       opt.gamma = gamma;
+      opt.num_threads = static_cast<int>(*cf.threads);
       opt.max_paths_per_query = 5'000'000;
       RunOutcome o = TimeAlgorithm(g, qs->queries,
                                    Algorithm::kBatchEnumPlus, opt,

@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
 
       BatchOptions opt;
       opt.gamma = *cf.gamma;
+      opt.num_threads = static_cast<int>(*cf.threads);
       opt.max_paths_per_query = 5'000'000;
       RunOutcome ba = TimeAlgorithm(g, *queries, Algorithm::kBasicEnum, opt,
                                     *cf.time_budget);

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
       }
       BatchOptions opt;
       opt.gamma = *cf.gamma;
+      opt.num_threads = static_cast<int>(*cf.threads);
       opt.max_paths_per_query = 20'000'000;
       RunOutcome o = TimeAlgorithm(g, *queries, Algorithm::kBasicEnumPlus,
                                    opt, 0);

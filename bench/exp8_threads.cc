@@ -1,0 +1,136 @@
+// Exp-8: thread-count sweep. Runs a fixed synthetic multi-cluster workload
+// (64 near-duplicate query groups by default — the embarrassingly parallel
+// structure Algorithm 2 exposes) across threads in {1, 2, 4, 8} and emits
+// one machine-readable JSON object per (algorithm, threads) config so the
+// BENCH_*.json trajectory can be tracked across PRs.
+//
+//   ./build/exp8_threads --clusters=64 --clones=4 --json=BENCH_threads.json
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "workload/query_gen.h"
+
+using namespace hcpath;
+using namespace hcpath::bench;
+
+namespace {
+
+StatusOr<std::vector<PathQuery>> MakeClusteredWorkload(
+    const Graph& g, size_t clusters, size_t clones, int k, Rng& rng) {
+  QueryGenOptions qopt;
+  qopt.k_min = k;
+  qopt.k_max = k;
+  qopt.min_distance = 2;  // skip trivial one-hop queries
+  auto base = GenerateRandomQueries(g, clusters, qopt, rng);
+  if (!base.ok()) return base.status();
+  // Interleave the clones so clustering has to regroup them (as a real
+  // multi-user trace would arrive).
+  std::vector<PathQuery> queries;
+  for (size_t c = 0; c < clones; ++c) {
+    for (const PathQuery& q : *base) queries.push_back(q);
+  }
+  return queries;
+}
+
+void EmitJson(std::FILE* out, const std::string& algo, size_t clusters,
+              size_t clones, int threads, const RunOutcome& o,
+              double baseline_seconds) {
+  const double speedup =
+      o.seconds > 0 && baseline_seconds > 0 ? baseline_seconds / o.seconds : 0;
+  std::fprintf(
+      out,
+      "{\"bench\":\"exp8_threads\",\"algo\":\"%s\",\"clusters\":%zu,"
+      "\"clones\":%zu,\"threads\":%d,\"seconds\":%.6f,"
+      "\"build_index_seconds\":%.6f,\"cluster_seconds\":%.6f,"
+      "\"detect_seconds\":%.6f,\"enumerate_seconds\":%.6f,"
+      "\"paths\":%llu,\"num_clusters\":%llu,\"over_time\":%s,"
+      "\"speedup_vs_1\":%.3f}\n",
+      algo.c_str(), clusters, clones, threads, o.seconds,
+      o.stats.build_index_seconds, o.stats.cluster_seconds,
+      o.stats.detect_seconds, o.stats.enumerate_seconds,
+      static_cast<unsigned long long>(o.total_paths),
+      static_cast<unsigned long long>(o.stats.num_clusters),
+      o.over_time ? "true" : "false", speedup);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommonFlags cf;
+  int64_t* clusters = cf.flags.AddInt64("clusters", 64, "query groups");
+  int64_t* clones = cf.flags.AddInt64("clones", 4, "queries per group");
+  int64_t* vertices = cf.flags.AddInt64("vertices", 20000, "graph size");
+  int64_t* k = cf.flags.AddInt64("k", 4, "hop constraint");
+  std::string* json = cf.flags.AddString("json", "", "also append JSON here");
+  ParseOrDie(cf, argc, argv);
+
+  // Small-world rather than scale-free: hub-dominated graphs make every
+  // query's Γ set overlap, which collapses the groups into a handful of
+  // clusters and understates cluster parallelism.
+  Rng grng(static_cast<uint64_t>(*cf.seed));
+  auto g = GenerateSmallWorld(static_cast<VertexId>(*vertices), 6, 0.05,
+                              grng);
+  if (!g.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 g.status().ToString().c_str());
+    return 1;
+  }
+  Rng qrng(static_cast<uint64_t>(*cf.seed) + 1);
+  auto workload =
+      MakeClusteredWorkload(*g, static_cast<size_t>(*clusters),
+                            static_cast<size_t>(*clones),
+                            static_cast<int>(*k), qrng);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<PathQuery>& queries = *workload;
+  std::fprintf(stderr, "[exp8] |V|=%lld |Q|=%zu (%lld groups x %lld)\n",
+               static_cast<long long>(*vertices), queries.size(),
+               static_cast<long long>(*clusters),
+               static_cast<long long>(*clones));
+
+  std::FILE* jf = nullptr;
+  if (!json->empty()) {
+    jf = std::fopen(json->c_str(), "a");
+    if (jf == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json->c_str());
+      return 2;
+    }
+  }
+
+  std::vector<int> sweep = {1, 2, 4, 8};
+  if (*cf.quick) sweep = {1, 4};
+
+  const struct {
+    Algorithm algo;
+    const char* name;
+  } kAlgos[] = {{Algorithm::kBatchEnumPlus, "batch+"},
+                {Algorithm::kBasicEnum, "basic"}};
+  for (const auto& a : kAlgos) {
+    double baseline = 0;
+    for (int threads : sweep) {
+      BatchOptions opt;
+      opt.gamma = *cf.gamma;
+      opt.num_threads = threads;
+      opt.max_paths_per_query = 5'000'000;
+      RunOutcome o =
+          TimeAlgorithm(*g, queries, a.algo, opt, *cf.time_budget);
+      if (threads == 1) baseline = o.seconds;
+      EmitJson(stdout, a.name, static_cast<size_t>(*clusters),
+               static_cast<size_t>(*clones), threads, o, baseline);
+      if (jf != nullptr) {
+        EmitJson(jf, a.name, static_cast<size_t>(*clusters),
+                 static_cast<size_t>(*clones), threads, o, baseline);
+      }
+    }
+  }
+  if (jf != nullptr) std::fclose(jf);
+  return 0;
+}

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
     BatchPathEnumerator enumerator(g);
     BatchOptions opt;
     opt.algorithm = Algorithm::kBasicEnumPlus;
+    opt.num_threads = static_cast<int>(*cf.threads);
     opt.max_paths_per_query = 2'000'000;
     CollectingSink materialized(queries->size());
     WallTimer enum_timer;

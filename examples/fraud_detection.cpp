@@ -66,6 +66,7 @@ int main() {
   BatchOptions options;
   options.algorithm = Algorithm::kBatchEnumPlus;
   options.max_paths_per_query = 100000;  // alert threshold, not exhaustive
+  options.num_threads = 0;  // ring-detection batches are cluster-parallel
 
   FraudSink sink;
   auto result = enumerator.Run(queries, options, &sink);

@@ -42,6 +42,7 @@ int main() {
   options.algorithm = Algorithm::kBatchEnumPlus;
   options.gamma = 0.3;  // head-entity queries are similar; merge eagerly
   options.max_paths_per_query = 50000;
+  options.num_threads = 0;  // all cores; deterministic output either way
 
   auto result = enumerator.Run(queries, options);
   if (!result.ok()) {

@@ -57,6 +57,7 @@ int main() {
   BatchPathEnumerator enumerator(*net);
   BatchOptions options;
   options.max_paths_per_query = 200000;
+  options.num_threads = 0;  // all cores; deterministic output either way
   ChainSink sink(queries.size());
   std::printf("Sample interaction chains:\n");
   auto result = enumerator.Run(queries, options, &sink);

@@ -4,12 +4,62 @@
 
 namespace hcpath {
 
+const VertexDistMap::Slot* VertexDistMap::SentinelTable() {
+  static const Slot kSentinel[1] = {};
+  return kSentinel;
+}
+
+VertexDistMap& VertexDistMap::operator=(const VertexDistMap& other) {
+  if (this == &other) return *this;
+  slots_ = other.slots_;
+  size_ = other.size_;
+  universe_ = other.universe_;
+  dense_bound_ = other.dense_bound_;
+  dense_ = other.dense_;
+  sorted_keys_ = other.sorted_keys_;
+  sorted_valid_ = other.sorted_valid_;
+  RefreshTable();
+  return *this;
+}
+
+VertexDistMap& VertexDistMap::operator=(VertexDistMap&& other) noexcept {
+  if (this == &other) return *this;
+  slots_ = std::move(other.slots_);
+  size_ = other.size_;
+  universe_ = other.universe_;
+  dense_bound_ = other.dense_bound_;
+  dense_ = std::move(other.dense_);
+  sorted_keys_ = std::move(other.sorted_keys_);
+  sorted_valid_ = other.sorted_valid_;
+  RefreshTable();
+  other.slots_.clear();
+  other.dense_.clear();
+  other.size_ = 0;
+  other.dense_bound_ = 0;
+  other.sorted_valid_ = false;
+  other.RefreshTable();
+  return *this;
+}
+
+void VertexDistMap::SetUniverse(size_t num_vertices) {
+  universe_ = num_vertices;
+  if (dense_bound_ == 0 && universe_ != 0 && size_ * 8 >= universe_) {
+    ConvertToDense();
+  }
+}
+
 void VertexDistMap::Reserve(size_t expected) {
+  if (dense_bound_ != 0) return;  // dense backing needs no reservation
+  if (universe_ != 0 && expected * 8 >= universe_) {
+    ConvertToDense();
+    return;
+  }
   size_t cap = 16;
   while (cap < expected * 2) cap <<= 1;
   if (cap > slots_.size()) {
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(cap, Slot{});
+    RefreshTable();
     size_ = 0;
     for (const Slot& s : old) {
       if (s.key != kEmptyKey) InsertMin(s.key, s.dist);
@@ -19,8 +69,18 @@ void VertexDistMap::Reserve(size_t expected) {
 
 void VertexDistMap::InsertMin(VertexId v, Hop dist) {
   HCPATH_DCHECK(v != kEmptyKey);
+  if (dense_bound_ != 0) {
+    HCPATH_DCHECK(v < dense_bound_);
+    Hop& d = dense_[v];
+    if (d == kUnreachable) {
+      ++size_;
+      sorted_valid_ = false;
+    }
+    if (dist < d) d = dist;
+    return;
+  }
   if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) Grow();
-  size_t mask = slots_.size() - 1;
+  const size_t mask = mask_;
   size_t i = Probe(v) & mask;
   while (true) {
     Slot& s = slots_[i];
@@ -29,6 +89,7 @@ void VertexDistMap::InsertMin(VertexId v, Hop dist) {
       s.dist = dist;
       ++size_;
       sorted_valid_ = false;
+      if (universe_ != 0 && size_ * 8 >= universe_) ConvertToDense();
       return;
     }
     if (s.key == v) {
@@ -43,6 +104,7 @@ void VertexDistMap::Grow() {
   size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
   std::vector<Slot> old = std::move(slots_);
   slots_.assign(cap, Slot{});
+  RefreshTable();
   size_t old_size = size_;
   size_ = 0;
   for (const Slot& s : old) {
@@ -51,14 +113,37 @@ void VertexDistMap::Grow() {
   HCPATH_CHECK_EQ(size_, old_size);
 }
 
+void VertexDistMap::ConvertToDense() {
+  HCPATH_DCHECK(universe_ != 0);
+  dense_.assign(universe_, kUnreachable);
+  for (const Slot& s : slots_) {
+    if (s.key != kEmptyKey) {
+      HCPATH_DCHECK(s.key < universe_);
+      dense_[s.key] = s.dist;
+    }
+  }
+  dense_bound_ = universe_;
+  slots_.clear();
+  slots_.shrink_to_fit();
+  RefreshTable();
+}
+
 const std::vector<VertexId>& VertexDistMap::SortedKeys() const {
   if (!sorted_valid_) {
     sorted_keys_.clear();
     sorted_keys_.reserve(size_);
-    for (const Slot& s : slots_) {
-      if (s.key != kEmptyKey) sorted_keys_.push_back(s.key);
+    if (dense_bound_ != 0) {
+      for (size_t v = 0; v < dense_bound_; ++v) {
+        if (dense_[v] != kUnreachable) {
+          sorted_keys_.push_back(static_cast<VertexId>(v));
+        }
+      }
+    } else {
+      for (const Slot& s : slots_) {
+        if (s.key != kEmptyKey) sorted_keys_.push_back(s.key);
+      }
+      std::sort(sorted_keys_.begin(), sorted_keys_.end());
     }
-    std::sort(sorted_keys_.begin(), sorted_keys_.end());
     sorted_valid_ = true;
   }
   return sorted_keys_;

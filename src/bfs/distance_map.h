@@ -14,17 +14,35 @@ using Hop = uint8_t;
 /// Distance treated as infinity (vertex not within the hop cap).
 inline constexpr Hop kUnreachable = 0xFF;
 
-/// Insert-only open-addressing hash map VertexId -> Hop, tuned for the
-/// PathEnum index: built once per endpoint by (multi-source) BFS, then
-/// probed on every edge expansion during enumeration.
+/// Insert-only map VertexId -> Hop, tuned for the PathEnum index: built
+/// once per endpoint by (multi-source) BFS, then probed on every edge
+/// expansion during enumeration.
 ///
-/// This mirrors the paper's choice of storing only entities with
-/// dist <= k instead of a dense |V| array per endpoint (Section III).
+/// Two backings, switched automatically:
+///  * open-addressing hash table — the default, mirroring the paper's
+///    choice of storing only entities with dist <= k (Section III);
+///  * a flat |V|-sized array of Hop — adopted once the map holds more than
+///    ~1/8 of the universe (see SetUniverse), where the probe loop loses to
+///    a single indexed load on the hottest lookup in enumeration.
+///
+/// Empty maps probe a shared one-slot sentinel table instead of branching
+/// on size() == 0, keeping Lookup branch-light in the common case.
 class VertexDistMap {
  public:
   VertexDistMap() = default;
 
-  /// Pre-sizes for an expected number of entries.
+  VertexDistMap(const VertexDistMap& other) { *this = other; }
+  VertexDistMap& operator=(const VertexDistMap& other);
+  VertexDistMap(VertexDistMap&& other) noexcept { *this = std::move(other); }
+  VertexDistMap& operator=(VertexDistMap&& other) noexcept;
+
+  /// Declares the vertex-id universe [0, num_vertices). Once set, the map
+  /// converts to the dense backing when its size crosses num_vertices / 8.
+  /// Callers that never set it keep the pure hash behavior.
+  void SetUniverse(size_t num_vertices);
+
+  /// Pre-sizes for an expected number of entries (and converts to dense
+  /// immediately when the expectation already crosses the threshold).
   void Reserve(size_t expected);
 
   /// Inserts v -> dist, keeping the smaller value on duplicate insert.
@@ -32,11 +50,13 @@ class VertexDistMap {
 
   /// Distance of v, or kUnreachable when absent.
   Hop Lookup(VertexId v) const {
-    if (size_ == 0) return kUnreachable;
-    size_t mask = slots_.size() - 1;
+    HCPATH_DCHECK(v != kEmptyKey);
+    if (v < dense_bound_) return dense_[v];  // dense fast path
+    if (dense_bound_ != 0) return kUnreachable;  // dense, v out of universe
+    const size_t mask = mask_;
     size_t i = Probe(v) & mask;
     while (true) {
-      const Slot& s = slots_[i];
+      const Slot& s = table_[i];
       if (s.key == kEmptyKey) return kUnreachable;
       if (s.key == v) return s.dist;
       i = (i + 1) & mask;
@@ -48,13 +68,22 @@ class VertexDistMap {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// True when backed by the flat dense array (introspection for tests).
+  bool IsDense() const { return dense_bound_ != 0; }
+
   /// Keys in ascending vertex-id order (the Γ set of Def 4.4); built lazily
-  /// and cached.
+  /// and cached. Not safe to call concurrently with itself or mutators.
   const std::vector<VertexId>& SortedKeys() const;
 
   /// Calls fn(vertex, dist) for every entry, unspecified order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
+    if (dense_bound_ != 0) {
+      for (size_t v = 0; v < dense_bound_; ++v) {
+        if (dense_[v] != kUnreachable) fn(static_cast<VertexId>(v), dense_[v]);
+      }
+      return;
+    }
     for (const Slot& s : slots_) {
       if (s.key != kEmptyKey) fn(s.key, s.dist);
     }
@@ -63,6 +92,7 @@ class VertexDistMap {
   /// Approximate heap bytes used.
   size_t MemoryBytes() const {
     return slots_.capacity() * sizeof(Slot) +
+           dense_.capacity() * sizeof(Hop) +
            sorted_keys_.capacity() * sizeof(VertexId);
   }
 
@@ -74,16 +104,37 @@ class VertexDistMap {
 
   static constexpr VertexId kEmptyKey = kInvalidVertex;
 
+  /// Shared immutable one-slot empty table; every empty map points here so
+  /// Lookup needs no size check.
+  static const Slot* SentinelTable();
+
   static size_t Probe(VertexId v) {
     // Fibonacci-style multiplicative hash.
     return static_cast<size_t>(
         (static_cast<uint64_t>(v) * 0x9E3779B97F4A7C15ULL) >> 32);
   }
 
+  /// Re-derives table_/mask_ from slots_ (after growth, moves, copies).
+  void RefreshTable() {
+    if (slots_.empty()) {
+      table_ = SentinelTable();
+      mask_ = 0;
+    } else {
+      table_ = slots_.data();
+      mask_ = slots_.size() - 1;
+    }
+  }
+
   void Grow();
+  void ConvertToDense();
 
   std::vector<Slot> slots_;
+  const Slot* table_ = SentinelTable();
+  size_t mask_ = 0;
   size_t size_ = 0;
+  size_t universe_ = 0;     // 0 = dense switching disabled
+  size_t dense_bound_ = 0;  // == universe_ when dense, else 0
+  std::vector<Hop> dense_;
   mutable std::vector<VertexId> sorted_keys_;
   mutable bool sorted_valid_ = false;
 };

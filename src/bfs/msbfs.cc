@@ -1,6 +1,8 @@
 #include "bfs/msbfs.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 namespace hcpath {
@@ -12,14 +14,20 @@ struct Wave {
   std::vector<VertexId> sources;  // wave-local index -> vertex
   std::vector<Hop> caps;          // wave-local caps (max across duplicates)
   Hop max_cap = 0;
+  std::vector<std::vector<size_t>> slot_to_out;  // wave slot -> out indices
 };
 
-void RunWave(const Graph& g, Direction dir, const Wave& wave,
-             std::vector<uint64_t>& seen, std::vector<uint64_t>& next_mask,
-             MsBfsResult& out,
-             const std::vector<std::vector<size_t>>& wave_slot_to_out,
-             const std::vector<Hop>& out_caps) {
+/// Runs one wave. `per_source` entries referenced through `slot_to_out` are
+/// owned exclusively by this wave (waves partition the unique sources), and
+/// `min_dist` / the scratch arrays belong to the caller, so concurrent waves
+/// never write the same memory. Returns the discovered-entry count.
+uint64_t RunWave(const Graph& g, Direction dir, const Wave& wave,
+                 std::vector<uint64_t>& seen,
+                 std::vector<uint64_t>& next_mask,
+                 std::vector<VertexDistMap>& per_source,
+                 std::vector<Hop>& min_dist, const std::vector<Hop>& out_caps) {
   const size_t ns = wave.sources.size();
+  uint64_t discovered = 0;
   // `seen` and `next_mask` are |V|-sized scratch arrays shared across waves;
   // only words touched in this wave are dirtied, and we reset them via the
   // touched lists below.
@@ -33,13 +41,13 @@ void RunWave(const Graph& g, Direction dir, const Wave& wave,
       mask &= mask - 1;
       // The wave runs to the max cap of duplicated sources; each output
       // copy only records entries within its own cap.
-      for (size_t out_idx : wave_slot_to_out[slot]) {
+      for (size_t out_idx : wave.slot_to_out[slot]) {
         if (dist <= out_caps[out_idx]) {
-          out.per_source[out_idx].InsertMin(v, dist);
-          ++out.total_discovered;
+          per_source[out_idx].InsertMin(v, dist);
+          ++discovered;
         }
       }
-      if (dist < out.min_dist[v]) out.min_dist[v] = dist;
+      if (dist < min_dist[v]) min_dist[v] = dist;
     }
   };
 
@@ -86,19 +94,24 @@ void RunWave(const Graph& g, Direction dir, const Wave& wave,
   // wave has seen[v] != 0. A full clear is O(|V|) per wave which is fine at
   // our scales and branch-free.
   std::fill(seen.begin(), seen.end(), 0);
+  return discovered;
 }
 
 }  // namespace
 
 MsBfsResult MultiSourceBfs(const Graph& g,
                            const std::vector<VertexId>& sources,
-                           const std::vector<Hop>& caps, Direction dir) {
+                           const std::vector<Hop>& caps, Direction dir,
+                           ThreadPool* pool) {
   HCPATH_CHECK_EQ(sources.size(), caps.size());
   MsBfsResult out;
   out.per_source.resize(sources.size());
   out.min_dist.assign(g.NumVertices(), kUnreachable);
   if (sources.empty()) return out;
   for (VertexId s : sources) HCPATH_CHECK_LT(s, g.NumVertices());
+  // Let every output map switch to its dense backing once it crosses the
+  // density threshold (distance_map.h).
+  for (VertexDistMap& m : out.per_source) m.SetUniverse(g.NumVertices());
 
   // Deduplicate (vertex) -> wave slot; a duplicated source shares one slot
   // with the max cap among its occurrences.
@@ -118,20 +131,74 @@ MsBfsResult MultiSourceBfs(const Graph& g,
     slot_to_out[it->second].push_back(i);
   }
 
-  std::vector<uint64_t> seen(g.NumVertices(), 0);
-  std::vector<uint64_t> next_mask(g.NumVertices(), 0);
-
+  std::vector<Wave> waves;
   for (size_t base = 0; base < uniq_sources.size(); base += 64) {
     Wave wave;
     const size_t end = std::min(base + 64, uniq_sources.size());
-    std::vector<std::vector<size_t>> wave_slot_to_out;
     for (size_t i = base; i < end; ++i) {
       wave.sources.push_back(uniq_sources[i]);
       wave.caps.push_back(uniq_caps[i]);
       wave.max_cap = std::max(wave.max_cap, uniq_caps[i]);
-      wave_slot_to_out.push_back(slot_to_out[i]);
+      wave.slot_to_out.push_back(std::move(slot_to_out[i]));
     }
-    RunWave(g, dir, wave, seen, next_mask, out, wave_slot_to_out, caps);
+    waves.push_back(std::move(wave));
+  }
+
+  // Even a 1-worker pool doubles compute: ParallelFor callers work too.
+  if (pool != nullptr && waves.size() > 1) {
+    // Wave-parallel build: every running wave owns a scratch set (seen /
+    // next_mask / min-dist accumulator) checked out of a free list, so
+    // peak memory is O(concurrent tasks * |V|), not O(waves * |V|).
+    // Per-source maps are partitioned by wave, and the final
+    // elementwise-min merge is order-insensitive, so the result is
+    // identical to the sequential build.
+    struct WaveScratch {
+      std::vector<uint64_t> seen;
+      std::vector<uint64_t> next_mask;
+      std::vector<Hop> min_dist;  // accumulates across this scratch's waves
+      uint64_t discovered = 0;
+    };
+    std::mutex scratch_mu;
+    std::vector<std::unique_ptr<WaveScratch>> all_scratch;
+    std::vector<WaveScratch*> free_scratch;
+    pool->ParallelFor(waves.size(), [&](size_t w) {
+      WaveScratch* s = nullptr;
+      {
+        std::lock_guard<std::mutex> lk(scratch_mu);
+        if (!free_scratch.empty()) {
+          s = free_scratch.back();
+          free_scratch.pop_back();
+        }
+      }
+      if (s == nullptr) {
+        auto owned = std::make_unique<WaveScratch>();
+        owned->seen.assign(g.NumVertices(), 0);
+        owned->next_mask.assign(g.NumVertices(), 0);
+        owned->min_dist.assign(g.NumVertices(), kUnreachable);
+        s = owned.get();
+        std::lock_guard<std::mutex> lk(scratch_mu);
+        all_scratch.push_back(std::move(owned));
+      }
+      // RunWave leaves seen/next_mask cleared for reuse; min_dist keeps
+      // accumulating (elementwise min commutes across waves).
+      s->discovered += RunWave(g, dir, waves[w], s->seen, s->next_mask,
+                               out.per_source, s->min_dist, caps);
+      std::lock_guard<std::mutex> lk(scratch_mu);
+      free_scratch.push_back(s);
+    });
+    for (const auto& s : all_scratch) {
+      out.total_discovered += s->discovered;
+      for (size_t v = 0; v < s->min_dist.size(); ++v) {
+        if (s->min_dist[v] < out.min_dist[v]) out.min_dist[v] = s->min_dist[v];
+      }
+    }
+  } else {
+    std::vector<uint64_t> seen(g.NumVertices(), 0);
+    std::vector<uint64_t> next_mask(g.NumVertices(), 0);
+    for (const Wave& wave : waves) {
+      out.total_discovered += RunWave(g, dir, wave, seen, next_mask,
+                                      out.per_source, out.min_dist, caps);
+    }
   }
   return out;
 }

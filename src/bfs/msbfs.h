@@ -6,6 +6,7 @@
 
 #include "bfs/distance_map.h"
 #include "graph/graph.h"
+#include "util/thread_pool.h"
 
 namespace hcpath {
 
@@ -33,9 +34,16 @@ struct MsBfsResult {
 /// runs to the max cap of its 64 sources, and discoveries beyond a source's
 /// own cap are discarded on output. Duplicate sources are deduplicated
 /// internally and share one BFS.
+///
+/// When `pool` is non-null and more than one wave exists, waves run across
+/// the pool's workers: each wave owns its scratch arrays and a private
+/// min-dist accumulator, and per-source output maps are disjoint across
+/// waves, so the result is bit-identical to the sequential run
+/// (docs/PARALLELISM.md).
 MsBfsResult MultiSourceBfs(const Graph& g,
                            const std::vector<VertexId>& sources,
-                           const std::vector<Hop>& caps, Direction dir);
+                           const std::vector<Hop>& caps, Direction dir,
+                           ThreadPool* pool = nullptr);
 
 }  // namespace hcpath
 

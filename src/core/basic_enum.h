@@ -10,6 +10,7 @@
 #include "graph/graph.h"
 #include "index/distance_index.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace hcpath {
 
@@ -22,9 +23,11 @@ Status RunBasicEnum(const Graph& g, const std::vector<PathQuery>& queries,
                     PathSink* sink, BatchStats* stats);
 
 /// Shared helper: builds the batch index for `queries` (timed into
-/// stats->build_index_seconds).
+/// stats->build_index_seconds). With a pool, the two MS-BFS sweeps run
+/// concurrently and shard their waves across workers.
 void BuildBatchIndex(const Graph& g, const std::vector<PathQuery>& queries,
-                     DistanceIndex* index, BatchStats* stats);
+                     DistanceIndex* index, BatchStats* stats,
+                     ThreadPool* pool = nullptr);
 
 }  // namespace hcpath
 

@@ -1,16 +1,19 @@
 #include "core/batch_enum.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/basic_enum.h"
 #include "core/cache.h"
 #include "core/clustering.h"
 #include "core/detect.h"
 #include "core/join.h"
+#include "core/parallel_merge.h"
 #include "core/path_enum.h"
 #include "core/search.h"
 #include "core/similarity.h"
 #include "index/distance_index.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace hcpath {
@@ -156,6 +159,76 @@ Status EnumerateSharingGraph(const Graph& g, Direction dir,
   return Status::OK();
 }
 
+/// Phases 2+3 for one cluster: detection, shared enumeration, assembly.
+/// Reads only immutable batch state (graph, queries, index, budgets), so
+/// independent clusters can run on different workers; every mutable object
+/// (sharing graphs, caches, sink, stats) is local to the call.
+Status ProcessCluster(const Graph& g, const std::vector<PathQuery>& queries,
+                      const BatchOptions& options,
+                      const std::vector<size_t>& cluster,
+                      const std::vector<Hop>& hf, const std::vector<Hop>& hb,
+                      const std::vector<bool>& reachable,
+                      const DistanceIndex& index, PathSink* sink,
+                      BatchStats* stats) {
+  std::vector<Hop> fwd_budgets, bwd_budgets;
+  std::vector<bool> skip;
+  bool any_live = false;
+  for (size_t qi : cluster) {
+    fwd_budgets.push_back(hf[qi]);
+    bwd_budgets.push_back(hb[qi]);
+    skip.push_back(!reachable[qi]);
+    any_live = any_live || reachable[qi];
+  }
+  if (!any_live) return Status::OK();
+
+  DetectionResult fwd, bwd;
+  {
+    WallTimer detect_timer;
+    fwd = DetectCommonQueries(g, Direction::kForward, queries, cluster,
+                              fwd_budgets, skip, index, options, stats);
+    bwd = DetectCommonQueries(g, Direction::kBackward, queries, cluster,
+                              bwd_budgets, skip, index, options, stats);
+    if (stats != nullptr) stats->detect_seconds += detect_timer.ElapsedSeconds();
+  }
+
+  double enum_seconds = 0;
+  {
+    ScopedTimer timer(&enum_seconds);
+    ResultCache fwd_cache, bwd_cache;
+    HCPATH_RETURN_NOT_OK(EnumerateSharingGraph(
+        g, Direction::kForward, fwd.psi, queries, index, options,
+        &fwd_cache, stats));
+    HCPATH_RETURN_NOT_OK(EnumerateSharingGraph(
+        g, Direction::kBackward, bwd.psi, queries, index, options,
+        &bwd_cache, stats));
+
+    // Assembly (Algorithm 4 lines 11-13): per-query concatenation join
+    // over the shared root results, filtered to this query's budgets.
+    for (size_t pos = 0; pos < cluster.size(); ++pos) {
+      if (skip[pos]) continue;
+      const size_t qi = cluster[pos];
+      const NodeId rf = fwd.root_of[pos];
+      const NodeId rb = bwd.root_of[pos];
+      JoinSpec join;
+      join.forward = &fwd_cache.Get(rf);
+      join.backward = &bwd_cache.Get(rb);
+      join.s = queries[qi].s;
+      join.t = queries[qi].t;
+      join.hf = hf[qi];
+      join.hb = hb[qi];
+      join.max_paths = options.max_paths_per_query;
+      auto emitted = JoinAndEmit(join, qi, sink, stats);
+      if (!emitted.ok()) return emitted.status();
+      fwd_cache.Release(rf);
+      bwd_cache.Release(rb);
+    }
+    HCPATH_DCHECK(fwd_cache.Drained());
+    HCPATH_DCHECK(bwd_cache.Drained());
+  }
+  if (stats != nullptr) stats->enumerate_seconds += enum_seconds;
+  return Status::OK();
+}
+
 }  // namespace
 
 Status RunBatchEnum(const Graph& g, const std::vector<PathQuery>& queries,
@@ -164,9 +237,18 @@ Status RunBatchEnum(const Graph& g, const std::vector<PathQuery>& queries,
   HCPATH_RETURN_NOT_OK(ValidateQueries(g, queries));
   WallTimer total;
 
+  const size_t workers =
+      options.num_threads == 1
+          ? 1
+          : ThreadPool::EffectiveThreads(options.num_threads);
+  // The ParallelFor caller works too, so a target of N compute threads
+  // needs N - 1 pool workers; the pool itself is shared across calls.
+  std::shared_ptr<ThreadPool> pool;
+  if (workers > 1) pool = ThreadPool::Shared(workers - 1);
+
   // Phase 0: shared index (Algorithm 4 lines 1-2).
   DistanceIndex index;
-  BuildBatchIndex(g, queries, &index, stats);
+  BuildBatchIndex(g, queries, &index, stats, pool.get());
 
   const size_t n = queries.size();
   std::vector<bool> reachable(n);
@@ -185,7 +267,7 @@ Status RunBatchEnum(const Graph& g, const std::vector<PathQuery>& queries,
     } else {
       SimilarityMatrix sim =
           ComputeSimilarityMatrix(g, queries, index,
-                                  options.similarity_mode);
+                                  options.similarity_mode, pool.get());
       clusters = ClusterQueries(sim, options.gamma);
     }
     if (stats != nullptr) {
@@ -212,63 +294,24 @@ Status RunBatchEnum(const Graph& g, const std::vector<PathQuery>& queries,
   }
 
   // Phases 2+3 per cluster: detection, shared enumeration, assembly.
-  for (const std::vector<size_t>& cluster : clusters) {
-    std::vector<Hop> fwd_budgets, bwd_budgets;
-    std::vector<bool> skip;
-    bool any_live = false;
-    for (size_t qi : cluster) {
-      fwd_budgets.push_back(hf[qi]);
-      bwd_budgets.push_back(hb[qi]);
-      skip.push_back(!reachable[qi]);
-      any_live = any_live || reachable[qi];
+  if (pool == nullptr || clusters.size() < 2) {
+    // Sequential reference implementation: emit straight into the sink.
+    for (const std::vector<size_t>& cluster : clusters) {
+      HCPATH_RETURN_NOT_OK(ProcessCluster(g, queries, options, cluster, hf,
+                                          hb, reachable, index, sink, stats));
     }
-    if (!any_live) continue;
-
-    DetectionResult fwd, bwd;
-    {
-      WallTimer detect_timer;
-      fwd = DetectCommonQueries(g, Direction::kForward, queries, cluster,
-                                fwd_budgets, skip, index, options, stats);
-      bwd = DetectCommonQueries(g, Direction::kBackward, queries, cluster,
-                                bwd_budgets, skip, index, options, stats);
-      if (stats != nullptr) stats->detect_seconds += detect_timer.ElapsedSeconds();
-    }
-
-    double enum_seconds = 0;
-    {
-      ScopedTimer timer(&enum_seconds);
-      ResultCache fwd_cache, bwd_cache;
-      HCPATH_RETURN_NOT_OK(EnumerateSharingGraph(
-          g, Direction::kForward, fwd.psi, queries, index, options,
-          &fwd_cache, stats));
-      HCPATH_RETURN_NOT_OK(EnumerateSharingGraph(
-          g, Direction::kBackward, bwd.psi, queries, index, options,
-          &bwd_cache, stats));
-
-      // Assembly (Algorithm 4 lines 11-13): per-query concatenation join
-      // over the shared root results, filtered to this query's budgets.
-      for (size_t pos = 0; pos < cluster.size(); ++pos) {
-        if (skip[pos]) continue;
-        const size_t qi = cluster[pos];
-        const NodeId rf = fwd.root_of[pos];
-        const NodeId rb = bwd.root_of[pos];
-        JoinSpec join;
-        join.forward = &fwd_cache.Get(rf);
-        join.backward = &bwd_cache.Get(rb);
-        join.s = queries[qi].s;
-        join.t = queries[qi].t;
-        join.hf = hf[qi];
-        join.hb = hb[qi];
-        join.max_paths = options.max_paths_per_query;
-        auto emitted = JoinAndEmit(join, qi, sink, stats);
-        if (!emitted.ok()) return emitted.status();
-        fwd_cache.Release(rf);
-        bwd_cache.Release(rb);
-      }
-      HCPATH_DCHECK(fwd_cache.Drained());
-      HCPATH_DCHECK(bwd_cache.Drained());
-    }
-    if (stats != nullptr) stats->enumerate_seconds += enum_seconds;
+  } else {
+    // Cluster-parallel: clusters are independent by construction
+    // (Algorithm 2 partitions the batch), so each runs as one buffered
+    // task; the ordered merge (parallel_merge.h) reproduces the sequential
+    // emission stream, counters, and error semantics bit for bit.
+    HCPATH_RETURN_NOT_OK(RunBufferedParallel(
+        *pool, clusters.size(), sink, stats,
+        [&](size_t c, PathSink* cluster_sink, BatchStats* cluster_stats) {
+          return ProcessCluster(g, queries, options, clusters[c], hf, hb,
+                                reachable, index, cluster_sink,
+                                cluster_stats);
+        }));
   }
 
   if (stats != nullptr) stats->total_seconds += total.ElapsedSeconds();

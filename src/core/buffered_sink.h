@@ -1,0 +1,61 @@
+#ifndef HCPATH_CORE_BUFFERED_SINK_H_
+#define HCPATH_CORE_BUFFERED_SINK_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/path.h"
+#include "util/arena.h"
+
+namespace hcpath {
+
+/// Per-worker path buffer for the parallel batch engines. Each worker emits
+/// into its own BufferedSink (no locks on the hot emit path); the
+/// coordinating thread replays the buffers in input order afterwards, so
+/// the downstream sink observes exactly the sequential emission stream
+/// (docs/PARALLELISM.md).
+///
+/// Path storage is arena-backed: vertices are bump-allocated in chunks and
+/// released wholesale when the buffer dies, so buffering adds no per-path
+/// free-list churn.
+class BufferedSink : public PathSink {
+ public:
+  /// Small first chunk: parallel runs allocate one buffer per query or
+  /// cluster, and most hold few paths; the arena doubles into more chunks
+  /// only when a buffer actually fills.
+  BufferedSink() : arena_(16 << 10) {}
+
+  // Non-copyable and non-movable (the arena pins its chunks); hold them in
+  // fixed-size containers.
+  BufferedSink(const BufferedSink&) = delete;
+  BufferedSink& operator=(const BufferedSink&) = delete;
+
+  void OnPath(size_t query_index, PathView path) override {
+    VertexId* dst = arena_.AllocateArray<VertexId>(path.size());
+    std::copy(path.begin(), path.end(), dst);
+    records_.push_back({query_index, dst, path.size()});
+  }
+
+  /// Re-emits every buffered path, in emission order, to `downstream`.
+  void Replay(PathSink* downstream) const {
+    for (const Record& r : records_) {
+      downstream->OnPath(r.query_index, PathView{r.vertices, r.num_vertices});
+    }
+  }
+
+  size_t num_paths() const { return records_.size(); }
+
+ private:
+  struct Record {
+    size_t query_index;
+    const VertexId* vertices;
+    size_t num_vertices;
+  };
+
+  Arena arena_;
+  std::vector<Record> records_;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_BUFFERED_SINK_H_

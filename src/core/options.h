@@ -64,6 +64,16 @@ struct BatchOptions {
   /// Cap on materialized vertices held in the sharing cache R (0 = off).
   uint64_t max_cache_vertices = 0;
 
+  /// Compute threads for the batch engines. 0 (or any value < 1) = use
+  /// every hardware thread; 1 = the single-threaded reference
+  /// implementation (default). Any larger value N runs on N compute
+  /// threads (N - 1 shared pool workers plus the calling thread): the
+  /// index build shards its BFS waves, BatchEnum runs clusters and
+  /// BasicEnum runs queries in parallel, and results are merged in input
+  /// order so paths, counts, and work counters are identical to
+  /// num_threads = 1 (docs/PARALLELISM.md).
+  int num_threads = 1;
+
   /// Disable phase 1 clustering (every query in one cluster); ablation.
   bool disable_clustering = false;
 

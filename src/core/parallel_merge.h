@@ -1,0 +1,70 @@
+#ifndef HCPATH_CORE_PARALLEL_MERGE_H_
+#define HCPATH_CORE_PARALLEL_MERGE_H_
+
+#include <atomic>
+#include <vector>
+
+#include "core/buffered_sink.h"
+#include "core/stats.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace hcpath {
+
+/// The buffered-parallel scaffold shared by the batch engines
+/// (docs/PARALLELISM.md): runs `task(i, sink, stats)` for every i in
+/// [0, n) across the pool — each item emitting into a private arena-backed
+/// buffer with private stats — then merges in input order so the
+/// downstream sink observes exactly the sequential emission stream and the
+/// counters sum to the sequential totals.
+///
+/// Error semantics mirror the sequential early return: once any item
+/// fails, unstarted items are skipped; at merge time, skipped items
+/// ordered before the first failure are completed synchronously (straight
+/// into `sink`), buffered results are replayed up to and including the
+/// failing item's pre-error paths, and the first failure's Status is
+/// returned.
+///
+/// `task` must be safe to run concurrently for distinct i and is invoked
+/// once per item (possibly again at merge time only if that item was
+/// skipped, i.e. never started).
+template <typename TaskFn>
+Status RunBufferedParallel(ThreadPool& pool, size_t n, PathSink* sink,
+                           BatchStats* stats, const TaskFn& task) {
+  std::vector<BufferedSink> buffers(n);
+  std::vector<Status> status(n, Status::OK());
+  std::vector<char> skipped(n, 0);
+  std::vector<BatchStats> item_stats(stats != nullptr ? n : 0);
+  std::atomic<bool> abort{false};
+  pool.ParallelFor(n, [&](size_t i) {
+    // Early abort: the first failure already decides the run's outcome, so
+    // don't start remaining items — finishing them would only burn CPU and
+    // buffer memory.
+    if (abort.load(std::memory_order_relaxed)) {
+      skipped[i] = 1;
+      return;
+    }
+    status[i] =
+        task(i, &buffers[i], stats != nullptr ? &item_stats[i] : nullptr);
+    if (!status[i].ok()) abort.store(true, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    if (skipped[i]) {
+      // An item ordered before the first failure may have been skipped by
+      // the abort flag (scheduling is unordered); the sequential engine
+      // would have completed it before reaching the failure, so run it now.
+      HCPATH_RETURN_NOT_OK(task(i, sink, stats));
+      continue;
+    }
+    // Replay before surfacing the error: the sequential engine has already
+    // streamed a failing item's pre-error paths to the sink.
+    if (sink != nullptr) buffers[i].Replay(sink);
+    if (stats != nullptr) stats->Accumulate(item_stats[i]);
+    HCPATH_RETURN_NOT_OK(status[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace hcpath
+
+#endif  // HCPATH_CORE_PARALLEL_MERGE_H_

@@ -115,10 +115,21 @@ double OverlapCoefficient(const std::vector<VertexId>& a,
 
 SimilarityMatrix ComputeSimilarityMatrix(
     const Graph& g, const std::vector<PathQuery>& queries,
-    const DistanceIndex& index, SimilarityMode mode) {
+    const DistanceIndex& index, SimilarityMode mode, ThreadPool* pool) {
   const size_t n = queries.size();
   SimilarityMatrix sim(n);
   if (n < 2) return sim;
+
+  // Row-parallel driver: pair (i, j > i) is computed by row task i alone,
+  // and Set writes only that pair's two mirror cells, so rows never touch
+  // the same memory. Sequential when no pool is given.
+  auto for_each_row = [&](const std::function<void(size_t)>& row_fn) {
+    if (pool != nullptr) {
+      pool->ParallelFor(n, row_fn);
+    } else {
+      for (size_t i = 0; i < n; ++i) row_fn(i);
+    }
+  };
 
   bool use_sketch = mode == SimilarityMode::kSketch;
   if (mode == SimilarityMode::kAuto) {
@@ -133,11 +144,25 @@ SimilarityMatrix ComputeSimilarityMatrix(
   if (use_sketch) {
     std::vector<std::vector<uint64_t>> fwd_sketch(n), bwd_sketch(n);
     std::vector<size_t> fwd_size(n), bwd_size(n);
-    for (size_t i = 0; i < n; ++i) {
+    for_each_row([&](size_t i) {
       fwd_sketch[i] = BuildSketch(index.FromSourceMap(i));
       bwd_sketch[i] = BuildSketch(index.ToTargetMap(i));
       fwd_size[i] = index.FromSourceMap(i).size();
       bwd_size[i] = index.ToTargetMap(i).size();
+    });
+    // The small-set fallback below reads lazily cached SortedKeys; rows
+    // would race building the same query's cache, so materialize them up
+    // front (one query per task) whenever any set can take that path.
+    bool any_small_fwd = false, any_small_bwd = false;
+    for (size_t i = 0; i < n; ++i) {
+      any_small_fwd = any_small_fwd || fwd_size[i] <= kSketchSize;
+      any_small_bwd = any_small_bwd || bwd_size[i] <= kSketchSize;
+    }
+    if (pool != nullptr && (any_small_fwd || any_small_bwd)) {
+      for_each_row([&](size_t i) {
+        if (any_small_fwd) index.Gamma(i);
+        if (any_small_bwd) index.GammaR(i);
+      });
     }
     auto overlap = [&](size_t i, size_t j, bool fwd) {
       const size_t si = fwd ? fwd_size[i] : bwd_size[i];
@@ -153,11 +178,11 @@ SimilarityMatrix ComputeSimilarityMatrix(
       return fwd ? SketchOverlap(fwd_sketch[i], si, fwd_sketch[j], sj)
                  : SketchOverlap(bwd_sketch[i], si, bwd_sketch[j], sj);
     };
-    for (size_t i = 0; i < n; ++i) {
+    for_each_row([&](size_t i) {
       for (size_t j = i + 1; j < n; ++j) {
         sim.Set(i, j, HarmonicMu(overlap(i, j, true), overlap(i, j, false)));
       }
-    }
+    });
     return sim;
   }
 
@@ -165,14 +190,16 @@ SimilarityMatrix ComputeSimilarityMatrix(
   const size_t nv = g.NumVertices();
   std::vector<DynamicBitset> fwd_bits(n), bwd_bits(n);
   std::vector<size_t> fwd_size(n), bwd_size(n);
-  for (size_t i = 0; i < n; ++i) {
+  // Safe row-parallel: task i only touches query i's bitsets and lazy key
+  // caches.
+  for_each_row([&](size_t i) {
     fwd_bits[i].Resize(nv);
     for (VertexId v : index.Gamma(i)) fwd_bits[i].Set(v);
     fwd_size[i] = index.Gamma(i).size();
     bwd_bits[i].Resize(nv);
     for (VertexId v : index.GammaR(i)) bwd_bits[i].Set(v);
     bwd_size[i] = index.GammaR(i).size();
-  }
+  });
   auto intersect_count = [](const DynamicBitset& a, const DynamicBitset& b) {
     const uint64_t* wa = a.words();
     const uint64_t* wb = b.words();
@@ -182,7 +209,7 @@ SimilarityMatrix ComputeSimilarityMatrix(
     }
     return c;
   };
-  for (size_t i = 0; i < n; ++i) {
+  for_each_row([&](size_t i) {
     for (size_t j = i + 1; j < n; ++j) {
       double f = 0, b = 0;
       if (fwd_size[i] != 0 && fwd_size[j] != 0) {
@@ -195,7 +222,7 @@ SimilarityMatrix ComputeSimilarityMatrix(
       }
       sim.Set(i, j, HarmonicMu(f, b));
     }
-  }
+  });
   return sim;
 }
 

@@ -9,6 +9,7 @@
 #include "graph/graph.h"
 #include "index/distance_index.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace hcpath {
 
@@ -44,10 +45,15 @@ class SimilarityMatrix {
 ///
 /// `mode` chooses exact bitset intersections or bottom-k minhash sketches
 /// (kAuto picks sketches on graphs above ~1M vertices).
+///
+/// With a pool, the per-query set materialization and the O(|Q|^2) pair
+/// loop run row-parallel; every pair is computed by exactly one task, so
+/// the matrix is identical to the sequential one.
 SimilarityMatrix ComputeSimilarityMatrix(const Graph& g,
                                          const std::vector<PathQuery>& queries,
                                          const DistanceIndex& index,
-                                         SimilarityMode mode);
+                                         SimilarityMode mode,
+                                         ThreadPool* pool = nullptr);
 
 /// Exact overlap coefficient of two sorted vertex sets (exposed for tests).
 double OverlapCoefficient(const std::vector<VertexId>& a,

@@ -7,12 +7,26 @@ namespace hcpath {
 void DistanceIndex::Build(const Graph& g,
                           const std::vector<VertexId>& sources,
                           const std::vector<VertexId>& targets,
-                          const std::vector<Hop>& hops) {
+                          const std::vector<Hop>& hops, ThreadPool* pool) {
   HCPATH_CHECK_EQ(sources.size(), targets.size());
   HCPATH_CHECK_EQ(sources.size(), hops.size());
   WallTimer timer;
-  MsBfsResult fwd = MultiSourceBfs(g, sources, hops, Direction::kForward);
-  MsBfsResult bwd = MultiSourceBfs(g, targets, hops, Direction::kBackward);
+  MsBfsResult fwd, bwd;
+  if (pool != nullptr) {
+    // The two directions are independent; run them concurrently, and let
+    // each shard its waves over the same pool (nested ParallelFor is safe:
+    // blocked callers help drain the queues).
+    pool->ParallelFor(2, [&](size_t dir) {
+      if (dir == 0) {
+        fwd = MultiSourceBfs(g, sources, hops, Direction::kForward, pool);
+      } else {
+        bwd = MultiSourceBfs(g, targets, hops, Direction::kBackward, pool);
+      }
+    });
+  } else {
+    fwd = MultiSourceBfs(g, sources, hops, Direction::kForward);
+    bwd = MultiSourceBfs(g, targets, hops, Direction::kBackward);
+  }
   from_source_ = std::move(fwd.per_source);
   to_target_ = std::move(bwd.per_source);
   min_from_source_ = std::move(fwd.min_dist);

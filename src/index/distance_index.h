@@ -30,10 +30,12 @@ class DistanceIndex {
 
   /// Builds the index. `sources[i]` / `targets[i]` / `hops[i]` describe
   /// query i. Sources are BFS'd on G, targets on Gr, both capped at the
-  /// query's hop constraint.
+  /// query's hop constraint. With a pool, the forward and backward builds
+  /// run concurrently and each shards its source waves across workers; the
+  /// result is identical to the sequential build (docs/PARALLELISM.md).
   void Build(const Graph& g, const std::vector<VertexId>& sources,
              const std::vector<VertexId>& targets,
-             const std::vector<Hop>& hops);
+             const std::vector<Hop>& hops, ThreadPool* pool = nullptr);
 
   size_t num_queries() const { return from_source_.size(); }
 

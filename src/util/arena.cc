@@ -22,7 +22,9 @@ void* Arena::Allocate(size_t bytes, size_t align) {
   // Need a new chunk; oversized requests get a dedicated chunk.
   size_t cap = std::max(chunk_bytes_, bytes + align);
   Chunk c;
-  c.data = std::make_unique<char[]>(cap);
+  // Default-init (no value-init): zero-filling megabyte chunks costs more
+  // than the allocations they serve; clients write before they read.
+  c.data = std::unique_ptr<char[]>(new char[cap]);
   c.capacity = cap;
   bytes_reserved_ += cap;
   chunks_.push_back(std::move(c));

@@ -97,5 +97,71 @@ TEST(VertexDistMap, ForEachVisitsAll) {
   EXPECT_EQ(sum, 11);
 }
 
+TEST(VertexDistMap, EmptyMapLooksUpUnreachable) {
+  VertexDistMap m;
+  EXPECT_EQ(m.Lookup(0), kUnreachable);
+  EXPECT_EQ(m.Lookup(123456), kUnreachable);
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.IsDense());
+}
+
+TEST(VertexDistMap, ConvertsToDenseAtOneEighthOfUniverse) {
+  VertexDistMap m;
+  m.SetUniverse(64);
+  for (VertexId v = 0; v < 7; ++v) m.InsertMin(v * 2, static_cast<Hop>(v));
+  EXPECT_FALSE(m.IsDense());
+  m.InsertMin(60, 9);  // 8th entry of a 64-vertex universe: 1/8 threshold
+  EXPECT_TRUE(m.IsDense());
+  // Behavior is unchanged across the conversion.
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(m.Lookup(v * 2), v);
+  EXPECT_EQ(m.Lookup(60), 9);
+  EXPECT_EQ(m.Lookup(1), kUnreachable);
+  EXPECT_EQ(m.Lookup(63), kUnreachable);
+  EXPECT_EQ(m.size(), 8u);
+  m.InsertMin(60, 3);
+  EXPECT_EQ(m.Lookup(60), 3);  // InsertMin still keeps the smaller value
+  EXPECT_EQ(m.size(), 8u);
+  const auto& keys = m.SortedKeys();
+  ASSERT_EQ(keys.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(VertexDistMap, DenseForEachAndReserve) {
+  VertexDistMap m;
+  m.SetUniverse(32);
+  m.Reserve(16);  // expectation > 32/8 converts immediately
+  EXPECT_TRUE(m.IsDense());
+  m.InsertMin(31, 2);
+  m.InsertMin(0, 1);
+  size_t count = 0;
+  m.ForEach([&](VertexId, Hop) { ++count; });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(VertexDistMap, ReserveOnDenseMapIsHarmless) {
+  VertexDistMap m;
+  m.SetUniverse(32);
+  for (VertexId v = 0; v < 4; ++v) m.InsertMin(v, 1);  // converts at 4*8>=32
+  ASSERT_TRUE(m.IsDense());
+  m.Reserve(2);  // small expectation must not resurrect the hash backing
+  EXPECT_TRUE(m.IsDense());
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.Lookup(3), 1);
+}
+
+TEST(VertexDistMap, CopyAndMovePreserveLookups) {
+  VertexDistMap m;
+  for (VertexId v = 0; v < 100; ++v) m.InsertMin(v * 3, 2);
+  VertexDistMap copy = m;
+  EXPECT_EQ(copy.Lookup(99), 2);
+  EXPECT_EQ(copy.Lookup(1), kUnreachable);
+  VertexDistMap moved = std::move(m);
+  EXPECT_EQ(moved.Lookup(99), 2);
+  EXPECT_EQ(moved.size(), 100u);
+  VertexDistMap empty_moved = std::move(copy);
+  VertexDistMap copy2 = empty_moved;
+  EXPECT_EQ(copy2.Lookup(99), 2);
+}
+
 }  // namespace
 }  // namespace hcpath
