@@ -5,6 +5,17 @@
 // BENCH_*.json trajectory can be tracked across PRs.
 //
 //   ./build/exp8_threads --clusters=64 --clones=4 --json=BENCH_threads.json
+//
+// --skew replaces the balanced workload with the adversarial shape for
+// cluster-level parallelism: half the queries are clones of ONE pair (one
+// giant cluster, placed last so the streaming merge can drain the tiny
+// clusters while it runs) and half are unrelated singletons. Cluster-only
+// scheduling serializes the giant cluster on one worker; the intra-cluster
+// sub-tasks (docs/PARALLELISM.md) are what keep the speedup, and the JSON
+// adds the streaming-merge fields (merge_peak_buffered_bytes vs
+// merge_total_buffered_bytes = the PR-1 gather baseline) to track it.
+//
+//   ./build/exp8_threads --skew --clusters=64 --clones=4 --json=BENCH_skew.json
 
 #include <cstdio>
 #include <string>
@@ -37,24 +48,50 @@ StatusOr<std::vector<PathQuery>> MakeClusteredWorkload(
   return queries;
 }
 
+/// --skew workload: one giant near-duplicate group holding half the batch,
+/// preceded by unrelated singleton queries (so the giant cluster is the
+/// *last* cluster and tiny buffers drain while it runs).
+StatusOr<std::vector<PathQuery>> MakeSkewedWorkload(const Graph& g,
+                                                    size_t total, int k,
+                                                    Rng& rng) {
+  QueryGenOptions qopt;
+  qopt.k_min = k;
+  qopt.k_max = k;
+  qopt.min_distance = 2;
+  const size_t giant = total / 2;
+  auto singles = GenerateRandomQueries(g, total - giant, qopt, rng);
+  if (!singles.ok()) return singles.status();
+  auto base = GenerateRandomQueries(g, 1, qopt, rng);
+  if (!base.ok()) return base.status();
+  std::vector<PathQuery> queries = *singles;
+  for (size_t c = 0; c < giant; ++c) queries.push_back((*base)[0]);
+  return queries;
+}
+
 void EmitJson(std::FILE* out, const std::string& algo, size_t clusters,
-              size_t clones, int threads, const RunOutcome& o,
+              size_t clones, bool skew, int threads, const RunOutcome& o,
               double baseline_seconds) {
   const double speedup =
       o.seconds > 0 && baseline_seconds > 0 ? baseline_seconds / o.seconds : 0;
   std::fprintf(
       out,
       "{\"bench\":\"exp8_threads\",\"algo\":\"%s\",\"clusters\":%zu,"
-      "\"clones\":%zu,\"threads\":%d,\"seconds\":%.6f,"
+      "\"clones\":%zu,\"skew\":%s,\"threads\":%d,\"seconds\":%.6f,"
       "\"build_index_seconds\":%.6f,\"cluster_seconds\":%.6f,"
       "\"detect_seconds\":%.6f,\"enumerate_seconds\":%.6f,"
-      "\"paths\":%llu,\"num_clusters\":%llu,\"over_time\":%s,"
+      "\"paths\":%llu,\"num_clusters\":%llu,"
+      "\"merge_peak_buffered_bytes\":%llu,"
+      "\"merge_total_buffered_bytes\":%llu,"
+      "\"merge_streamed_items\":%llu,\"over_time\":%s,"
       "\"speedup_vs_1\":%.3f}\n",
-      algo.c_str(), clusters, clones, threads, o.seconds,
-      o.stats.build_index_seconds, o.stats.cluster_seconds,
+      algo.c_str(), clusters, clones, skew ? "true" : "false", threads,
+      o.seconds, o.stats.build_index_seconds, o.stats.cluster_seconds,
       o.stats.detect_seconds, o.stats.enumerate_seconds,
       static_cast<unsigned long long>(o.total_paths),
       static_cast<unsigned long long>(o.stats.num_clusters),
+      static_cast<unsigned long long>(o.stats.merge_peak_buffered_bytes),
+      static_cast<unsigned long long>(o.stats.merge_total_buffered_bytes),
+      static_cast<unsigned long long>(o.stats.merge_streamed_items),
       o.over_time ? "true" : "false", speedup);
 }
 
@@ -66,6 +103,9 @@ int main(int argc, char** argv) {
   int64_t* clones = cf.flags.AddInt64("clones", 4, "queries per group");
   int64_t* vertices = cf.flags.AddInt64("vertices", 20000, "graph size");
   int64_t* k = cf.flags.AddInt64("k", 4, "hop constraint");
+  bool* skew = cf.flags.AddBool(
+      "skew", false,
+      "one giant cluster (half the batch) + unrelated singletons");
   std::string* json = cf.flags.AddString("json", "", "also append JSON here");
   ParseOrDie(cf, argc, argv);
 
@@ -82,19 +122,31 @@ int main(int argc, char** argv) {
   }
   Rng qrng(static_cast<uint64_t>(*cf.seed) + 1);
   auto workload =
-      MakeClusteredWorkload(*g, static_cast<size_t>(*clusters),
-                            static_cast<size_t>(*clones),
-                            static_cast<int>(*k), qrng);
+      *skew ? MakeSkewedWorkload(
+                  *g,
+                  static_cast<size_t>(*clusters) * static_cast<size_t>(*clones),
+                  static_cast<int>(*k), qrng)
+            : MakeClusteredWorkload(*g, static_cast<size_t>(*clusters),
+                                    static_cast<size_t>(*clones),
+                                    static_cast<int>(*k), qrng);
   if (!workload.ok()) {
     std::fprintf(stderr, "workload failed: %s\n",
                  workload.status().ToString().c_str());
     return 1;
   }
   const std::vector<PathQuery>& queries = *workload;
-  std::fprintf(stderr, "[exp8] |V|=%lld |Q|=%zu (%lld groups x %lld)\n",
-               static_cast<long long>(*vertices), queries.size(),
-               static_cast<long long>(*clusters),
-               static_cast<long long>(*clones));
+  if (*skew) {
+    std::fprintf(stderr,
+                 "[exp8] |V|=%lld |Q|=%zu (skew: 1 giant cluster of %zu + "
+                 "%zu singletons)\n",
+                 static_cast<long long>(*vertices), queries.size(),
+                 queries.size() / 2, queries.size() - queries.size() / 2);
+  } else {
+    std::fprintf(stderr, "[exp8] |V|=%lld |Q|=%zu (%lld groups x %lld)\n",
+                 static_cast<long long>(*vertices), queries.size(),
+                 static_cast<long long>(*clusters),
+                 static_cast<long long>(*clones));
+  }
 
   std::FILE* jf = nullptr;
   if (!json->empty()) {
@@ -124,10 +176,10 @@ int main(int argc, char** argv) {
           TimeAlgorithm(*g, queries, a.algo, opt, *cf.time_budget);
       if (threads == 1) baseline = o.seconds;
       EmitJson(stdout, a.name, static_cast<size_t>(*clusters),
-               static_cast<size_t>(*clones), threads, o, baseline);
+               static_cast<size_t>(*clones), *skew, threads, o, baseline);
       if (jf != nullptr) {
         EmitJson(jf, a.name, static_cast<size_t>(*clusters),
-                 static_cast<size_t>(*clones), threads, o, baseline);
+                 static_cast<size_t>(*clones), *skew, threads, o, baseline);
       }
     }
   }

@@ -34,13 +34,8 @@ Status RunBasicEnum(const Graph& g, const std::vector<PathQuery>& queries,
   HCPATH_RETURN_NOT_OK(ValidateQueries(g, queries));
   WallTimer total;
 
-  const size_t workers =
-      options.num_threads == 1 ? 1
-                               : ThreadPool::EffectiveThreads(options.num_threads);
-  // The ParallelFor caller works too, so a target of N compute threads
-  // needs N - 1 pool workers; the pool itself is shared across calls.
-  std::shared_ptr<ThreadPool> pool;
-  if (workers > 1) pool = ThreadPool::Shared(workers - 1);
+  std::shared_ptr<ThreadPool> pool =
+      ThreadPool::ForNumThreads(options.num_threads);
 
   DistanceIndex index;
   BuildBatchIndex(g, queries, &index, stats, pool.get());
@@ -60,17 +55,22 @@ Status RunBasicEnum(const Graph& g, const std::vector<PathQuery>& queries,
     }
   } else {
     // Query-parallel: each query emits into its own arena-backed buffer and
-    // accumulates its own stats; RunBufferedParallel merges in query order,
-    // so the downstream sink sees the sequential emission stream and the
-    // counters match the sequential run exactly.
+    // accumulates its own stats; RunBufferedParallel streams the buffers
+    // out in query order as they finish, so the downstream sink sees the
+    // sequential emission stream and the counters match the sequential run
+    // exactly, while peak buffering tracks in-flight queries only.
     ScopedTimer timer(&enum_seconds);
-    HCPATH_RETURN_NOT_OK(RunBufferedParallel(
+    MergeMetrics mm;
+    Status st = RunBufferedParallel(
         *pool, queries.size(), sink, stats,
         [&](size_t i, PathSink* query_sink, BatchStats* query_stats) {
           return EnumerateWithMaps(g, queries[i], index.FromSourceMap(i),
                                    index.ToTargetMap(i), sq, i, query_sink,
                                    query_stats);
-        }));
+        },
+        &mm);
+    FoldMergeMetrics(mm, stats);
+    HCPATH_RETURN_NOT_OK(st);
   }
   if (stats != nullptr) {
     stats->enumerate_seconds += enum_seconds;

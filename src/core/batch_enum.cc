@@ -39,7 +39,8 @@ Status EnumerateSharingGraph(const Graph& g, Direction dir,
                              const std::vector<PathQuery>& queries,
                              const DistanceIndex& index,
                              const BatchOptions& options,
-                             ResultCache* cache, BatchStats* stats) {
+                             ResultCache* cache, BatchStats* stats,
+                             ThreadPool* pool) {
   std::vector<uint32_t> refcounts(psi.NumNodes());
   for (NodeId id = 0; id < psi.NumNodes(); ++id) {
     refcounts[id] = ConsumerCount(psi.node(id), options);
@@ -135,6 +136,9 @@ Status EnumerateSharingGraph(const Graph& g, Direction dir,
       }
       spec.deps = deps;
       spec.max_paths = options.max_paths_per_query;
+      // Deep root searches of a giant cluster frontier-split on the pool
+      // (search.cc); the sub-merge keeps the stored order sequential.
+      spec.pool = pool;
       // A forward root that nobody shares only feeds its own query's join,
       // so useless prefixes need not be materialized — this makes
       // BatchEnum degrade to BasicEnum cost when there is no sharing.
@@ -163,31 +167,46 @@ Status EnumerateSharingGraph(const Graph& g, Direction dir,
 /// Reads only immutable batch state (graph, queries, index, budgets), so
 /// independent clusters can run on different workers; every mutable object
 /// (sharing graphs, caches, sink, stats) is local to the call.
+///
+/// With a non-null `pool` and enough live queries
+/// (BatchOptions::intra_cluster_min_queries) the cluster's own phases also
+/// run as sub-tasks: the two detection traversals and the two sharing-graph
+/// enumerations pair up, deep root searches frontier-split (search.cc), and
+/// the per-query assembly joins go through the same buffered streaming
+/// merge as the clusters themselves. Every sub-merge is in input order, so
+/// the cluster's emission stream, counters, and error outcome match the
+/// sequential path — this is what keeps thread scaling on skewed batches
+/// where one giant cluster would otherwise serialize on one worker.
 Status ProcessCluster(const Graph& g, const std::vector<PathQuery>& queries,
                       const BatchOptions& options,
                       const std::vector<size_t>& cluster,
                       const std::vector<Hop>& hf, const std::vector<Hop>& hb,
                       const std::vector<bool>& reachable,
-                      const DistanceIndex& index, PathSink* sink,
-                      BatchStats* stats) {
+                      const DistanceIndex& index, ThreadPool* pool,
+                      PathSink* sink, BatchStats* stats) {
   std::vector<Hop> fwd_budgets, bwd_budgets;
   std::vector<bool> skip;
-  bool any_live = false;
+  size_t live = 0;
   for (size_t qi : cluster) {
     fwd_budgets.push_back(hf[qi]);
     bwd_budgets.push_back(hb[qi]);
     skip.push_back(!reachable[qi]);
-    any_live = any_live || reachable[qi];
+    if (reachable[qi]) ++live;
   }
-  if (!any_live) return Status::OK();
+  if (live == 0) return Status::OK();
+
+  const size_t intra_min = static_cast<size_t>(
+      std::max(2, options.intra_cluster_min_queries));
+  const bool intra =
+      pool != nullptr && pool->num_workers() > 0 && live >= intra_min;
+  ThreadPool* intra_pool = intra ? pool : nullptr;
 
   DetectionResult fwd, bwd;
   {
     WallTimer detect_timer;
-    fwd = DetectCommonQueries(g, Direction::kForward, queries, cluster,
-                              fwd_budgets, skip, index, options, stats);
-    bwd = DetectCommonQueries(g, Direction::kBackward, queries, cluster,
-                              bwd_budgets, skip, index, options, stats);
+    DetectBothDirections(g, queries, cluster, fwd_budgets, bwd_budgets,
+                         skip, index, options, intra_pool, &fwd, &bwd,
+                         stats);
     if (stats != nullptr) stats->detect_seconds += detect_timer.ElapsedSeconds();
   }
 
@@ -195,32 +214,77 @@ Status ProcessCluster(const Graph& g, const std::vector<PathQuery>& queries,
   {
     ScopedTimer timer(&enum_seconds);
     ResultCache fwd_cache, bwd_cache;
-    HCPATH_RETURN_NOT_OK(EnumerateSharingGraph(
-        g, Direction::kForward, fwd.psi, queries, index, options,
-        &fwd_cache, stats));
-    HCPATH_RETURN_NOT_OK(EnumerateSharingGraph(
-        g, Direction::kBackward, bwd.psi, queries, index, options,
-        &bwd_cache, stats));
+    if (intra_pool != nullptr) {
+      // The two directions touch disjoint caches and private stats, so
+      // they enumerate concurrently; stats fold forward-first and the
+      // forward error (the one the sequential order hits first) wins.
+      Status dir_status[2];
+      BatchStats dir_stats[2];
+      intra_pool->ParallelFor(2, [&](size_t d) {
+        if (d == 0) {
+          dir_status[0] = EnumerateSharingGraph(
+              g, Direction::kForward, fwd.psi, queries, index, options,
+              &fwd_cache, stats != nullptr ? &dir_stats[0] : nullptr,
+              intra_pool);
+        } else {
+          dir_status[1] = EnumerateSharingGraph(
+              g, Direction::kBackward, bwd.psi, queries, index, options,
+              &bwd_cache, stats != nullptr ? &dir_stats[1] : nullptr,
+              intra_pool);
+        }
+      });
+      if (stats != nullptr) {
+        stats->Accumulate(dir_stats[0]);
+        stats->Accumulate(dir_stats[1]);
+      }
+      HCPATH_RETURN_NOT_OK(dir_status[0]);
+      HCPATH_RETURN_NOT_OK(dir_status[1]);
+    } else {
+      HCPATH_RETURN_NOT_OK(EnumerateSharingGraph(
+          g, Direction::kForward, fwd.psi, queries, index, options,
+          &fwd_cache, stats, nullptr));
+      HCPATH_RETURN_NOT_OK(EnumerateSharingGraph(
+          g, Direction::kBackward, bwd.psi, queries, index, options,
+          &bwd_cache, stats, nullptr));
+    }
 
     // Assembly (Algorithm 4 lines 11-13): per-query concatenation join
     // over the shared root results, filtered to this query's budgets.
-    for (size_t pos = 0; pos < cluster.size(); ++pos) {
-      if (skip[pos]) continue;
+    auto join_one = [&](size_t pos, PathSink* join_sink,
+                        BatchStats* join_stats) -> Status {
+      if (skip[pos]) return Status::OK();
       const size_t qi = cluster[pos];
-      const NodeId rf = fwd.root_of[pos];
-      const NodeId rb = bwd.root_of[pos];
       JoinSpec join;
-      join.forward = &fwd_cache.Get(rf);
-      join.backward = &bwd_cache.Get(rb);
+      join.forward = &fwd_cache.Get(fwd.root_of[pos]);
+      join.backward = &bwd_cache.Get(bwd.root_of[pos]);
       join.s = queries[qi].s;
       join.t = queries[qi].t;
       join.hf = hf[qi];
       join.hb = hb[qi];
       join.max_paths = options.max_paths_per_query;
-      auto emitted = JoinAndEmit(join, qi, sink, stats);
-      if (!emitted.ok()) return emitted.status();
-      fwd_cache.Release(rf);
-      bwd_cache.Release(rb);
+      return JoinAndEmit(join, qi, join_sink, join_stats).status();
+    };
+    if (intra_pool != nullptr) {
+      // Query-parallel assembly: joins only read the caches; releases move
+      // after the merge (ResultCache is not thread-safe). The streaming
+      // merge reproduces the sequential per-query emission order.
+      MergeMetrics mm;
+      Status st = RunBufferedParallel(*intra_pool, cluster.size(), sink,
+                                      stats, join_one, &mm);
+      FoldMergeMetrics(mm, stats);
+      HCPATH_RETURN_NOT_OK(st);
+      for (size_t pos = 0; pos < cluster.size(); ++pos) {
+        if (skip[pos]) continue;
+        fwd_cache.Release(fwd.root_of[pos]);
+        bwd_cache.Release(bwd.root_of[pos]);
+      }
+    } else {
+      for (size_t pos = 0; pos < cluster.size(); ++pos) {
+        if (skip[pos]) continue;
+        HCPATH_RETURN_NOT_OK(join_one(pos, sink, stats));
+        fwd_cache.Release(fwd.root_of[pos]);
+        bwd_cache.Release(bwd.root_of[pos]);
+      }
     }
     HCPATH_DCHECK(fwd_cache.Drained());
     HCPATH_DCHECK(bwd_cache.Drained());
@@ -237,14 +301,8 @@ Status RunBatchEnum(const Graph& g, const std::vector<PathQuery>& queries,
   HCPATH_RETURN_NOT_OK(ValidateQueries(g, queries));
   WallTimer total;
 
-  const size_t workers =
-      options.num_threads == 1
-          ? 1
-          : ThreadPool::EffectiveThreads(options.num_threads);
-  // The ParallelFor caller works too, so a target of N compute threads
-  // needs N - 1 pool workers; the pool itself is shared across calls.
-  std::shared_ptr<ThreadPool> pool;
-  if (workers > 1) pool = ThreadPool::Shared(workers - 1);
+  std::shared_ptr<ThreadPool> pool =
+      ThreadPool::ForNumThreads(options.num_threads);
 
   // Phase 0: shared index (Algorithm 4 lines 1-2).
   DistanceIndex index;
@@ -295,23 +353,32 @@ Status RunBatchEnum(const Graph& g, const std::vector<PathQuery>& queries,
 
   // Phases 2+3 per cluster: detection, shared enumeration, assembly.
   if (pool == nullptr || clusters.size() < 2) {
-    // Sequential reference implementation: emit straight into the sink.
+    // One cluster (or sequential run): emit straight into the sink. A
+    // fully skewed parallel batch lands here with its single giant cluster
+    // and parallelizes *inside* ProcessCluster instead.
     for (const std::vector<size_t>& cluster : clusters) {
       HCPATH_RETURN_NOT_OK(ProcessCluster(g, queries, options, cluster, hf,
-                                          hb, reachable, index, sink, stats));
+                                          hb, reachable, index, pool.get(),
+                                          sink, stats));
     }
   } else {
     // Cluster-parallel: clusters are independent by construction
     // (Algorithm 2 partitions the batch), so each runs as one buffered
-    // task; the ordered merge (parallel_merge.h) reproduces the sequential
-    // emission stream, counters, and error semantics bit for bit.
-    HCPATH_RETURN_NOT_OK(RunBufferedParallel(
+    // task; the streaming ordered merge (parallel_merge.h) reproduces the
+    // sequential emission stream, counters, and error semantics bit for
+    // bit while draining finished prefixes early. Big clusters additionally
+    // fan out into sub-tasks inside ProcessCluster.
+    MergeMetrics mm;
+    Status st = RunBufferedParallel(
         *pool, clusters.size(), sink, stats,
         [&](size_t c, PathSink* cluster_sink, BatchStats* cluster_stats) {
           return ProcessCluster(g, queries, options, clusters[c], hf, hb,
-                                reachable, index, cluster_sink,
+                                reachable, index, pool.get(), cluster_sink,
                                 cluster_stats);
-        }));
+        },
+        &mm);
+    FoldMergeMetrics(mm, stats);
+    HCPATH_RETURN_NOT_OK(st);
   }
 
   if (stats != nullptr) stats->total_seconds += total.ElapsedSeconds();

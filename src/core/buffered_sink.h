@@ -43,6 +43,19 @@ class BufferedSink : public PathSink {
     }
   }
 
+  /// Drops every buffered path and returns the arena chunks and record
+  /// table to the system. The streaming merge calls this as soon as a
+  /// buffer drains, so peak memory tracks undrained buffers, not the batch.
+  void Clear() {
+    arena_.Clear();
+    records_ = {};
+  }
+
+  /// Bytes currently pinned by this buffer (arena chunks + record table).
+  uint64_t buffered_bytes() const {
+    return arena_.bytes_reserved() + records_.capacity() * sizeof(Record);
+  }
+
   size_t num_paths() const { return records_.size(); }
 
  private:

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "bfs/distance_map.h"
+#include "util/thread_pool.h"
 
 namespace hcpath {
 
@@ -196,6 +197,41 @@ DetectionResult DetectCommonQueries(
   }
 
   return finish();
+}
+
+void DetectBothDirections(const Graph& g,
+                          const std::vector<PathQuery>& queries,
+                          const std::vector<size_t>& cluster,
+                          const std::vector<Hop>& fwd_budgets,
+                          const std::vector<Hop>& bwd_budgets,
+                          const std::vector<bool>& skip,
+                          const DistanceIndex& index,
+                          const BatchOptions& options, ThreadPool* pool,
+                          DetectionResult* fwd, DetectionResult* bwd,
+                          BatchStats* stats) {
+  if (pool == nullptr || pool->num_workers() == 0) {
+    *fwd = DetectCommonQueries(g, Direction::kForward, queries, cluster,
+                               fwd_budgets, skip, index, options, stats);
+    *bwd = DetectCommonQueries(g, Direction::kBackward, queries, cluster,
+                               bwd_budgets, skip, index, options, stats);
+    return;
+  }
+  BatchStats dir_stats[2];
+  pool->ParallelFor(2, [&](size_t d) {
+    if (d == 0) {
+      *fwd = DetectCommonQueries(g, Direction::kForward, queries, cluster,
+                                 fwd_budgets, skip, index, options,
+                                 stats != nullptr ? &dir_stats[0] : nullptr);
+    } else {
+      *bwd = DetectCommonQueries(g, Direction::kBackward, queries, cluster,
+                                 bwd_budgets, skip, index, options,
+                                 stats != nullptr ? &dir_stats[1] : nullptr);
+    }
+  });
+  if (stats != nullptr) {
+    stats->Accumulate(dir_stats[0]);
+    stats->Accumulate(dir_stats[1]);
+  }
 }
 
 }  // namespace hcpath

@@ -42,6 +42,25 @@ DetectionResult DetectCommonQueries(
     const std::vector<bool>& skip, const DistanceIndex& index,
     const BatchOptions& options, BatchStats* stats);
 
+class ThreadPool;
+
+/// Runs DetectCommonQueries for both directions of one cluster — the two
+/// traversals read only immutable batch state, so with a non-null `pool`
+/// they run as two concurrent sub-tasks (the first intra-cluster
+/// parallelism stage). Each direction accumulates into a private BatchStats
+/// which is folded into `stats` forward-first, so counter totals are
+/// identical to the sequential pool == nullptr path.
+void DetectBothDirections(const Graph& g,
+                          const std::vector<PathQuery>& queries,
+                          const std::vector<size_t>& cluster,
+                          const std::vector<Hop>& fwd_budgets,
+                          const std::vector<Hop>& bwd_budgets,
+                          const std::vector<bool>& skip,
+                          const DistanceIndex& index,
+                          const BatchOptions& options, ThreadPool* pool,
+                          DetectionResult* fwd, DetectionResult* bwd,
+                          BatchStats* stats);
+
 }  // namespace hcpath
 
 #endif  // HCPATH_CORE_DETECT_H_

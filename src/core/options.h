@@ -74,6 +74,16 @@ struct BatchOptions {
   /// num_threads = 1 (docs/PARALLELISM.md).
   int num_threads = 1;
 
+  /// Minimum live queries in a cluster before its internal phases also run
+  /// as sub-tasks on the pool (forward/backward detection and enumeration
+  /// concurrently, assembly joins query-parallel, large root searches
+  /// frontier-split). This is what keeps thread scaling on skewed batches
+  /// where one giant cluster would otherwise serialize on a single worker.
+  /// Output stays bit-identical to num_threads = 1 regardless of the value
+  /// (docs/PARALLELISM.md); the knob only trades sub-task overhead against
+  /// balance. Values < 2 behave as 2. Ignored when num_threads == 1.
+  int intra_cluster_min_queries = 2;
+
   /// Disable phase 1 clustering (every query in one cluster); ablation.
   bool disable_clustering = false;
 

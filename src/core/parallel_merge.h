@@ -1,7 +1,10 @@
 #ifndef HCPATH_CORE_PARALLEL_MERGE_H_
 #define HCPATH_CORE_PARALLEL_MERGE_H_
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "core/buffered_sink.h"
@@ -11,58 +14,166 @@
 
 namespace hcpath {
 
+/// Observability of one RunBufferedParallel call. Every field is
+/// scheduling-dependent: the determinism identity covers the emitted path
+/// stream and the BatchStats work counters, never these.
+struct MergeMetrics {
+  /// High-water mark of bytes held in completed-or-filling private buffers.
+  uint64_t peak_buffered_bytes = 0;
+  /// Bytes that ever passed through a private buffer (the gather-then-merge
+  /// baseline would have held all of them simultaneously).
+  uint64_t total_buffered_bytes = 0;
+  /// Items drained to the sink while the parallel section was still running.
+  uint64_t streamed_items = 0;
+  /// Items drained (or completed synchronously) in the final sweep.
+  uint64_t final_items = 0;
+
+  void Accumulate(const MergeMetrics& other) {
+    peak_buffered_bytes =
+        peak_buffered_bytes > other.peak_buffered_bytes
+            ? peak_buffered_bytes
+            : other.peak_buffered_bytes;
+    total_buffered_bytes += other.total_buffered_bytes;
+    streamed_items += other.streamed_items;
+    final_items += other.final_items;
+  }
+};
+
+/// Folds one call's metrics into the run-level BatchStats mirror fields.
+inline void FoldMergeMetrics(const MergeMetrics& m, BatchStats* stats) {
+  if (stats == nullptr) return;
+  stats->merge_peak_buffered_bytes =
+      std::max(stats->merge_peak_buffered_bytes, m.peak_buffered_bytes);
+  stats->merge_total_buffered_bytes += m.total_buffered_bytes;
+  stats->merge_streamed_items += m.streamed_items;
+  stats->merge_final_items += m.final_items;
+}
+
 /// The buffered-parallel scaffold shared by the batch engines
 /// (docs/PARALLELISM.md): runs `task(i, sink, stats)` for every i in
 /// [0, n) across the pool — each item emitting into a private arena-backed
-/// buffer with private stats — then merges in input order so the
-/// downstream sink observes exactly the sequential emission stream and the
-/// counters sum to the sequential totals.
+/// buffer with private stats — and merges in input order so the downstream
+/// sink observes exactly the sequential emission stream and the counters
+/// sum to the sequential totals.
+///
+/// The merge *streams*: whenever the lowest-indexed unfinished item
+/// completes, the worker that finished it drains the contiguous completed
+/// prefix to the sink (under a single drain lock, so emission stays
+/// serialized and ordered) and recycles the drained buffers' arenas. Peak
+/// buffer memory is therefore bounded by the completed-but-undrained window
+/// — in practice the in-flight items — instead of the whole batch, and the
+/// first item's results reach the sink as soon as it finishes rather than
+/// after the last one. Sink note: `sink->OnPath` calls are totally ordered
+/// (the drain lock serializes them) but may run on any pool thread while
+/// the parallel section is live; observers reading sink state concurrently
+/// must synchronize themselves.
 ///
 /// Error semantics mirror the sequential early return: once any item
-/// fails, unstarted items are skipped; at merge time, skipped items
-/// ordered before the first failure are completed synchronously (straight
-/// into `sink`), buffered results are replayed up to and including the
-/// failing item's pre-error paths, and the first failure's Status is
-/// returned.
+/// fails, unstarted items are skipped; the drain stops permanently at the
+/// first failed item after replaying its pre-error paths, and that item's
+/// Status is returned. Items skipped by the abort flag but ordered before
+/// the first failure are completed synchronously (straight into `sink`) in
+/// the final sweep, exactly as the sequential engine would have run them.
 ///
 /// `task` must be safe to run concurrently for distinct i and is invoked
 /// once per item (possibly again at merge time only if that item was
 /// skipped, i.e. never started).
 template <typename TaskFn>
 Status RunBufferedParallel(ThreadPool& pool, size_t n, PathSink* sink,
-                           BatchStats* stats, const TaskFn& task) {
+                           BatchStats* stats, const TaskFn& task,
+                           MergeMetrics* metrics = nullptr) {
+  if (n == 0) return Status::OK();
+  enum ItemState : uint8_t { kRunning = 0, kDone, kFailed, kSkipped };
   std::vector<BufferedSink> buffers(n);
   std::vector<Status> status(n, Status::OK());
-  std::vector<char> skipped(n, 0);
   std::vector<BatchStats> item_stats(stats != nullptr ? n : 0);
+  std::vector<uint8_t> state(n, kRunning);
   std::atomic<bool> abort{false};
+
+  // Streaming-drain state, all guarded by `mu`. `frontier` is the first
+  // undrained item; it only ever advances over kDone items and stops for
+  // good at the first kFailed one (`closed`).
+  std::mutex mu;
+  size_t frontier = 0;
+  bool closed = false;
+  Status first_error = Status::OK();
+  uint64_t buffered_bytes = 0;
+  MergeMetrics mm;
+
+  auto drain_locked = [&](bool streaming) {
+    while (!closed && frontier < n &&
+           (state[frontier] == kDone || state[frontier] == kFailed)) {
+      BufferedSink& buf = buffers[frontier];
+      // Replay before surfacing an error: the sequential engine has already
+      // streamed a failing item's pre-error paths to the sink.
+      if (sink != nullptr) buf.Replay(sink);
+      if (stats != nullptr) stats->Accumulate(item_stats[frontier]);
+      buffered_bytes -= buf.buffered_bytes();
+      buf.Clear();  // recycle the arena now, not at scope exit
+      if (streaming) {
+        ++mm.streamed_items;
+      } else {
+        ++mm.final_items;
+      }
+      if (state[frontier] == kFailed) {
+        first_error = status[frontier];
+        closed = true;
+      }
+      ++frontier;
+    }
+  };
+
   pool.ParallelFor(n, [&](size_t i) {
     // Early abort: the first failure already decides the run's outcome, so
     // don't start remaining items — finishing them would only burn CPU and
     // buffer memory.
     if (abort.load(std::memory_order_relaxed)) {
-      skipped[i] = 1;
+      std::lock_guard<std::mutex> lk(mu);
+      state[i] = kSkipped;
       return;
     }
-    status[i] =
+    Status st =
         task(i, &buffers[i], stats != nullptr ? &item_stats[i] : nullptr);
-    if (!status[i].ok()) abort.store(true, std::memory_order_relaxed);
-  });
-  for (size_t i = 0; i < n; ++i) {
-    if (skipped[i]) {
-      // An item ordered before the first failure may have been skipped by
-      // the abort flag (scheduling is unordered); the sequential engine
-      // would have completed it before reaching the failure, so run it now.
-      HCPATH_RETURN_NOT_OK(task(i, sink, stats));
-      continue;
+    std::lock_guard<std::mutex> lk(mu);
+    status[i] = std::move(st);
+    state[i] = status[i].ok() ? kDone : kFailed;
+    if (state[i] == kFailed) abort.store(true, std::memory_order_relaxed);
+    const uint64_t bytes = buffers[i].buffered_bytes();
+    buffered_bytes += bytes;
+    mm.total_buffered_bytes += bytes;
+    if (buffered_bytes > mm.peak_buffered_bytes) {
+      mm.peak_buffered_bytes = buffered_bytes;
     }
-    // Replay before surfacing the error: the sequential engine has already
-    // streamed a failing item's pre-error paths to the sink.
-    if (sink != nullptr) buffers[i].Replay(sink);
-    if (stats != nullptr) stats->Accumulate(item_stats[i]);
-    HCPATH_RETURN_NOT_OK(status[i]);
+    drain_locked(/*streaming=*/true);
+  });
+
+  // Final sweep: everything past the frontier is either stalled behind a
+  // skipped item or was completed after the drain closed on a failure.
+  Status result = first_error;
+  if (result.ok()) {
+    for (size_t i = frontier; i < n; ++i) {
+      if (state[i] == kSkipped) {
+        // An item ordered before the first failure may have been skipped by
+        // the abort flag (scheduling is unordered); the sequential engine
+        // would have completed it before reaching the failure, so run it
+        // now, straight into the sink.
+        ++mm.final_items;
+        result = task(i, sink, stats);
+        if (!result.ok()) break;
+        continue;
+      }
+      if (sink != nullptr) buffers[i].Replay(sink);
+      if (stats != nullptr) stats->Accumulate(item_stats[i]);
+      buffers[i].Clear();
+      ++mm.final_items;
+      if (state[i] == kFailed) {
+        result = status[i];
+        break;
+      }
+    }
   }
-  return Status::OK();
+  if (metrics != nullptr) metrics->Accumulate(mm);
+  return result;
 }
 
 }  // namespace hcpath

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace hcpath {
 
 namespace {
@@ -47,6 +49,11 @@ inline const SearchDep* FindDep(std::span<const SearchDep> deps,
   return nullptr;
 }
 
+Status ExceededMaxPaths(uint64_t max_paths) {
+  return Status::ResourceExhausted("half search exceeded max_paths = " +
+                                   std::to_string(max_paths));
+}
+
 /// Stores the current path if it passes the join filter; returns false on
 /// resource exhaustion.
 bool StoreCurrent(SearchCtx& c) {
@@ -57,12 +64,43 @@ bool StoreCurrent(SearchCtx& c) {
     if (!useful) return true;
   }
   if (c.spec.max_paths != 0 && c.out->size() >= c.spec.max_paths) {
-    c.status = Status::ResourceExhausted(
-        "half search exceeded max_paths = " +
-        std::to_string(c.spec.max_paths));
+    c.status = ExceededMaxPaths(c.spec.max_paths);
     return false;
   }
   c.out->Add(c.path);
+  return true;
+}
+
+/// Algorithm 4 lines 22-23: splices every cached HC-s path compatible with
+/// `prefix` (within the remaining budget, disjoint from the prefix) into
+/// `out` instead of recursing. cached[0] == the shortcut vertex by
+/// construction, so only suffix vertices are checked (DESIGN.md D6).
+/// Shared by the recursion and the frontier-split sub-merge so the filter
+/// and cap semantics cannot diverge. Returns false + sets `status` at the
+/// max_paths cap.
+bool SpliceCached(const HalfSearchSpec& spec,
+                  const std::vector<VertexId>& prefix, const PathSet& cached,
+                  Hop remaining, PathSet* out, BatchStats* stats,
+                  Status* status) {
+  const size_t max_vertices = static_cast<size_t>(remaining) + 1;
+  for (size_t i = 0; i < cached.size(); ++i) {
+    PathView cp = cached[i];
+    if (cp.size() > max_vertices) continue;
+    bool disjoint = true;
+    for (size_t j = 1; j < cp.size(); ++j) {
+      if (OnPath(prefix, cp[j])) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (!disjoint) continue;
+    if (spec.max_paths != 0 && out->size() >= spec.max_paths) {
+      *status = ExceededMaxPaths(spec.max_paths);
+      return false;
+    }
+    out->AddConcat(prefix, cp);
+    if (stats != nullptr) ++stats->shortcut_splices;
+  }
   return true;
 }
 
@@ -83,31 +121,9 @@ bool Dfs(SearchCtx& c) {
     const SearchDep* dep =
         c.spec.deps.empty() ? nullptr : FindDep(c.spec.deps, u);
     if (dep != nullptr && dep->budget >= remaining) {
-      // Algorithm 4 lines 22-23: splice the cached HC-s path results of the
-      // dominating query instead of recursing. cached[0] == u by
-      // construction; longer cached paths than the remaining budget and
-      // paths revisiting prefix vertices are filtered here (DESIGN.md D6).
-      const PathSet& cached = *dep->paths;
-      const size_t max_vertices = static_cast<size_t>(remaining) + 1;
-      for (size_t i = 0; i < cached.size(); ++i) {
-        PathView cp = cached[i];
-        if (cp.size() > max_vertices) continue;
-        bool disjoint = true;
-        for (size_t j = 1; j < cp.size(); ++j) {
-          if (OnPath(c.path, cp[j])) {
-            disjoint = false;
-            break;
-          }
-        }
-        if (!disjoint) continue;
-        if (c.spec.max_paths != 0 && c.out->size() >= c.spec.max_paths) {
-          c.status = Status::ResourceExhausted(
-              "half search exceeded max_paths = " +
-              std::to_string(c.spec.max_paths));
-          return false;
-        }
-        c.out->AddConcat(c.path, cp);
-        if (c.stats != nullptr) ++c.stats->shortcut_splices;
+      if (!SpliceCached(c.spec, c.path, *dep->paths, remaining, c.out,
+                        c.stats, &c.status)) {
+        return false;
       }
       continue;
     }
@@ -119,12 +135,125 @@ bool Dfs(SearchCtx& c) {
   return true;
 }
 
+/// Splitting a 1- or 2-hop search buys nothing: the subtrees are a handful
+/// of vertex visits, far below task-dispatch cost.
+constexpr Hop kMinSplitBudget = 3;
+
+/// Frontier-split variant of the root search: the sequential Dfs over the
+/// root's first-level neighbors is unrolled here — prune/expand counters
+/// and splice decisions happen in first-pass neighbor order exactly as the
+/// recursion would make them — and each surviving neighbor's subtree runs
+/// as an independent sub-search on the pool. The sub-merge then replays
+/// splices and subtree results in the same neighbor order, so stored
+/// paths, their order, and (on success) every counter are byte-identical
+/// to the sequential search.
+Status RunHalfSearchSplit(const Graph& g, const HalfSearchSpec& spec,
+                          PathSet* out, BatchStats* stats) {
+  struct SubSearch {
+    VertexId first = kInvalidVertex;  // first-hop neighbor of this subtree
+    PathSet out;
+    BatchStats stats;
+    Status status = Status::OK();
+  };
+  // One entry per non-pruned neighbor, in adjacency order: either a cached
+  // splice (dep != nullptr) or an index into `subs`.
+  struct Action {
+    const SearchDep* dep = nullptr;
+    size_t sub_index = 0;
+  };
+
+  // First pass, mirroring the sequential neighbor loop. Counters stage into
+  // locals: if too few subtrees emerge the scan is discarded and the plain
+  // recursion runs instead (which then counts normally).
+  std::vector<Action> actions;
+  std::vector<SubSearch> subs;
+  uint64_t scan_expanded = 0, scan_pruned = 0;
+  const Hop remaining = static_cast<Hop>(spec.budget - 1);
+  for (VertexId u : g.Neighbors(spec.start, spec.dir)) {
+    ++scan_expanded;
+    if (!Admissible(spec, u, 1)) {
+      ++scan_pruned;
+      continue;
+    }
+    if (u == spec.start) continue;  // self-loop: u is already on the path
+    const SearchDep* dep =
+        spec.deps.empty() ? nullptr : FindDep(spec.deps, u);
+    if (dep != nullptr && dep->budget >= remaining) {
+      actions.push_back({dep, 0});
+    } else {
+      actions.push_back({nullptr, subs.size()});
+      subs.push_back({});
+      subs.back().first = u;
+    }
+  }
+  if (subs.size() < 2) {
+    // Nothing to parallelize: discard the scan (no counters were committed)
+    // and run the plain recursion, which counts as it goes.
+    SearchCtx ctx{g, spec, out, stats, {}, Status::OK()};
+    ctx.path.reserve(static_cast<size_t>(spec.budget) + 1);
+    ctx.path.push_back(spec.start);
+    Dfs(ctx);
+    return ctx.status;
+  }
+  if (stats != nullptr) {
+    stats->edges_expanded += scan_expanded;
+    stats->edges_pruned += scan_pruned;
+  }
+
+  HalfSearchSpec sub_spec = spec;
+  sub_spec.pool = nullptr;  // one split level; subtrees recurse sequentially
+  spec.pool->ParallelFor(subs.size(), [&](size_t i) {
+    SearchCtx c{g,
+                sub_spec,
+                &subs[i].out,
+                stats != nullptr ? &subs[i].stats : nullptr,
+                {},
+                Status::OK()};
+    c.path.reserve(static_cast<size_t>(spec.budget) + 1);
+    c.path.push_back(spec.start);
+    c.path.push_back(subs[i].first);
+    Dfs(c);
+    subs[i].status = c.status;
+  });
+
+  // Sub-merge, in the order the recursion would have stored everything:
+  // the trivial path (start), then per neighbor its splices or its subtree.
+  SearchCtx root{g, spec, out, stats, {}, Status::OK()};
+  root.path.push_back(spec.start);
+  if (!StoreCurrent(root)) return root.status;
+  for (const Action& a : actions) {
+    if (a.dep != nullptr) {
+      Status st;
+      if (!SpliceCached(spec, root.path, *a.dep->paths, remaining, out,
+                        stats, &st)) {
+        return st;
+      }
+      continue;
+    }
+    SubSearch& sub = subs[a.sub_index];
+    if (stats != nullptr) stats->Accumulate(sub.stats);
+    if (!sub.status.ok()) return sub.status;
+    for (size_t i = 0; i < sub.out.size(); ++i) {
+      if (spec.max_paths != 0 && out->size() >= spec.max_paths) {
+        return ExceededMaxPaths(spec.max_paths);
+      }
+      out->Add(sub.out[i]);
+    }
+    sub.out.Clear();  // drained; don't hold every subtree to the end
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status RunHalfSearch(const Graph& g, const HalfSearchSpec& spec,
                      PathSet* out, BatchStats* stats) {
   HCPATH_CHECK(spec.start < g.NumVertices());
   HCPATH_CHECK(out != nullptr);
+  if (spec.pool != nullptr && spec.pool->num_workers() > 0 &&
+      spec.budget >= kMinSplitBudget) {
+    return RunHalfSearchSplit(g, spec, out, stats);
+  }
   SearchCtx ctx{g, spec, out, stats, {}, Status::OK()};
   ctx.path.reserve(static_cast<size_t>(spec.budget) + 1);
   ctx.path.push_back(spec.start);

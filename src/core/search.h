@@ -13,6 +13,8 @@
 
 namespace hcpath {
 
+class ThreadPool;
+
 /// One pruning constraint for a half search: a vertex u at suffix depth d
 /// is admissible if dist(u) <= slack - d, where dist comes from the
 /// opposite-endpoint distance map (Lemma 3.1). A shared HC-s path node
@@ -60,6 +62,15 @@ struct HalfSearchSpec {
 
   /// Abort with ResourceExhausted beyond this many stored paths (0 = off).
   uint64_t max_paths = 0;
+
+  /// Optional intra-search parallelism: when set (and the budget is deep
+  /// enough to amortize it), the root's first-level frontier is split into
+  /// per-neighbor sub-searches scheduled on the pool, then sub-merged in
+  /// neighbor order. Stored paths, their order, the work counters, and the
+  /// success/error outcome are identical to pool == nullptr; only the
+  /// counter values of *failed* runs may differ (the sequential search
+  /// stops mid-subtree at the cap, sub-searches at their own boundary).
+  ThreadPool* pool = nullptr;
 };
 
 /// Runs the recursive Search procedure (Algorithm 1 lines 9-13 /

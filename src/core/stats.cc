@@ -25,6 +25,12 @@ void BatchStats::Accumulate(const BatchStats& other) {
   cache_peak_vertices = std::max(cache_peak_vertices,
                                  other.cache_peak_vertices);
   cycle_edges_skipped += other.cycle_edges_skipped;
+  // Concurrent peaks don't sum; the max is a sound (conservative) bound.
+  merge_peak_buffered_bytes = std::max(merge_peak_buffered_bytes,
+                                       other.merge_peak_buffered_bytes);
+  merge_total_buffered_bytes += other.merge_total_buffered_bytes;
+  merge_streamed_items += other.merge_streamed_items;
+  merge_final_items += other.merge_final_items;
 }
 
 std::string BatchStats::ToString() const {

@@ -34,6 +34,15 @@ struct BatchStats {
   uint64_t cache_peak_vertices = 0; ///< high-water mark of R
   uint64_t cycle_edges_skipped = 0; ///< reuse edges dropped to keep Ψ a DAG
 
+  // --- streaming-merge metrics (parallel runs only) ---
+  // Scheduling-dependent observability: zero at num_threads == 1 and NOT
+  // part of the determinism identity (the path stream and the counters
+  // above are; these vary run to run).
+  uint64_t merge_peak_buffered_bytes = 0;  ///< high-water mark of undrained buffers
+  uint64_t merge_total_buffered_bytes = 0; ///< gather-then-merge would hold all of this at once
+  uint64_t merge_streamed_items = 0;       ///< buffers drained while workers still ran
+  uint64_t merge_final_items = 0;          ///< buffers drained in the final sweep
+
   void Accumulate(const BatchStats& other);
   std::string ToString() const;
 };

@@ -33,6 +33,12 @@ std::shared_ptr<ThreadPool> ThreadPool::Shared(size_t num_workers) {
   return slot;
 }
 
+std::shared_ptr<ThreadPool> ThreadPool::ForNumThreads(int num_threads) {
+  const size_t compute = num_threads == 1 ? 1 : EffectiveThreads(num_threads);
+  if (compute <= 1) return nullptr;
+  return Shared(compute - 1);
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = EffectiveThreads(0);
   queues_.reserve(num_threads);

@@ -59,6 +59,13 @@ class ThreadPool {
   /// Concurrent holders of the same pool simply interleave their tasks.
   static std::shared_ptr<ThreadPool> Shared(size_t num_workers);
 
+  /// Resolves BatchOptions::num_threads into an engine pool: nullptr for a
+  /// single-threaded run (num_threads == 1, or one hardware thread), else
+  /// the shared pool with one worker fewer than the target — the
+  /// ParallelFor caller works too, so N compute threads = N - 1 workers
+  /// plus the calling thread.
+  static std::shared_ptr<ThreadPool> ForNumThreads(int num_threads);
+
  private:
   struct TaskQueue {
     std::mutex mu;

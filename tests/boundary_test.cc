@@ -23,14 +23,69 @@ void ExpectAllMatchOracle(const Graph& g,
   }
   BatchPathEnumerator enumerator(g);
   for (Algorithm algo : AllAlgorithms()) {
-    BatchOptions opt;
-    opt.algorithm = algo;
-    CollectingSink sink(queries.size());
-    auto result = enumerator.Run(queries, opt, &sink);
-    ASSERT_TRUE(result.ok()) << AlgorithmName(algo) << result.status();
-    for (size_t i = 0; i < queries.size(); ++i) {
-      ASSERT_EQ(sink.paths(i).ToSortedVectors(), oracle[i])
-          << AlgorithmName(algo) << " on " << queries[i].ToString();
+    // Boundary inputs must hold through the parallel engines too, not just
+    // the sequential reference path (threads = 1).
+    for (int threads : {1, 4}) {
+      BatchOptions opt;
+      opt.algorithm = algo;
+      opt.num_threads = threads;
+      opt.intra_cluster_min_queries = 2;
+      CollectingSink sink(queries.size());
+      auto result = enumerator.Run(queries, opt, &sink);
+      ASSERT_TRUE(result.ok())
+          << AlgorithmName(algo) << " threads=" << threads << " "
+          << result.status();
+      for (size_t i = 0; i < queries.size(); ++i) {
+        ASSERT_EQ(sink.paths(i).ToSortedVectors(), oracle[i])
+            << AlgorithmName(algo) << " threads=" << threads << " on "
+            << queries[i].ToString();
+      }
+    }
+  }
+}
+
+/// Every algorithm must reject the batch with InvalidArgument, and the
+/// parallel run must mirror the sequential one exactly: same message and
+/// the same pre-rejection emission (the batch engines validate up front
+/// and emit nothing; PathEnum validates per query as it streams, so a
+/// healthy query ahead of the poisoned one legitimately emits first —
+/// in both modes identically).
+void ExpectAllRejectIdentically(const Graph& g,
+                                const std::vector<PathQuery>& queries) {
+  BatchPathEnumerator enumerator(g);
+  for (Algorithm algo : AllAlgorithms()) {
+    std::string seq_message;
+    std::vector<std::vector<std::vector<VertexId>>> seq_paths;
+    for (int threads : {1, 4}) {
+      BatchOptions opt;
+      opt.algorithm = algo;
+      opt.num_threads = threads;
+      CollectingSink sink(queries.size());
+      auto result = enumerator.Run(queries, opt, &sink);
+      ASSERT_FALSE(result.ok()) << AlgorithmName(algo) << " threads=" << threads;
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+          << AlgorithmName(algo) << " threads=" << threads;
+      std::vector<std::vector<std::vector<VertexId>>> paths;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        paths.push_back(sink.paths(i).ToSortedVectors());
+      }
+      if (threads == 1) {
+        seq_message = result.status().message();
+        seq_paths = std::move(paths);
+      } else {
+        EXPECT_EQ(result.status().message(), seq_message)
+            << AlgorithmName(algo) << ": parallel rejection must match";
+        EXPECT_EQ(paths, seq_paths)
+            << AlgorithmName(algo) << ": parallel pre-rejection emission "
+            << "must match sequential";
+      }
+      // The batch engines validate the whole batch before running anything.
+      if (algo != Algorithm::kPathEnum) {
+        for (size_t i = 0; i < queries.size(); ++i) {
+          EXPECT_EQ(sink.paths(i).size(), 0u)
+              << AlgorithmName(algo) << " threads=" << threads;
+        }
+      }
     }
   }
 }
@@ -116,6 +171,63 @@ TEST(Boundary, MaxHopsQueryOnChain) {
   std::vector<PathQuery> queries = {
       {0, static_cast<VertexId>(kMaxHops), kMaxHops}};
   ExpectAllMatchOracle(g, queries);
+}
+
+// --- degenerate inputs through the parallel path -------------------------
+// These used to be validated only against the sequential engines; the
+// parallel path (thread pools, buffered streaming merge, intra-cluster
+// sub-tasks) must reject or no-op exactly the same way.
+
+TEST(Boundary, EmptyBatchAllEnginesAllThreadCounts) {
+  Rng rng(13);
+  Graph g = *GenerateErdosRenyi(20, 60, rng);
+  BatchPathEnumerator enumerator(g);
+  for (Algorithm algo : AllAlgorithms()) {
+    for (int threads : {1, 4}) {
+      BatchOptions opt;
+      opt.algorithm = algo;
+      opt.num_threads = threads;
+      auto result = enumerator.Run({}, opt);
+      ASSERT_TRUE(result.ok())
+          << AlgorithmName(algo) << " threads=" << threads << " "
+          << result.status();
+      EXPECT_TRUE(result->path_counts.empty());
+      EXPECT_EQ(result->stats.paths_emitted, 0u);
+    }
+  }
+}
+
+TEST(Boundary, KZeroRejectedOnParallelPath) {
+  Rng rng(17);
+  Graph g = *GenerateErdosRenyi(20, 60, rng);
+  // A healthy query ahead of the poisoned one: validation must still fail
+  // the whole batch before any engine (or worker) runs.
+  ExpectAllRejectIdentically(g, {{0, 1, 3}, {2, 5, 0}});
+}
+
+TEST(Boundary, SourceEqualsTargetRejectedOnParallelPath) {
+  Rng rng(19);
+  Graph g = *GenerateErdosRenyi(20, 60, rng);
+  ExpectAllRejectIdentically(g, {{0, 1, 3}, {7, 7, 4}, {2, 5, 2}});
+}
+
+TEST(Boundary, DisconnectedEndpointsOnParallelPath) {
+  // Two components plus isolated vertices; unreachable and reachable
+  // queries interleave so parallel runs exercise the skip bookkeeping of
+  // clusters whose members are partly dead.
+  GraphBuilder b(12);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(6, 7);
+  b.AddEdge(7, 8);
+  Graph g = *b.Build();
+  ExpectAllMatchOracle(g, {{0, 3, 5},    // reachable
+                           {0, 8, 5},    // cross-component: no paths
+                           {6, 8, 4},    // reachable
+                           {0, 11, 3},   // into an isolated vertex
+                           {10, 11, 3},  // isolated to isolated
+                           {3, 0, 4}});  // against edge direction: no paths
 }
 
 }  // namespace

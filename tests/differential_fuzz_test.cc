@@ -1,0 +1,303 @@
+// Seed-driven randomized differential suite: every configuration draws a
+// random (graph, query batch, options) tuple and cross-checks
+//   * RunBatchEnum / RunBasicEnum (both orders) against the BruteForce
+//     oracle for identical per-query path sets,
+//   * every engine's parallel runs (num_threads in {2, 8}) against its
+//     sequential run for a byte-identical emission stream, identical
+//     Status (code and message), and identical work counters,
+//   * invalid-input and max_paths error configurations for identical
+//     error semantics across thread counts.
+//
+// On failure the reproducing seed is printed via SCOPED_TRACE; re-run just
+// that configuration with HCPATH_FUZZ_SEED=<seed>. HCPATH_FUZZ_CONFIGS
+// overrides the number of configurations (default 200; the tsan smoke run
+// registered in CMakeLists.txt uses a reduced count).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/basic_enum.h"
+#include "core/batch_enum.h"
+#include "core/brute_force.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace hcpath {
+namespace {
+
+class RecordingSink : public PathSink {
+ public:
+  using Event = std::pair<size_t, std::vector<VertexId>>;
+  void OnPath(size_t qi, PathView p) override {
+    events_.emplace_back(qi, std::vector<VertexId>(p.begin(), p.end()));
+  }
+  const std::vector<Event>& events() const { return events_; }
+
+  std::vector<std::vector<VertexId>> SortedPathsOf(size_t qi) const {
+    std::vector<std::vector<VertexId>> out;
+    for (const Event& e : events_) {
+      if (e.first == qi) out.push_back(e.second);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::vector<Event> events_;
+};
+
+struct EngineRun {
+  Status status;
+  std::vector<RecordingSink::Event> events;
+  BatchStats stats;
+};
+
+EngineRun RunEngine(const Graph& g, const std::vector<PathQuery>& queries,
+                    bool batch_engine, bool optimized,
+                    const BatchOptions& options) {
+  EngineRun run;
+  RecordingSink sink;
+  run.status = batch_engine
+                   ? RunBatchEnum(g, queries, options, optimized, &sink,
+                                  &run.stats)
+                   : RunBasicEnum(g, queries, options, optimized, &sink,
+                                  &run.stats);
+  run.events = sink.events();
+  return run;
+}
+
+Graph RandomGraph(Rng& rng, std::string* desc) {
+  switch (rng.NextBounded(7)) {
+    case 0: {
+      const VertexId n = static_cast<VertexId>(8 + rng.NextBounded(40));
+      const uint64_t m = n + rng.NextBounded(3 * n);
+      *desc = "erdos_renyi(n=" + std::to_string(n) +
+              ", m=" + std::to_string(m) + ")";
+      return *GenerateErdosRenyi(n, m, rng);
+    }
+    case 1: {
+      const VertexId n = static_cast<VertexId>(10 + rng.NextBounded(40));
+      const uint32_t d = static_cast<uint32_t>(2 + rng.NextBounded(3));
+      *desc = "barabasi_albert(n=" + std::to_string(n) +
+              ", d=" + std::to_string(d) + ")";
+      return *GenerateBarabasiAlbert(n, d, rng);
+    }
+    case 2: {
+      const VertexId n = static_cast<VertexId>(12 + rng.NextBounded(40));
+      const uint32_t k = static_cast<uint32_t>(2 + rng.NextBounded(3));
+      *desc = "small_world(n=" + std::to_string(n) +
+              ", k=" + std::to_string(k) + ")";
+      return *GenerateSmallWorld(n, k, 0.1, rng);
+    }
+    case 3: {
+      const uint32_t r = static_cast<uint32_t>(3 + rng.NextBounded(4));
+      const uint32_t c = static_cast<uint32_t>(3 + rng.NextBounded(4));
+      *desc = "grid(" + std::to_string(r) + "x" + std::to_string(c) + ")";
+      return *GenerateGrid(r, c);
+    }
+    case 4: {
+      const VertexId n = static_cast<VertexId>(5 + rng.NextBounded(3));
+      *desc = "complete(n=" + std::to_string(n) + ")";
+      return *GenerateComplete(n);
+    }
+    case 5: {
+      const VertexId n = static_cast<VertexId>(6 + rng.NextBounded(20));
+      *desc = "path(n=" + std::to_string(n) + ")";
+      return *GeneratePath(n);
+    }
+    default: {
+      const VertexId n = static_cast<VertexId>(6 + rng.NextBounded(20));
+      *desc = "cycle(n=" + std::to_string(n) + ")";
+      return *GenerateCycle(n);
+    }
+  }
+}
+
+std::vector<PathQuery> RandomQueries(const Graph& g, Rng& rng,
+                                     bool* invalid) {
+  const size_t nq = rng.NextBounded(11);  // 0..10, empty batches included
+  std::vector<PathQuery> queries;
+  const VertexId n = g.NumVertices();
+  while (queries.size() < nq) {
+    if (!queries.empty() && rng.NextBounded(4) == 0) {
+      // Clone (sometimes with a different k) to provoke sharing.
+      PathQuery q = queries[rng.NextBounded(queries.size())];
+      if (rng.NextBounded(2) == 0) q.k = 1 + static_cast<int>(rng.NextBounded(5));
+      queries.push_back(q);
+      continue;
+    }
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId t = static_cast<VertexId>(rng.NextBounded(n));
+    if (s == t) continue;
+    const int k = 1 + static_cast<int>(rng.NextBounded(5));
+    queries.push_back({s, t, k});
+  }
+  *invalid = false;
+  if (!queries.empty() && rng.NextBounded(10) == 0) {
+    // Poison one query; every engine must reject the whole batch with the
+    // same InvalidArgument, at every thread count.
+    *invalid = true;
+    PathQuery& q = queries[rng.NextBounded(queries.size())];
+    switch (rng.NextBounded(4)) {
+      case 0: q.t = q.s; break;                       // s == t
+      case 1: q.k = 0; break;                         // k below range
+      case 2: q.k = kMaxHops + 5; break;              // k above range
+      default: q.s = n + 3; break;                    // endpoint off graph
+    }
+  }
+  return queries;
+}
+
+BatchOptions RandomOptions(Rng& rng, bool* capped) {
+  BatchOptions opt;
+  const double gammas[] = {0.1, 0.3, 0.5, 0.8, 1.0};
+  opt.gamma = gammas[rng.NextBounded(5)];
+  opt.shared_pruning = rng.NextBounded(2) == 0 ? SharedPruning::kPerTarget
+                                               : SharedPruning::kGlobalMin;
+  const SimilarityMode modes[] = {SimilarityMode::kAuto,
+                                  SimilarityMode::kExact,
+                                  SimilarityMode::kSketch};
+  opt.similarity_mode = modes[rng.NextBounded(3)];
+  opt.disable_clustering = rng.NextBounded(8) == 0;
+  opt.disable_cache_reuse = rng.NextBounded(8) == 0;
+  opt.max_dominating_per_query = rng.NextBounded(4) == 0 ? 0.0 : 8.0;
+  const int intra[] = {2, 4, 1 << 20};
+  opt.intra_cluster_min_queries = intra[rng.NextBounded(3)];
+  *capped = rng.NextBounded(8) == 0;
+  if (*capped) opt.max_paths_per_query = 1 + rng.NextBounded(25);
+  return opt;
+}
+
+void ExpectCountersEqual(const BatchStats& a, const BatchStats& b,
+                         const std::string& what) {
+  EXPECT_EQ(a.paths_emitted, b.paths_emitted) << what;
+  EXPECT_EQ(a.edges_expanded, b.edges_expanded) << what;
+  EXPECT_EQ(a.edges_pruned, b.edges_pruned) << what;
+  EXPECT_EQ(a.join_probes, b.join_probes) << what;
+  EXPECT_EQ(a.join_rejected, b.join_rejected) << what;
+  EXPECT_EQ(a.num_clusters, b.num_clusters) << what;
+  EXPECT_EQ(a.sharing_nodes, b.sharing_nodes) << what;
+  EXPECT_EQ(a.dominating_nodes, b.dominating_nodes) << what;
+  EXPECT_EQ(a.shortcut_splices, b.shortcut_splices) << what;
+  EXPECT_EQ(a.cached_paths, b.cached_paths) << what;
+  EXPECT_EQ(a.cache_peak_vertices, b.cache_peak_vertices) << what;
+}
+
+void RunOneConfig(uint64_t seed) {
+  Rng rng(seed);
+  std::string graph_desc;
+  Graph g = RandomGraph(rng, &graph_desc);
+  bool invalid = false;
+  std::vector<PathQuery> queries = RandomQueries(g, rng, &invalid);
+  bool capped = false;
+  BatchOptions opt = RandomOptions(rng, &capped);
+
+  std::string desc = graph_desc + " |Q|=" + std::to_string(queries.size()) +
+                     (invalid ? " [invalid-query]" : "") +
+                     (capped ? " [max_paths=" +
+                                   std::to_string(opt.max_paths_per_query) +
+                                   "]"
+                             : "");
+  SCOPED_TRACE(desc);
+
+  // Oracle: brute-force per query (skipped when the batch is poisoned or a
+  // cap makes errors legitimate).
+  std::vector<std::vector<std::vector<VertexId>>> oracle;
+  if (!invalid && !capped) {
+    for (const PathQuery& q : queries) {
+      auto paths = BruteForcePaths(g, q);
+      ASSERT_TRUE(paths.ok()) << paths.status();
+      oracle.push_back(paths->ToSortedVectors());
+    }
+  }
+
+  const struct {
+    bool batch;
+    bool optimized;
+    const char* name;
+  } kEngines[] = {{false, false, "basic"},
+                  {false, true, "basic+"},
+                  {true, false, "batch"},
+                  {true, true, "batch+"}};
+  for (const auto& engine : kEngines) {
+    BatchOptions seq_opt = opt;
+    seq_opt.num_threads = 1;
+    EngineRun seq =
+        RunEngine(g, queries, engine.batch, engine.optimized, seq_opt);
+
+    if (invalid) {
+      EXPECT_EQ(seq.status.code(), StatusCode::kInvalidArgument)
+          << engine.name;
+      EXPECT_TRUE(seq.events.empty()) << engine.name;
+    } else if (!capped) {
+      ASSERT_TRUE(seq.status.ok()) << engine.name << ": " << seq.status;
+      RecordingSink replay;
+      for (const auto& e : seq.events) {
+        replay.OnPath(e.first, PathView{e.second.data(), e.second.size()});
+      }
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        EXPECT_EQ(replay.SortedPathsOf(qi), oracle[qi])
+            << engine.name << " vs brute force, query " << qi << " "
+            << queries[qi].ToString();
+      }
+    }
+
+    for (int threads : {2, 8}) {
+      BatchOptions par_opt = opt;
+      par_opt.num_threads = threads;
+      EngineRun par =
+          RunEngine(g, queries, engine.batch, engine.optimized, par_opt);
+      const std::string what =
+          std::string(engine.name) + " threads=" + std::to_string(threads);
+      // Error semantics are part of the determinism identity: same code,
+      // same message, and the same pre-error emission stream.
+      EXPECT_EQ(par.status.code(), seq.status.code()) << what;
+      EXPECT_EQ(par.status.message(), seq.status.message()) << what;
+      EXPECT_EQ(par.events, seq.events) << what;
+      // Work counters only merge to the sequential totals on success: a
+      // failed sequential run stops mid-subtree while parallel sub-tasks
+      // stop at their own boundaries (docs/PARALLELISM.md).
+      if (seq.status.ok() && par.status.ok()) {
+        ExpectCountersEqual(seq.stats, par.stats, what);
+      }
+    }
+  }
+}
+
+int ConfigCount() {
+  const char* env = std::getenv("HCPATH_FUZZ_CONFIGS");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 200;
+}
+
+TEST(DifferentialFuzz, RandomizedCrossCheck) {
+  // Fixed base so the suite is reproducible run to run; per-config seeds
+  // are printed on failure and can be replayed alone via HCPATH_FUZZ_SEED.
+  constexpr uint64_t kBaseSeed = 0x9E3779B97F4A7C15ull;
+  if (const char* one = std::getenv("HCPATH_FUZZ_SEED")) {
+    const uint64_t seed = std::strtoull(one, nullptr, 0);
+    SCOPED_TRACE("HCPATH_FUZZ_SEED=" + std::to_string(seed));
+    RunOneConfig(seed);
+    return;
+  }
+  const int configs = ConfigCount();
+  for (int c = 0; c < configs; ++c) {
+    const uint64_t seed = kBaseSeed + static_cast<uint64_t>(c);
+    SCOPED_TRACE("config #" + std::to_string(c) +
+                 " — reproduce with HCPATH_FUZZ_SEED=" +
+                 std::to_string(seed));
+    RunOneConfig(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace hcpath

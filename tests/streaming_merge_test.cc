@@ -1,0 +1,277 @@
+// The streaming ordered merge (core/parallel_merge.h): results must reach
+// the sink as soon as the lowest-indexed unfinished item completes (not
+// after the whole batch), peak buffered-arena bytes must track the
+// undrained window instead of the batch, and the emitted stream must stay
+// byte-identical to num_threads = 1 — including on fully skewed batches
+// that exercise the intra-cluster parallelism. Runs under `ctest -L tsan`.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/batch_enum.h"
+#include "core/parallel_merge.h"
+#include "graph/graph_builder.h"
+#include "test_graphs.h"
+
+namespace hcpath {
+namespace {
+
+/// Thread-safe path counter for observing the sink *while* the parallel
+/// section is still running (the drain serializes OnPath calls but they
+/// arrive on pool threads).
+class AtomicCountSink : public PathSink {
+ public:
+  void OnPath(size_t, PathView) override {
+    count_.fetch_add(1, std::memory_order_release);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Records the full (query_index, path) emission sequence; read only after
+/// the run completes.
+class RecordingSink : public PathSink {
+ public:
+  using Event = std::pair<size_t, std::vector<VertexId>>;
+  void OnPath(size_t qi, PathView p) override {
+    events_.emplace_back(qi, std::vector<VertexId>(p.begin(), p.end()));
+  }
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  std::vector<Event> events_;
+};
+
+bool WaitUntil(const std::function<bool()>& pred, int seconds = 60) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+void EmitPaths(PathSink* sink, size_t query_index, size_t n) {
+  for (size_t p = 0; p < n; ++p) {
+    const VertexId v = static_cast<VertexId>(p);
+    std::vector<VertexId> path = {v, v + 1, v + 2, v + 3,
+                                  v + 4, v + 5, v + 6, v + 7};
+    sink->OnPath(query_index, PathView{path.data(), path.size()});
+  }
+}
+
+// The defining streaming property: the sink observes item 0's output while
+// the last item is still running. The last task *blocks* until the sink
+// has seen something, so a gather-then-merge implementation (which emits
+// nothing before every task finishes) would time out here.
+TEST(StreamingMerge, SinkObservesPrefixBeforeLastItemFinishes) {
+  ThreadPool pool(2);
+  AtomicCountSink sink;
+  std::atomic<bool> observed_early{false};
+  MergeMetrics mm;
+  const size_t n = 4;
+  Status st = RunBufferedParallel(
+      pool, n, &sink, nullptr,
+      [&](size_t i, PathSink* buf, BatchStats*) {
+        if (i == n - 1) {
+          // Item 0 is claimed (in index order) before this item; under
+          // streaming its paths drain as soon as it completes.
+          observed_early.store(WaitUntil([&] { return sink.count() > 0; }));
+        }
+        EmitPaths(buf, i, 4);
+        return Status::OK();
+      },
+      &mm);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_TRUE(observed_early.load())
+      << "sink saw nothing before the last item finished: merge is "
+         "gather-then-merge, not streaming";
+  EXPECT_EQ(sink.count(), 4 * n);
+  EXPECT_EQ(mm.streamed_items, n);
+  EXPECT_EQ(mm.final_items, 0u);
+}
+
+// Peak buffered bytes on a skewed workload: many tiny items plus one giant
+// item that only starts emitting after every tiny buffer has drained (it
+// gates on the sink count). Gather-then-merge would hold every buffer
+// simultaneously (= total_buffered_bytes); streaming must peak strictly
+// below that — the tiny buffers' arenas are recycled before the giant one
+// even fills.
+TEST(StreamingMerge, PeakBufferedBytesBoundedOnSkewedBatch) {
+  ThreadPool pool(2);
+  AtomicCountSink sink;
+  const size_t kTiny = 23;
+  const size_t kTinyPaths = 64;
+  const size_t kGiantPaths = 8000;
+  MergeMetrics mm;
+  Status st = RunBufferedParallel(
+      pool, kTiny + 1, &sink, nullptr,
+      [&](size_t i, PathSink* buf, BatchStats*) {
+        if (i == kTiny) {
+          // Giant item, last in input order: wait until all tiny results
+          // have streamed out (their arenas are recycled by then).
+          if (!WaitUntil([&] { return sink.count() >= kTiny * kTinyPaths; })) {
+            return Status::Internal("tiny items never drained");
+          }
+          EmitPaths(buf, i, kGiantPaths);
+        } else {
+          EmitPaths(buf, i, kTinyPaths);
+        }
+        return Status::OK();
+      },
+      &mm);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(sink.count(), kTiny * kTinyPaths + kGiantPaths);
+  EXPECT_EQ(mm.streamed_items, kTiny + 1);
+  // Strictly below the gather baseline...
+  EXPECT_LT(mm.peak_buffered_bytes, mm.total_buffered_bytes);
+  // ...by at least the tiny buffers, all recycled before the giant buffer
+  // existed (each holds >= one 16 KiB arena chunk).
+  EXPECT_LE(mm.peak_buffered_bytes,
+            mm.total_buffered_bytes - kTiny * (16u << 10));
+}
+
+// Error semantics under streaming: the failing item's pre-error paths are
+// replayed after every earlier item, nothing after the failure is emitted,
+// and the first failure's Status comes back — exactly the sequential early
+// return.
+TEST(StreamingMerge, FailingItemReplaysPreErrorPathsAndClosesStream) {
+  ThreadPool pool(2);
+  RecordingSink sink;
+  Status st = RunBufferedParallel(
+      pool, 3, &sink, nullptr,
+      [&](size_t i, PathSink* buf, BatchStats*) -> Status {
+        std::vector<VertexId> p = {static_cast<VertexId>(i),
+                                   static_cast<VertexId>(i + 1)};
+        buf->OnPath(i, PathView{p.data(), p.size()});
+        if (i == 1) return Status::ResourceExhausted("boom");
+        return Status::OK();
+      });
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].first, 0u);
+  EXPECT_EQ(sink.events()[0].second, (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(sink.events()[1].first, 1u);
+  EXPECT_EQ(sink.events()[1].second, (std::vector<VertexId>{1, 2}));
+}
+
+/// A skewed batch for the real engine: `tiny` single-query clusters on
+/// disjoint 3-vertex chains, then one giant cluster of `clones` identical
+/// queries over a dense blob (every ordered pair of blob vertices linked).
+/// Queries are ordered tiny-first, so the giant cluster is the last one
+/// and every tiny buffer can drain while it still runs.
+struct SkewedBatch {
+  Graph g = Graph();
+  std::vector<PathQuery> queries;
+};
+
+SkewedBatch MakeSkewedBatch(size_t tiny, size_t clones) {
+  const VertexId blob = 8;
+  GraphBuilder b(static_cast<VertexId>(3 * tiny) + blob);
+  SkewedBatch out;
+  for (size_t c = 0; c < tiny; ++c) {
+    const VertexId base = static_cast<VertexId>(3 * c);
+    b.AddEdge(base, base + 1);
+    b.AddEdge(base + 1, base + 2);
+    out.queries.push_back({base, base + 2, 4});
+  }
+  const VertexId off = static_cast<VertexId>(3 * tiny);
+  for (VertexId u = 0; u < blob; ++u) {
+    for (VertexId v = 0; v < blob; ++v) {
+      if (u != v) b.AddEdge(off + u, off + v);
+    }
+  }
+  for (size_t c = 0; c < clones; ++c) {
+    out.queries.push_back({off, off + blob - 1, 5});
+  }
+  out.g = *b.Build();
+  return out;
+}
+
+// Output of the full batch engine must be byte-for-byte identical across
+// thread counts on the skewed batch — the case where the giant cluster's
+// intra-cluster sub-tasks (parallel detection, enumeration, frontier
+// splits, query-parallel assembly) all engage.
+TEST(StreamingMerge, SkewedBatchBitIdenticalAcrossThreadCounts) {
+  SkewedBatch sb = MakeSkewedBatch(12, 6);
+  RecordingSink ref_sink;
+  BatchStats ref_stats;
+  BatchOptions ref;
+  ref.num_threads = 1;
+  ASSERT_TRUE(
+      RunBatchEnum(sb.g, sb.queries, ref, true, &ref_sink, &ref_stats).ok());
+  ASSERT_GT(ref_stats.num_clusters, 2u);
+  ASSERT_GT(ref_sink.events().size(), 100u);  // the blob produces real work
+
+  for (int threads : {2, 8}) {
+    for (int intra_min : {2, 1 << 20}) {  // with and without intra-cluster
+      BatchOptions par = ref;
+      par.num_threads = threads;
+      par.intra_cluster_min_queries = intra_min;
+      RecordingSink par_sink;
+      BatchStats par_stats;
+      ASSERT_TRUE(
+          RunBatchEnum(sb.g, sb.queries, par, true, &par_sink, &par_stats)
+              .ok());
+      EXPECT_EQ(ref_sink.events(), par_sink.events())
+          << "threads=" << threads << " intra_min=" << intra_min;
+      EXPECT_EQ(ref_stats.paths_emitted, par_stats.paths_emitted);
+      EXPECT_EQ(ref_stats.edges_expanded, par_stats.edges_expanded);
+      EXPECT_EQ(ref_stats.edges_pruned, par_stats.edges_pruned);
+      EXPECT_EQ(ref_stats.join_probes, par_stats.join_probes);
+      EXPECT_EQ(ref_stats.shortcut_splices, par_stats.shortcut_splices);
+      EXPECT_EQ(ref_stats.cached_paths, par_stats.cached_paths);
+      // The parallel run buffered, streamed, and peaked below the gather
+      // baseline (scheduling-dependent metrics: only sanity bounds here).
+      EXPECT_GT(par_stats.merge_total_buffered_bytes, 0u)
+          << "threads=" << threads;
+      EXPECT_LT(par_stats.merge_peak_buffered_bytes,
+                par_stats.merge_total_buffered_bytes);
+    }
+  }
+}
+
+// A single-cluster (fully skewed) batch: clustering is disabled so every
+// query lands in one cluster and *all* parallelism is intra-cluster. The
+// paper-figure graph keeps the oracle small while still exercising
+// sharing, splices, and the join.
+TEST(StreamingMerge, SingleClusterBatchMatchesSequential) {
+  Graph g = PaperFigure1Graph();
+  auto queries = PaperFigure1Queries();
+  BatchOptions ref;
+  ref.num_threads = 1;
+  ref.disable_clustering = true;
+  RecordingSink ref_sink;
+  BatchStats ref_stats;
+  ASSERT_TRUE(RunBatchEnum(g, queries, ref, false, &ref_sink, &ref_stats).ok());
+  EXPECT_EQ(ref_stats.num_clusters, 1u);
+
+  for (int threads : {2, 8}) {
+    BatchOptions par = ref;
+    par.num_threads = threads;
+    par.intra_cluster_min_queries = 2;
+    RecordingSink par_sink;
+    BatchStats par_stats;
+    ASSERT_TRUE(
+        RunBatchEnum(g, queries, par, false, &par_sink, &par_stats).ok());
+    EXPECT_EQ(ref_sink.events(), par_sink.events()) << "threads=" << threads;
+    EXPECT_EQ(ref_stats.paths_emitted, par_stats.paths_emitted);
+    EXPECT_EQ(ref_stats.edges_expanded, par_stats.edges_expanded);
+    EXPECT_EQ(ref_stats.edges_pruned, par_stats.edges_pruned);
+    EXPECT_EQ(ref_stats.sharing_nodes, par_stats.sharing_nodes);
+    EXPECT_EQ(ref_stats.dominating_nodes, par_stats.dominating_nodes);
+    EXPECT_EQ(ref_stats.shortcut_splices, par_stats.shortcut_splices);
+  }
+}
+
+}  // namespace
+}  // namespace hcpath
