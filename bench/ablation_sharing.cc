@@ -53,9 +53,7 @@ int main(int argc, char** argv) {
     std::printf("%-34s %10s %12s %14s\n", "variant", "time (s)",
                 "splices", "edges expanded");
     for (const Variant& v : kVariants) {
-      BatchOptions opt;
-      opt.gamma = *cf.gamma;
-      opt.num_threads = static_cast<int>(*cf.threads);
+      BatchOptions opt = MakeBatchOptions(cf);
       opt.disable_clustering = v.disable_clustering;
       opt.disable_cache_reuse = v.disable_reuse;
       opt.shared_pruning = v.pruning;

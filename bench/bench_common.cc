@@ -40,6 +40,18 @@ void ParseOrDie(CommonFlags& cf, int argc, char** argv) {
   }
 }
 
+BatchOptions MakeBatchOptions(const CommonFlags& cf) {
+  BatchOptions opt;
+  opt.gamma = *cf.gamma;
+  opt.num_threads = static_cast<int>(*cf.threads);
+  Status st = opt.Validate();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    std::exit(2);
+  }
+  return opt;
+}
+
 std::vector<std::string> ResolveDatasets(const std::string& spec) {
   if (spec == "default") return DefaultBenchDatasets();
   std::vector<std::string> out;

@@ -36,6 +36,12 @@ struct CommonFlags {
 /// Parses flags; exits the process on --help or bad flags.
 void ParseOrDie(CommonFlags& cf, int argc, char** argv);
 
+/// BatchOptions seeded from the shared flags (--gamma, --threads) and
+/// validated — the one place the per-driver flag-to-options plumbing
+/// lives. Drivers override fields (algorithm, caps, sweep values) on the
+/// returned struct.
+BatchOptions MakeBatchOptions(const CommonFlags& cf);
+
 /// Expands the --datasets flag into registry names (exits on unknown).
 std::vector<std::string> ResolveDatasets(const std::string& spec);
 

@@ -43,9 +43,7 @@ int main(int argc, char** argv) {
 
     for (size_t n : sizes) {
       std::vector<PathQuery> queries(pool->begin(), pool->begin() + n);
-      BatchOptions opt;
-      opt.gamma = *cf.gamma;
-      opt.num_threads = static_cast<int>(*cf.threads);
+      BatchOptions opt = MakeBatchOptions(cf);
       opt.max_paths_per_query = 5'000'000;
       RunOutcome pe = TimeAlgorithm(g, queries, Algorithm::kPathEnum, opt,
                                     *cf.time_budget);

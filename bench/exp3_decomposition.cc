@@ -37,9 +37,7 @@ int main(int argc, char** argv) {
                    qs.status().ToString().c_str());
       continue;
     }
-    BatchOptions opt;
-    opt.gamma = *cf.gamma;
-    opt.num_threads = static_cast<int>(*cf.threads);
+    BatchOptions opt = MakeBatchOptions(cf);
     opt.max_paths_per_query = 5'000'000;
     RunOutcome o = TimeAlgorithm(g, qs->queries, Algorithm::kBatchEnumPlus,
                                  opt, *cf.time_budget);

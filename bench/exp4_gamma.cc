@@ -40,9 +40,8 @@ int main(int argc, char** argv) {
                 qs->achieved_mu);
     std::printf("%6s | %10s %9s\n", "gamma", "Batch+ (s)", "clusters");
     for (double gamma : gammas) {
-      BatchOptions opt;
+      BatchOptions opt = MakeBatchOptions(cf);
       opt.gamma = gamma;
-      opt.num_threads = static_cast<int>(*cf.threads);
       opt.max_paths_per_query = 5'000'000;
       RunOutcome o = TimeAlgorithm(g, qs->queries,
                                    Algorithm::kBatchEnumPlus, opt,

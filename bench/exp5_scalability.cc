@@ -47,9 +47,7 @@ int main(int argc, char** argv) {
       auto queries = GenerateRandomQueries(g, *cf.queries, qopt, qrng);
       if (!queries.ok()) continue;
 
-      BatchOptions opt;
-      opt.gamma = *cf.gamma;
-      opt.num_threads = static_cast<int>(*cf.threads);
+      BatchOptions opt = MakeBatchOptions(cf);
       opt.max_paths_per_query = 5'000'000;
       RunOutcome ba = TimeAlgorithm(g, *queries, Algorithm::kBasicEnum, opt,
                                     *cf.time_budget);

@@ -77,9 +77,7 @@ int main(int argc, char** argv) {
                               *cf.time_budget);
     RunOutcome onepass = TimeKsp(g, *queries, /*use_dksp=*/false,
                                  *cf.time_budget);
-    BatchOptions opt;
-    opt.gamma = *cf.gamma;
-    opt.num_threads = static_cast<int>(*cf.threads);
+    BatchOptions opt = MakeBatchOptions(cf);
     opt.max_paths_per_query = 5'000'000;
     RunOutcome btp = TimeAlgorithm(g, *queries, Algorithm::kBatchEnumPlus,
                                    opt, *cf.time_budget);

@@ -36,9 +36,7 @@ int main(int argc, char** argv) {
         std::printf(" %12s", "-");
         continue;
       }
-      BatchOptions opt;
-      opt.gamma = *cf.gamma;
-      opt.num_threads = static_cast<int>(*cf.threads);
+      BatchOptions opt = MakeBatchOptions(cf);
       opt.max_paths_per_query = 20'000'000;
       RunOutcome o = TimeAlgorithm(g, *queries, Algorithm::kBasicEnumPlus,
                                    opt, 0);

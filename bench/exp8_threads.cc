@@ -168,8 +168,7 @@ int main(int argc, char** argv) {
   for (const auto& a : kAlgos) {
     double baseline = 0;
     for (int threads : sweep) {
-      BatchOptions opt;
-      opt.gamma = *cf.gamma;
+      BatchOptions opt = MakeBatchOptions(cf);
       opt.num_threads = threads;
       opt.max_paths_per_query = 5'000'000;
       RunOutcome o =

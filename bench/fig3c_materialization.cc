@@ -40,9 +40,8 @@ int main(int argc, char** argv) {
 
     // Enumerate and materialize all results once.
     BatchPathEnumerator enumerator(g);
-    BatchOptions opt;
+    BatchOptions opt = MakeBatchOptions(cf);
     opt.algorithm = Algorithm::kBasicEnumPlus;
-    opt.num_threads = static_cast<int>(*cf.threads);
     opt.max_paths_per_query = 2'000'000;
     CollectingSink materialized(queries->size());
     WallTimer enum_timer;

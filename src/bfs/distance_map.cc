@@ -67,6 +67,17 @@ void VertexDistMap::Reserve(size_t expected) {
   }
 }
 
+void VertexDistMap::ClearKeepCapacity() {
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  dense_.clear();        // keeps capacity for the next ConvertToDense
+  sorted_keys_.clear();  // keeps capacity for the next SortedKeys
+  size_ = 0;
+  universe_ = 0;
+  dense_bound_ = 0;
+  sorted_valid_ = false;
+  RefreshTable();
+}
+
 void VertexDistMap::InsertMin(VertexId v, Hop dist) {
   HCPATH_DCHECK(v != kEmptyKey);
   if (dense_bound_ != 0) {

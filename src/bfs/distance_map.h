@@ -45,6 +45,14 @@ class VertexDistMap {
   /// immediately when the expectation already crosses the threshold).
   void Reserve(size_t expected);
 
+  /// Empties the map but keeps its backing storage (hash table, dense
+  /// array, sorted-keys cache) for reuse, reverting to the hash backing and
+  /// clearing the universe. The recycling path for per-batch index storage
+  /// (BatchContext): lookups on the refilled map are content-identical to a
+  /// fresh build, though the retained table size (and hence unordered
+  /// iteration order) may differ — every consumer is order-insensitive.
+  void ClearKeepCapacity();
+
   /// Inserts v -> dist, keeping the smaller value on duplicate insert.
   void InsertMin(VertexId v, Hop dist);
 

@@ -40,14 +40,18 @@ uint64_t RunWave(const Graph& g, Direction dir, const Wave& wave,
       const int slot = __builtin_ctzll(mask);
       mask &= mask - 1;
       // The wave runs to the max cap of duplicated sources; each output
-      // copy only records entries within its own cap.
+      // copy only records entries within its own cap. The min-dist array
+      // honors the same per-source caps, which makes it a pure function of
+      // the (source, cap) multiset — independent of how sources are
+      // grouped into waves — so cache-served index builds (which BFS only
+      // the missing endpoints) reproduce it exactly (docs/SERVICE.md).
       for (size_t out_idx : wave.slot_to_out[slot]) {
         if (dist <= out_caps[out_idx]) {
           per_source[out_idx].InsertMin(v, dist);
           ++discovered;
+          if (dist < min_dist[v]) min_dist[v] = dist;
         }
       }
-      if (dist < min_dist[v]) min_dist[v] = dist;
     }
   };
 
@@ -103,11 +107,24 @@ MsBfsResult MultiSourceBfs(const Graph& g,
                            const std::vector<VertexId>& sources,
                            const std::vector<Hop>& caps, Direction dir,
                            ThreadPool* pool) {
-  HCPATH_CHECK_EQ(sources.size(), caps.size());
   MsBfsResult out;
+  MultiSourceBfs(g, sources, caps, dir, pool, nullptr, &out);
+  return out;
+}
+
+void MultiSourceBfs(const Graph& g, const std::vector<VertexId>& sources,
+                    const std::vector<Hop>& caps, Direction dir,
+                    ThreadPool* pool, MsBfsScratch* scratch,
+                    MsBfsResult* result) {
+  HCPATH_CHECK_EQ(sources.size(), caps.size());
+  MsBfsResult& out = *result;
+  // Recycle whatever map storage the caller's result already holds
+  // (BatchContext hands the previous batch's index back in).
+  for (VertexDistMap& m : out.per_source) m.ClearKeepCapacity();
   out.per_source.resize(sources.size());
   out.min_dist.assign(g.NumVertices(), kUnreachable);
-  if (sources.empty()) return out;
+  out.total_discovered = 0;
+  if (sources.empty()) return;
   for (VertexId s : sources) HCPATH_CHECK_LT(s, g.NumVertices());
   // Let every output map switch to its dense backing once it crosses the
   // density threshold (distance_map.h).
@@ -144,25 +161,35 @@ MsBfsResult MultiSourceBfs(const Graph& g,
     waves.push_back(std::move(wave));
   }
 
+  // A call-local scratch keeps the scratch-free overloads allocation-
+  // compatible with the recycling path; long-lived callers pass their own.
+  MsBfsScratch local_scratch;
+  MsBfsScratch& sc = scratch != nullptr ? *scratch : local_scratch;
+
   // Even a 1-worker pool doubles compute: ParallelFor callers work too.
   if (pool != nullptr && waves.size() > 1) {
-    // Wave-parallel build: every running wave owns a scratch set (seen /
+    // Wave-parallel build: every running wave owns a working set (seen /
     // next_mask / min-dist accumulator) checked out of a free list, so
     // peak memory is O(concurrent tasks * |V|), not O(waves * |V|).
     // Per-source maps are partitioned by wave, and the final
     // elementwise-min merge is order-insensitive, so the result is
     // identical to the sequential build.
-    struct WaveScratch {
-      std::vector<uint64_t> seen;
-      std::vector<uint64_t> next_mask;
-      std::vector<Hop> min_dist;  // accumulates across this scratch's waves
-      uint64_t discovered = 0;
-    };
+    //
+    // Retained working sets from a previous call re-enter the free list
+    // after a per-call reset: seen/next_mask are left zeroed by RunWave, so
+    // only the min-dist accumulator (and a possible graph-size change)
+    // needs re-initializing.
     std::mutex scratch_mu;
-    std::vector<std::unique_ptr<WaveScratch>> all_scratch;
-    std::vector<WaveScratch*> free_scratch;
+    std::vector<MsBfsScratch::PerWave*> free_scratch;
+    for (auto& s : sc.wave_scratch) {
+      s->seen.resize(g.NumVertices(), 0);
+      s->next_mask.resize(g.NumVertices(), 0);
+      s->min_dist.assign(g.NumVertices(), kUnreachable);
+      s->discovered = 0;
+      free_scratch.push_back(s.get());
+    }
     pool->ParallelFor(waves.size(), [&](size_t w) {
-      WaveScratch* s = nullptr;
+      MsBfsScratch::PerWave* s = nullptr;
       {
         std::lock_guard<std::mutex> lk(scratch_mu);
         if (!free_scratch.empty()) {
@@ -171,13 +198,13 @@ MsBfsResult MultiSourceBfs(const Graph& g,
         }
       }
       if (s == nullptr) {
-        auto owned = std::make_unique<WaveScratch>();
+        auto owned = std::make_unique<MsBfsScratch::PerWave>();
         owned->seen.assign(g.NumVertices(), 0);
         owned->next_mask.assign(g.NumVertices(), 0);
         owned->min_dist.assign(g.NumVertices(), kUnreachable);
         s = owned.get();
         std::lock_guard<std::mutex> lk(scratch_mu);
-        all_scratch.push_back(std::move(owned));
+        sc.wave_scratch.push_back(std::move(owned));
       }
       // RunWave leaves seen/next_mask cleared for reuse; min_dist keeps
       // accumulating (elementwise min commutes across waves).
@@ -186,21 +213,20 @@ MsBfsResult MultiSourceBfs(const Graph& g,
       std::lock_guard<std::mutex> lk(scratch_mu);
       free_scratch.push_back(s);
     });
-    for (const auto& s : all_scratch) {
+    for (const auto& s : sc.wave_scratch) {
       out.total_discovered += s->discovered;
       for (size_t v = 0; v < s->min_dist.size(); ++v) {
         if (s->min_dist[v] < out.min_dist[v]) out.min_dist[v] = s->min_dist[v];
       }
     }
   } else {
-    std::vector<uint64_t> seen(g.NumVertices(), 0);
-    std::vector<uint64_t> next_mask(g.NumVertices(), 0);
+    sc.seen.assign(g.NumVertices(), 0);
+    sc.next_mask.assign(g.NumVertices(), 0);
     for (const Wave& wave : waves) {
-      out.total_discovered += RunWave(g, dir, wave, seen, next_mask,
+      out.total_discovered += RunWave(g, dir, wave, sc.seen, sc.next_mask,
                                       out.per_source, out.min_dist, caps);
     }
   }
-  return out;
 }
 
 }  // namespace hcpath

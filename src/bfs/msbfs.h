@@ -2,6 +2,7 @@
 #define HCPATH_BFS_MSBFS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bfs/distance_map.h"
@@ -17,10 +18,36 @@ namespace hcpath {
 struct MsBfsResult {
   /// per_source[i] holds dist(sources[i], v) for all v within caps[i] hops.
   std::vector<VertexDistMap> per_source;
-  /// min_dist[v] = min_i dist(sources[i], v), kUnreachable if none.
+  /// min_dist[v] = min_i { dist(sources[i], v) : dist <= caps[i] },
+  /// kUnreachable if no source reaches v within its own cap. Honoring the
+  /// per-source caps makes the array a pure function of the (source, cap)
+  /// multiset — the property cache-served index builds rely on.
   std::vector<Hop> min_dist;
   /// Total vertices discovered across sources (with multiplicity).
   uint64_t total_discovered = 0;
+};
+
+/// Reusable |V|-sized working memory for MultiSourceBfs. A long-lived
+/// caller (BatchContext / PathEngine) keeps one per concurrent build
+/// direction and hands it back on every call, so sustained batch traffic
+/// stops paying two |V|-sized allocations (plus one per parallel wave
+/// slot) per index build. The scratch is owned exclusively by one
+/// MultiSourceBfs call at a time; contents are re-initialized per call, so
+/// results are identical to scratch-free runs.
+struct MsBfsScratch {
+  /// One parallel wave task's private working set.
+  struct PerWave {
+    std::vector<uint64_t> seen;
+    std::vector<uint64_t> next_mask;
+    std::vector<Hop> min_dist;  // accumulates across this slot's waves
+    uint64_t discovered = 0;
+  };
+  /// Checked-out-and-recycled working sets for the wave-parallel build;
+  /// grows to the peak wave concurrency and is then reused forever.
+  std::vector<std::unique_ptr<PerWave>> wave_scratch;
+  /// Sequential-path working arrays.
+  std::vector<uint64_t> seen;
+  std::vector<uint64_t> next_mask;
 };
 
 /// Bit-parallel multi-source BFS after Then et al. (VLDB'15), the
@@ -44,6 +71,15 @@ MsBfsResult MultiSourceBfs(const Graph& g,
                            const std::vector<VertexId>& sources,
                            const std::vector<Hop>& caps, Direction dir,
                            ThreadPool* pool = nullptr);
+
+/// As above, but writes into `out` (per-source maps are recycled via
+/// ClearKeepCapacity, so their backing storage survives across batches) and
+/// borrows working memory from `scratch` when non-null. Either pointer may
+/// be null; the convenience overload above forwards here.
+void MultiSourceBfs(const Graph& g, const std::vector<VertexId>& sources,
+                    const std::vector<Hop>& caps, Direction dir,
+                    ThreadPool* pool, MsBfsScratch* scratch,
+                    MsBfsResult* out);
 
 }  // namespace hcpath
 

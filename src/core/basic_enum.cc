@@ -11,7 +11,7 @@ namespace hcpath {
 
 void BuildBatchIndex(const Graph& g, const std::vector<PathQuery>& queries,
                      DistanceIndex* index, BatchStats* stats,
-                     ThreadPool* pool) {
+                     ThreadPool* pool, BatchContext* ctx) {
   std::vector<VertexId> sources, targets;
   std::vector<Hop> hops;
   sources.reserve(queries.size());
@@ -22,23 +22,32 @@ void BuildBatchIndex(const Graph& g, const std::vector<PathQuery>& queries,
     targets.push_back(q.t);
     hops.push_back(static_cast<Hop>(q.k));
   }
-  index->Build(g, sources, targets, hops, pool);
+  index->Build(g, sources, targets, hops, pool,
+               ctx != nullptr ? ctx->distance_cache : nullptr,
+               ctx != nullptr ? &ctx->fwd_bfs_scratch : nullptr,
+               ctx != nullptr ? &ctx->bwd_bfs_scratch : nullptr);
   if (stats != nullptr) {
     stats->build_index_seconds += index->build_seconds();
+    stats->distance_cache_hits += index->cache_hits();
+    stats->distance_cache_misses += index->cache_misses();
   }
 }
 
 Status RunBasicEnum(const Graph& g, const std::vector<PathQuery>& queries,
                     const BatchOptions& options, bool optimized_order,
-                    PathSink* sink, BatchStats* stats) {
+                    PathSink* sink, BatchStats* stats, BatchContext* ctx) {
+  HCPATH_RETURN_NOT_OK(options.Validate());
   HCPATH_RETURN_NOT_OK(ValidateQueries(g, queries));
   WallTimer total;
 
-  std::shared_ptr<ThreadPool> pool =
-      ThreadPool::ForNumThreads(options.num_threads);
+  // One-shot callers get a call-local context; a long-lived caller's ctx
+  // recycles the index storage, BFS scratch, and merge buffers instead.
+  BatchContext local_ctx;
+  BatchContext& c = ctx != nullptr ? *ctx : local_ctx;
+  ThreadPool* pool = c.PoolFor(options.num_threads);
 
-  DistanceIndex index;
-  BuildBatchIndex(g, queries, &index, stats, pool.get());
+  DistanceIndex& index = c.index;
+  BuildBatchIndex(g, queries, &index, stats, pool, &c);
 
   SingleQueryOptions sq;
   sq.optimized_order = optimized_order;
@@ -68,7 +77,7 @@ Status RunBasicEnum(const Graph& g, const std::vector<PathQuery>& queries,
                                    index.ToTargetMap(i), sq, i, query_sink,
                                    query_stats);
         },
-        &mm);
+        &mm, &c.sinks);
     FoldMergeMetrics(mm, stats);
     HCPATH_RETURN_NOT_OK(st);
   }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/batch_context.h"
 #include "core/options.h"
 #include "core/path.h"
 #include "core/query.h"
@@ -18,16 +19,24 @@ namespace hcpath {
 /// with two multi-source BFSs over all query endpoints, then each query is
 /// processed independently with the PathEnum bidirectional search.
 /// `optimized_order` selects the BasicEnum+ variant.
+///
+/// `ctx` optionally supplies recycled per-batch state and the cross-batch
+/// distance cache (see BatchContext); null gives a call-local context with
+/// identical output. The emitted stream, Status, and work counters do not
+/// depend on ctx reuse or cache warmth (docs/SERVICE.md).
 Status RunBasicEnum(const Graph& g, const std::vector<PathQuery>& queries,
                     const BatchOptions& options, bool optimized_order,
-                    PathSink* sink, BatchStats* stats);
+                    PathSink* sink, BatchStats* stats,
+                    BatchContext* ctx = nullptr);
 
 /// Shared helper: builds the batch index for `queries` (timed into
 /// stats->build_index_seconds). With a pool, the two MS-BFS sweeps run
-/// concurrently and shard their waves across workers.
+/// concurrently and shard their waves across workers. With a ctx, the
+/// build reuses the ctx's BFS scratch and probes its distance cache,
+/// folding hit/miss totals into `stats`.
 void BuildBatchIndex(const Graph& g, const std::vector<PathQuery>& queries,
                      DistanceIndex* index, BatchStats* stats,
-                     ThreadPool* pool = nullptr);
+                     ThreadPool* pool = nullptr, BatchContext* ctx = nullptr);
 
 }  // namespace hcpath
 

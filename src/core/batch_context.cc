@@ -1,0 +1,14 @@
+#include "core/batch_context.h"
+
+namespace hcpath {
+
+ThreadPool* BatchContext::PoolFor(int num_threads) {
+  if (!pool_resolved_ || pool_threads_ != num_threads) {
+    pool_ = ThreadPool::ForNumThreads(num_threads);
+    pool_threads_ = num_threads;
+    pool_resolved_ = true;
+  }
+  return pool_.get();
+}
+
+}  // namespace hcpath

@@ -183,7 +183,8 @@ Status ProcessCluster(const Graph& g, const std::vector<PathQuery>& queries,
                       const std::vector<Hop>& hf, const std::vector<Hop>& hb,
                       const std::vector<bool>& reachable,
                       const DistanceIndex& index, ThreadPool* pool,
-                      PathSink* sink, BatchStats* stats) {
+                      SinkPool* sink_pool, PathSink* sink,
+                      BatchStats* stats) {
   std::vector<Hop> fwd_budgets, bwd_budgets;
   std::vector<bool> skip;
   size_t live = 0;
@@ -270,7 +271,7 @@ Status ProcessCluster(const Graph& g, const std::vector<PathQuery>& queries,
       // merge reproduces the sequential per-query emission order.
       MergeMetrics mm;
       Status st = RunBufferedParallel(*intra_pool, cluster.size(), sink,
-                                      stats, join_one, &mm);
+                                      stats, join_one, &mm, sink_pool);
       FoldMergeMetrics(mm, stats);
       HCPATH_RETURN_NOT_OK(st);
       for (size_t pos = 0; pos < cluster.size(); ++pos) {
@@ -297,16 +298,21 @@ Status ProcessCluster(const Graph& g, const std::vector<PathQuery>& queries,
 
 Status RunBatchEnum(const Graph& g, const std::vector<PathQuery>& queries,
                     const BatchOptions& options, bool optimized_order,
-                    PathSink* sink, BatchStats* stats) {
+                    PathSink* sink, BatchStats* stats, BatchContext* ctx) {
+  HCPATH_RETURN_NOT_OK(options.Validate());
   HCPATH_RETURN_NOT_OK(ValidateQueries(g, queries));
   WallTimer total;
 
-  std::shared_ptr<ThreadPool> pool =
-      ThreadPool::ForNumThreads(options.num_threads);
+  // One-shot callers get a call-local context; a long-lived caller's ctx
+  // recycles the index storage, BFS scratch, clustering scratch, and merge
+  // buffers, and carries the cross-batch distance cache.
+  BatchContext local_ctx;
+  BatchContext& c = ctx != nullptr ? *ctx : local_ctx;
+  ThreadPool* pool = c.PoolFor(options.num_threads);
 
   // Phase 0: shared index (Algorithm 4 lines 1-2).
-  DistanceIndex index;
-  BuildBatchIndex(g, queries, &index, stats, pool.get());
+  DistanceIndex& index = c.index;
+  BuildBatchIndex(g, queries, &index, stats, pool, &c);
 
   const size_t n = queries.size();
   std::vector<bool> reachable(n);
@@ -324,8 +330,8 @@ Status RunBatchEnum(const Graph& g, const std::vector<PathQuery>& queries,
       for (size_t i = 0; i < n; ++i) clusters[0].push_back(i);
     } else {
       SimilarityMatrix sim =
-          ComputeSimilarityMatrix(g, queries, index,
-                                  options.similarity_mode, pool.get());
+          ComputeSimilarityMatrix(g, queries, index, options.similarity_mode,
+                                  pool, &c.similarity);
       clusters = ClusterQueries(sim, options.gamma);
     }
     if (stats != nullptr) {
@@ -358,8 +364,8 @@ Status RunBatchEnum(const Graph& g, const std::vector<PathQuery>& queries,
     // and parallelizes *inside* ProcessCluster instead.
     for (const std::vector<size_t>& cluster : clusters) {
       HCPATH_RETURN_NOT_OK(ProcessCluster(g, queries, options, cluster, hf,
-                                          hb, reachable, index, pool.get(),
-                                          sink, stats));
+                                          hb, reachable, index, pool,
+                                          &c.sinks, sink, stats));
     }
   } else {
     // Cluster-parallel: clusters are independent by construction
@@ -371,12 +377,12 @@ Status RunBatchEnum(const Graph& g, const std::vector<PathQuery>& queries,
     MergeMetrics mm;
     Status st = RunBufferedParallel(
         *pool, clusters.size(), sink, stats,
-        [&](size_t c, PathSink* cluster_sink, BatchStats* cluster_stats) {
-          return ProcessCluster(g, queries, options, clusters[c], hf, hb,
-                                reachable, index, pool.get(), cluster_sink,
-                                cluster_stats);
+        [&](size_t ci, PathSink* cluster_sink, BatchStats* cluster_stats) {
+          return ProcessCluster(g, queries, options, clusters[ci], hf, hb,
+                                reachable, index, pool, &c.sinks,
+                                cluster_sink, cluster_stats);
         },
-        &mm);
+        &mm, &c.sinks);
     FoldMergeMetrics(mm, stats);
     HCPATH_RETURN_NOT_OK(st);
   }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/batch_context.h"
 #include "core/options.h"
 #include "core/path.h"
 #include "core/query.h"
@@ -18,9 +19,15 @@ namespace hcpath {
 /// the sharing graphs in topological order with cached-result splicing, and
 /// assembles every query's HC-s-t paths with the concatenation join.
 /// `optimized_order` selects BatchEnum+.
+///
+/// `ctx` optionally supplies recycled per-batch state and the cross-batch
+/// distance cache (see BatchContext); null gives a call-local context with
+/// identical output. The emitted stream, Status, and work counters do not
+/// depend on ctx reuse or cache warmth (docs/SERVICE.md).
 Status RunBatchEnum(const Graph& g, const std::vector<PathQuery>& queries,
                     const BatchOptions& options, bool optimized_order,
-                    PathSink* sink, BatchStats* stats);
+                    PathSink* sink, BatchStats* stats,
+                    BatchContext* ctx = nullptr);
 
 }  // namespace hcpath
 

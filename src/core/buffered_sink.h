@@ -2,6 +2,8 @@
 #define HCPATH_CORE_BUFFERED_SINK_H_
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/path.h"
@@ -51,6 +53,15 @@ class BufferedSink : public PathSink {
     records_ = {};
   }
 
+  /// Drops every buffered path but keeps the arena's largest chunk and the
+  /// record table's capacity for reuse. The recycling path for pooled
+  /// sinks (SinkPool below): a rewound buffer serves its next run without
+  /// returning to the system allocator.
+  void Rewind() {
+    arena_.Rewind();
+    records_.clear();
+  }
+
   /// Bytes currently pinned by this buffer (arena chunks + record table).
   uint64_t buffered_bytes() const {
     return arena_.bytes_reserved() + records_.capacity() * sizeof(Record);
@@ -67,6 +78,82 @@ class BufferedSink : public PathSink {
 
   Arena arena_;
   std::vector<Record> records_;
+};
+
+/// Thread-safe free list of BufferedSinks, owned by a BatchContext so the
+/// parallel merge reuses buffers (and their arena chunks / record tables)
+/// across calls and across batches instead of reallocating per run.
+///
+/// Acquire/Release are mutex-guarded but off the hot path: one pair per
+/// merge *item*, never per emitted path. Nested merges (intra-cluster
+/// assembly inside a cluster task) share the pool safely — a buffer drained
+/// by the streaming merge is released immediately, so its storage flows to
+/// whichever concurrent merge acquires next.
+///
+/// Retention is budgeted: a released buffer keeps its storage (Rewind)
+/// only while the pool's total retained bytes stay under
+/// `kMaxRetainedBytes`, and no single buffer may pin more than
+/// `kMaxRetainedPerSink`; beyond either bound the buffer's storage is
+/// freed (Clear) before pooling. This preserves cross-batch chunk reuse
+/// for a bounded working set while keeping the PR-2 streaming guarantee —
+/// a giant batch's drained buffers cannot re-accumulate gather-baseline
+/// memory inside the pool.
+class SinkPool {
+ public:
+  static constexpr uint64_t kMaxRetainedBytes = 16 << 20;    // whole pool
+  static constexpr uint64_t kMaxRetainedPerSink = 1 << 20;   // per buffer
+  static constexpr size_t kMaxPooledSinks = 1024;            // object count
+
+  SinkPool() = default;
+  SinkPool(const SinkPool&) = delete;
+  SinkPool& operator=(const SinkPool&) = delete;
+
+  /// Returns an empty buffer, recycled when one is available.
+  BufferedSink* Acquire() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!free_.empty()) {
+        BufferedSink* s = free_.back().release();
+        free_.pop_back();
+        retained_bytes_ -= s->buffered_bytes();
+        return s;
+      }
+    }
+    return new BufferedSink();
+  }
+
+  /// Takes the buffer back, emptied; storage is kept only within budget.
+  void Release(BufferedSink* sink) {
+    sink->Rewind();
+    uint64_t bytes = sink->buffered_bytes();
+    std::lock_guard<std::mutex> lk(mu_);
+    if (free_.size() >= kMaxPooledSinks) {
+      delete sink;
+      return;
+    }
+    if (bytes > kMaxRetainedPerSink ||
+        retained_bytes_ + bytes > kMaxRetainedBytes) {
+      sink->Clear();
+      bytes = sink->buffered_bytes();  // record-table slack only
+    }
+    retained_bytes_ += bytes;
+    free_.emplace_back(sink);
+  }
+
+  size_t free_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return free_.size();
+  }
+
+  uint64_t retained_bytes() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return retained_bytes_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<BufferedSink>> free_;
+  uint64_t retained_bytes_ = 0;
 };
 
 }  // namespace hcpath

@@ -61,6 +61,10 @@ StatusOr<Algorithm> ParseAlgorithm(const std::string& name) {
 StatusOr<BatchResult> BatchPathEnumerator::Run(
     const std::vector<PathQuery>& queries, const BatchOptions& options,
     PathSink* sink) {
+  // The batch engines validate too, but kPathEnum bypasses them, so every
+  // algorithm must range-check its options here.
+  Status validated = options.Validate();
+  if (!validated.ok()) return validated;
   BatchResult result;
   TeeSink tee(queries.size(), sink);
   Status st;

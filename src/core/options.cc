@@ -1,0 +1,23 @@
+#include "core/options.h"
+
+namespace hcpath {
+
+Status BatchOptions::Validate() const {
+  if (!(gamma >= 0.0 && gamma <= 1.0)) {  // the negation also rejects NaN
+    return Status::InvalidArgument("BatchOptions.gamma must be in [0, 1], got " +
+                                   std::to_string(gamma));
+  }
+  if (min_dominating_budget < 0) {
+    return Status::InvalidArgument(
+        "BatchOptions.min_dominating_budget must be >= 0, got " +
+        std::to_string(min_dominating_budget));
+  }
+  if (!(max_dominating_per_query >= 0.0)) {  // rejects negatives and NaN
+    return Status::InvalidArgument(
+        "BatchOptions.max_dominating_per_query must be >= 0, got " +
+        std::to_string(max_dominating_per_query));
+  }
+  return Status::OK();
+}
+
+}  // namespace hcpath

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/status.h"
+
 namespace hcpath {
 
 /// Which batch algorithm to run (Section V, "Algorithms").
@@ -90,6 +92,15 @@ struct BatchOptions {
   /// Disable HC-s path sharing entirely inside BatchEnum (detection still
   /// runs, shortcuts are ignored); ablation of the cache reuse.
   bool disable_cache_reuse = false;
+
+  /// Range-checks the option values: γ must lie in [0, 1] (Algorithm 2
+  /// clusters on a similarity threshold), and min_dominating_budget /
+  /// max_dominating_per_query must be non-negative. Called at every
+  /// pipeline entry point (RunBatchEnum, RunBasicEnum,
+  /// BatchPathEnumerator::Run, PathEngine construction), so malformed
+  /// options fail fast with InvalidArgument instead of silently steering
+  /// clustering or detection.
+  Status Validate() const;
 };
 
 }  // namespace hcpath

@@ -78,13 +78,25 @@ inline void FoldMergeMetrics(const MergeMetrics& m, BatchStats* stats) {
 /// `task` must be safe to run concurrently for distinct i and is invoked
 /// once per item (possibly again at merge time only if that item was
 /// skipped, i.e. never started).
+///
+/// With a `sink_pool` (BatchContext), per-item buffers are acquired from
+/// the pool instead of constructed, and a drained buffer is released back
+/// the moment the streaming drain passes it — so its arena chunks flow
+/// straight to concurrent nested merges and to the next batch, instead of
+/// being freed and reallocated.
 template <typename TaskFn>
 Status RunBufferedParallel(ThreadPool& pool, size_t n, PathSink* sink,
                            BatchStats* stats, const TaskFn& task,
-                           MergeMetrics* metrics = nullptr) {
+                           MergeMetrics* metrics = nullptr,
+                           SinkPool* sink_pool = nullptr) {
   if (n == 0) return Status::OK();
   enum ItemState : uint8_t { kRunning = 0, kDone, kFailed, kSkipped };
-  std::vector<BufferedSink> buffers(n);
+  std::vector<BufferedSink> local_buffers(sink_pool != nullptr ? 0 : n);
+  std::vector<BufferedSink*> buffers(n);
+  for (size_t i = 0; i < n; ++i) {
+    buffers[i] = sink_pool != nullptr ? sink_pool->Acquire()
+                                      : &local_buffers[i];
+  }
   std::vector<Status> status(n, Status::OK());
   std::vector<BatchStats> item_stats(stats != nullptr ? n : 0);
   std::vector<uint8_t> state(n, kRunning);
@@ -103,13 +115,19 @@ Status RunBufferedParallel(ThreadPool& pool, size_t n, PathSink* sink,
   auto drain_locked = [&](bool streaming) {
     while (!closed && frontier < n &&
            (state[frontier] == kDone || state[frontier] == kFailed)) {
-      BufferedSink& buf = buffers[frontier];
+      BufferedSink& buf = *buffers[frontier];
       // Replay before surfacing an error: the sequential engine has already
       // streamed a failing item's pre-error paths to the sink.
       if (sink != nullptr) buf.Replay(sink);
       if (stats != nullptr) stats->Accumulate(item_stats[frontier]);
       buffered_bytes -= buf.buffered_bytes();
-      buf.Clear();  // recycle the arena now, not at scope exit
+      if (sink_pool != nullptr) {
+        // Hand the drained buffer (and its storage) back for reuse now.
+        sink_pool->Release(buffers[frontier]);
+        buffers[frontier] = nullptr;
+      } else {
+        buf.Clear();  // recycle the arena now, not at scope exit
+      }
       if (streaming) {
         ++mm.streamed_items;
       } else {
@@ -133,12 +151,12 @@ Status RunBufferedParallel(ThreadPool& pool, size_t n, PathSink* sink,
       return;
     }
     Status st =
-        task(i, &buffers[i], stats != nullptr ? &item_stats[i] : nullptr);
+        task(i, buffers[i], stats != nullptr ? &item_stats[i] : nullptr);
     std::lock_guard<std::mutex> lk(mu);
     status[i] = std::move(st);
     state[i] = status[i].ok() ? kDone : kFailed;
     if (state[i] == kFailed) abort.store(true, std::memory_order_relaxed);
-    const uint64_t bytes = buffers[i].buffered_bytes();
+    const uint64_t bytes = buffers[i]->buffered_bytes();
     buffered_bytes += bytes;
     mm.total_buffered_bytes += bytes;
     if (buffered_bytes > mm.peak_buffered_bytes) {
@@ -162,14 +180,21 @@ Status RunBufferedParallel(ThreadPool& pool, size_t n, PathSink* sink,
         if (!result.ok()) break;
         continue;
       }
-      if (sink != nullptr) buffers[i].Replay(sink);
+      if (sink != nullptr) buffers[i]->Replay(sink);
       if (stats != nullptr) stats->Accumulate(item_stats[i]);
-      buffers[i].Clear();
+      buffers[i]->Clear();
       ++mm.final_items;
       if (state[i] == kFailed) {
         result = status[i];
         break;
       }
+    }
+  }
+  if (sink_pool != nullptr) {
+    // Whatever the streaming drain didn't already hand back (post-failure
+    // items, buffers of skipped items) goes to the pool here.
+    for (BufferedSink* buf : buffers) {
+      if (buf != nullptr) sink_pool->Release(buf);
     }
   }
   if (metrics != nullptr) metrics->Accumulate(mm);

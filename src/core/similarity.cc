@@ -19,18 +19,17 @@ double HarmonicMu(double fwd, double bwd) {
 
 /// Bottom-k sketch of a vertex set: the k smallest Mix64 hashes, sorted.
 /// Built straight from the distance map to avoid materializing and sorting
-/// the full key set.
-std::vector<uint64_t> BuildSketch(const VertexDistMap& set) {
-  std::vector<uint64_t> hashes;
-  hashes.reserve(set.size());
-  set.ForEach([&](VertexId v, Hop) { hashes.push_back(Mix64(v)); });
-  if (hashes.size() > kSketchSize) {
-    std::nth_element(hashes.begin(), hashes.begin() + kSketchSize - 1,
-                     hashes.end());
-    hashes.resize(kSketchSize);
+/// the full key set; `hashes` is a recycled output vector.
+void BuildSketch(const VertexDistMap& set, std::vector<uint64_t>* hashes) {
+  hashes->clear();
+  hashes->reserve(set.size());
+  set.ForEach([&](VertexId v, Hop) { hashes->push_back(Mix64(v)); });
+  if (hashes->size() > kSketchSize) {
+    std::nth_element(hashes->begin(), hashes->begin() + kSketchSize - 1,
+                     hashes->end());
+    hashes->resize(kSketchSize);
   }
-  std::sort(hashes.begin(), hashes.end());
-  return hashes;
+  std::sort(hashes->begin(), hashes->end());
 }
 
 /// Estimates |A ∩ B| / min(|A|, |B|) from two bottom-k sketches and the
@@ -115,10 +114,15 @@ double OverlapCoefficient(const std::vector<VertexId>& a,
 
 SimilarityMatrix ComputeSimilarityMatrix(
     const Graph& g, const std::vector<PathQuery>& queries,
-    const DistanceIndex& index, SimilarityMode mode, ThreadPool* pool) {
+    const DistanceIndex& index, SimilarityMode mode, ThreadPool* pool,
+    SimilarityScratch* scratch) {
   const size_t n = queries.size();
   SimilarityMatrix sim(n);
   if (n < 2) return sim;
+
+  // Working memory: the caller's recycled scratch, or a call-local one.
+  SimilarityScratch local_scratch;
+  SimilarityScratch& sc = scratch != nullptr ? *scratch : local_scratch;
 
   // Row-parallel driver: pair (i, j > i) is computed by row task i alone,
   // and Set writes only that pair's two mirror cells, so rows never touch
@@ -142,11 +146,17 @@ SimilarityMatrix ComputeSimilarityMatrix(
   }
 
   if (use_sketch) {
-    std::vector<std::vector<uint64_t>> fwd_sketch(n), bwd_sketch(n);
-    std::vector<size_t> fwd_size(n), bwd_size(n);
+    std::vector<std::vector<uint64_t>>& fwd_sketch = sc.fwd_sketch;
+    std::vector<std::vector<uint64_t>>& bwd_sketch = sc.bwd_sketch;
+    std::vector<size_t>& fwd_size = sc.fwd_size;
+    std::vector<size_t>& bwd_size = sc.bwd_size;
+    fwd_sketch.resize(n);
+    bwd_sketch.resize(n);
+    fwd_size.assign(n, 0);
+    bwd_size.assign(n, 0);
     for_each_row([&](size_t i) {
-      fwd_sketch[i] = BuildSketch(index.FromSourceMap(i));
-      bwd_sketch[i] = BuildSketch(index.ToTargetMap(i));
+      BuildSketch(index.FromSourceMap(i), &fwd_sketch[i]);
+      BuildSketch(index.ToTargetMap(i), &bwd_sketch[i]);
       fwd_size[i] = index.FromSourceMap(i).size();
       bwd_size[i] = index.ToTargetMap(i).size();
     });
@@ -188,10 +198,17 @@ SimilarityMatrix ComputeSimilarityMatrix(
 
   // Exact mode: per-endpoint bitsets, word-parallel intersections.
   const size_t nv = g.NumVertices();
-  std::vector<DynamicBitset> fwd_bits(n), bwd_bits(n);
-  std::vector<size_t> fwd_size(n), bwd_size(n);
+  std::vector<DynamicBitset>& fwd_bits = sc.fwd_bits;
+  std::vector<DynamicBitset>& bwd_bits = sc.bwd_bits;
+  std::vector<size_t>& fwd_size = sc.fwd_size;
+  std::vector<size_t>& bwd_size = sc.bwd_size;
+  fwd_bits.resize(n);
+  bwd_bits.resize(n);
+  fwd_size.assign(n, 0);
+  bwd_size.assign(n, 0);
   // Safe row-parallel: task i only touches query i's bitsets and lazy key
-  // caches.
+  // caches. Resize re-zeroes recycled bitsets while keeping their word
+  // storage, so bits a previous batch left behind cannot leak in.
   for_each_row([&](size_t i) {
     fwd_bits[i].Resize(nv);
     for (VertexId v : index.Gamma(i)) fwd_bits[i].Set(v);

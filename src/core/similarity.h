@@ -8,6 +8,7 @@
 #include "core/query.h"
 #include "graph/graph.h"
 #include "index/distance_index.h"
+#include "util/bitset.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -49,11 +50,23 @@ class SimilarityMatrix {
 /// With a pool, the per-query set materialization and the O(|Q|^2) pair
 /// loop run row-parallel; every pair is computed by exactly one task, so
 /// the matrix is identical to the sequential one.
+/// Reusable working memory for ComputeSimilarityMatrix: per-query sketches
+/// in sketch mode, per-endpoint bitsets in exact mode. A long-lived caller
+/// (BatchContext) passes the same scratch every batch so the O(|Q|) outer
+/// vectors and the |V|-bit sets are recycled instead of reallocated; the
+/// computed matrix is unaffected.
+struct SimilarityScratch {
+  std::vector<std::vector<uint64_t>> fwd_sketch, bwd_sketch;
+  std::vector<size_t> fwd_size, bwd_size;
+  std::vector<DynamicBitset> fwd_bits, bwd_bits;
+};
+
 SimilarityMatrix ComputeSimilarityMatrix(const Graph& g,
                                          const std::vector<PathQuery>& queries,
                                          const DistanceIndex& index,
                                          SimilarityMode mode,
-                                         ThreadPool* pool = nullptr);
+                                         ThreadPool* pool = nullptr,
+                                         SimilarityScratch* scratch = nullptr);
 
 /// Exact overlap coefficient of two sorted vertex sets (exposed for tests).
 double OverlapCoefficient(const std::vector<VertexId>& a,

@@ -25,6 +25,8 @@ void BatchStats::Accumulate(const BatchStats& other) {
   cache_peak_vertices = std::max(cache_peak_vertices,
                                  other.cache_peak_vertices);
   cycle_edges_skipped += other.cycle_edges_skipped;
+  distance_cache_hits += other.distance_cache_hits;
+  distance_cache_misses += other.distance_cache_misses;
   // Concurrent peaks don't sum; the max is a sound (conservative) bound.
   merge_peak_buffered_bytes = std::max(merge_peak_buffered_bytes,
                                        other.merge_peak_buffered_bytes);

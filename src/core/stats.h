@@ -34,6 +34,15 @@ struct BatchStats {
   uint64_t cache_peak_vertices = 0; ///< high-water mark of R
   uint64_t cycle_edges_skipped = 0; ///< reuse edges dropped to keep Ψ a DAG
 
+  // --- cross-batch distance-cache counters (PathEngine / BatchContext) ---
+  // Unique (endpoint, direction, hop-cap) keys served from / missed in the
+  // cross-batch endpoint distance cache during index builds. Observability
+  // like the merge metrics below, NOT part of the determinism identity: a
+  // warm engine reports hits where a one-shot run reports misses, while
+  // emitting the bit-identical path stream (docs/SERVICE.md).
+  uint64_t distance_cache_hits = 0;
+  uint64_t distance_cache_misses = 0;
+
   // --- streaming-merge metrics (parallel runs only) ---
   // Scheduling-dependent observability: zero at num_threads == 1 and NOT
   // part of the determinism identity (the path stream and the counters

@@ -17,8 +17,16 @@
 ///   BatchOptions options;   // BatchEnum+, gamma = 0.5
 ///   auto result = enumerator.Run(queries, options);
 ///   // result->path_counts[0] == number of HC-s-t paths of query 0
+///
+/// Serving sustained traffic? Use the persistent service layer
+/// (docs/SERVICE.md) instead of one-shot calls:
+///
+///   PathEngine engine(g, PathEngineOptions{});
+///   auto future = engine.Submit({.s = 0, .t = 42, .k = 5});
+///   uint64_t n = future.get().path_count;  // micro-batched + warm caches
 
 #include "core/basic_enum.h"
+#include "core/batch_context.h"
 #include "core/batch_enum.h"
 #include "core/brute_force.h"
 #include "core/clustering.h"
@@ -29,6 +37,8 @@
 #include "core/query.h"
 #include "core/similarity.h"
 #include "core/stats.h"
+#include "index/endpoint_cache.h"
+#include "service/path_engine.h"
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
 #include "graph/graph.h"

@@ -6,6 +6,7 @@
 
 #include "bfs/msbfs.h"
 #include "graph/graph.h"
+#include "index/endpoint_cache.h"
 
 namespace hcpath {
 
@@ -24,6 +25,11 @@ namespace hcpath {
 ///    index construction traversals;
 ///  * dense min-distance arrays over all sources/targets, used by the
 ///    detection traversal and by the kGlobalMin shared-pruning mode.
+///
+/// A DistanceIndex is designed to be *recycled*: Build() clears the
+/// previous batch's maps in place (keeping their backing storage) instead
+/// of reallocating, which is what lets a long-lived PathEngine run batch
+/// after batch without per-batch index churn (docs/SERVICE.md).
 class DistanceIndex {
  public:
   DistanceIndex() = default;
@@ -33,26 +39,43 @@ class DistanceIndex {
   /// query's hop constraint. With a pool, the forward and backward builds
   /// run concurrently and each shards its source waves across workers; the
   /// result is identical to the sequential build (docs/PARALLELISM.md).
+  ///
+  /// With a `cache`, each unique (endpoint, direction, cap) key is probed
+  /// first; hits are copied out of the cache instead of BFS'd, and maps
+  /// built for misses are inserted for future batches. Served maps are
+  /// content-identical to a fresh build, so batch output is unchanged
+  /// (docs/SERVICE.md has the coherence argument); hit/miss totals for the
+  /// last Build are exposed below. The cache is probed and filled strictly
+  /// outside the parallel BFS section, so it needs no internal locking.
+  ///
+  /// `fwd_scratch` / `bwd_scratch` optionally recycle the BFS working
+  /// memory across builds (they must be distinct: the two directions run
+  /// concurrently).
   void Build(const Graph& g, const std::vector<VertexId>& sources,
              const std::vector<VertexId>& targets,
-             const std::vector<Hop>& hops, ThreadPool* pool = nullptr);
+             const std::vector<Hop>& hops, ThreadPool* pool = nullptr,
+             EndpointDistanceCache* cache = nullptr,
+             MsBfsScratch* fwd_scratch = nullptr,
+             MsBfsScratch* bwd_scratch = nullptr);
 
-  size_t num_queries() const { return from_source_.size(); }
+  size_t num_queries() const { return fwd_.per_source.size(); }
 
   /// Full distance map of source i (dist_G(source_i, v)).
   const VertexDistMap& FromSourceMap(size_t i) const {
-    return from_source_[i];
+    return fwd_.per_source[i];
   }
   /// Full distance map of target i (dist_G(v, target_i), built on Gr).
-  const VertexDistMap& ToTargetMap(size_t i) const { return to_target_[i]; }
+  const VertexDistMap& ToTargetMap(size_t i) const {
+    return bwd_.per_source[i];
+  }
 
   /// dist_G(source_i, v); kUnreachable beyond the cap.
   Hop DistFromSource(size_t i, VertexId v) const {
-    return from_source_[i].Lookup(v);
+    return fwd_.per_source[i].Lookup(v);
   }
   /// dist_G(v, target_i) (computed on Gr); kUnreachable beyond the cap.
   Hop DistToTarget(size_t i, VertexId v) const {
-    return to_target_[i].Lookup(v);
+    return bwd_.per_source[i].Lookup(v);
   }
 
   /// Distance map of endpoint i in the given search direction:
@@ -65,39 +88,48 @@ class DistanceIndex {
 
   /// Γ(q_i): vertices within hops[i] of source i on G (sorted).
   const std::vector<VertexId>& Gamma(size_t i) const {
-    return from_source_[i].SortedKeys();
+    return fwd_.per_source[i].SortedKeys();
   }
   /// Γr(q_i): vertices within hops[i] of target i on Gr (sorted).
   const std::vector<VertexId>& GammaR(size_t i) const {
-    return to_target_[i].SortedKeys();
+    return bwd_.per_source[i].SortedKeys();
   }
 
   /// min_i dist_G(source_i, v) — dense, kUnreachable if none.
   const std::vector<Hop>& MinDistFromAnySource() const {
-    return min_from_source_;
+    return fwd_.min_dist;
   }
   /// min_i dist_G(v, target_i) — dense, kUnreachable if none.
-  const std::vector<Hop>& MinDistToAnyTarget() const {
-    return min_to_target_;
-  }
+  const std::vector<Hop>& MinDistToAnyTarget() const { return bwd_.min_dist; }
 
   /// Dense min-dist array that prunes searches in direction `dir`.
   const std::vector<Hop>& MinDistToOpposite(Direction dir) const {
-    return dir == Direction::kForward ? min_to_target_ : min_from_source_;
+    return dir == Direction::kForward ? bwd_.min_dist : fwd_.min_dist;
   }
 
-  /// Seconds spent in Build() (the BuildIndex phase of Fig 9).
+  /// Seconds spent in the last Build() (the BuildIndex phase of Fig 9).
   double build_seconds() const { return build_seconds_; }
+
+  /// Unique (endpoint, direction, cap) keys served from / missed in the
+  /// distance cache during the last Build(); both zero without a cache.
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
 
   /// Approximate heap bytes.
   uint64_t MemoryBytes() const;
 
  private:
-  std::vector<VertexDistMap> from_source_;
-  std::vector<VertexDistMap> to_target_;
-  std::vector<Hop> min_from_source_;
-  std::vector<Hop> min_to_target_;
+  struct DirectionPlan;
+  void ProbeAndPlan(const Graph& g, EndpointDistanceCache* cache,
+                    const std::vector<Hop>& hops, DirectionPlan& plan);
+  void CommitMisses(EndpointDistanceCache* cache, DirectionPlan& plan);
+
+  MsBfsResult fwd_;  // per-source maps on G + min-dist to any source
+  MsBfsResult bwd_;  // per-target maps on Gr + min-dist to any target
+  MsBfsResult miss_build_[2];  // recycled BFS outputs for cache misses
   double build_seconds_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
 };
 
 }  // namespace hcpath

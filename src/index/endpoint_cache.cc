@@ -1,0 +1,54 @@
+#include "index/endpoint_cache.h"
+
+namespace hcpath {
+
+const VertexDistMap* EndpointDistanceCache::Lookup(VertexId vertex,
+                                                   Direction dir, Hop cap) {
+  auto it = by_key_.find(Key{vertex, dir, cap});
+  if (it == by_key_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->map;
+}
+
+void EndpointDistanceCache::Insert(VertexId vertex, Direction dir, Hop cap,
+                                   VertexDistMap map) {
+  if (max_entries_ == 0) return;
+  const Key key{vertex, dir, cap};
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    // Same key means same graph-determined content; just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  Entry e;
+  e.key = key;
+  e.map = std::move(map);
+  e.bytes = e.map.MemoryBytes() + sizeof(Entry);
+  bytes_ += e.bytes;
+  lru_.push_front(std::move(e));
+  by_key_.emplace(key, lru_.begin());
+  EvictToBudget();
+}
+
+void EndpointDistanceCache::Invalidate() {
+  lru_.clear();
+  by_key_.clear();
+  bytes_ = 0;
+}
+
+void EndpointDistanceCache::EvictToBudget() {
+  while (lru_.size() > max_entries_ ||
+         (max_bytes_ != 0 && bytes_ > max_bytes_ && lru_.size() > 1)) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    by_key_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace hcpath

@@ -1,0 +1,98 @@
+#ifndef HCPATH_INDEX_ENDPOINT_CACHE_H_
+#define HCPATH_INDEX_ENDPOINT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "bfs/distance_map.h"
+#include "graph/graph.h"
+
+namespace hcpath {
+
+/// Cross-batch LRU cache of endpoint distance maps, keyed by
+/// (vertex, direction, hop cap). A long-lived PathEngine keeps one of these
+/// so a hot endpoint that repeats across micro-batches (the same power-law
+/// skew that motivates the paper's intra-batch sharing) skips its BFS in
+/// the next batch's index build entirely.
+///
+/// Coherence: the graph is immutable for the cache's lifetime, and a BFS
+/// from a fixed (vertex, direction) capped at a fixed hop count is a pure
+/// function of the graph, so an entry never goes stale. A served map holds
+/// exactly the entry set {(v, d) : d = dist(vertex, v) <= cap} a fresh
+/// build would produce; since every index consumer is insensitive to map
+/// layout (lookups and order-insensitive folds only — docs/SERVICE.md),
+/// batch output on cache hits is bit-identical to cold runs. Invalidate()
+/// is the escape hatch if a caller ever mutates or swaps the graph.
+///
+/// Not thread-safe: callers (DistanceIndex::Build probes and fills it
+/// strictly outside the parallel BFS section; PathEngine runs one batch at
+/// a time) must serialize access externally.
+class EndpointDistanceCache {
+ public:
+  /// `max_entries` = 0 disables the cache (every probe misses, inserts are
+  /// dropped). `max_bytes` = 0 means no byte budget.
+  explicit EndpointDistanceCache(size_t max_entries = 4096,
+                                 uint64_t max_bytes = 0)
+      : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+  /// Returns the cached map for (vertex, dir, cap) and refreshes its LRU
+  /// position, or nullptr. The pointer is stable until the next Insert /
+  /// Invalidate call. Counts one hit or miss.
+  const VertexDistMap* Lookup(VertexId vertex, Direction dir, Hop cap);
+
+  /// Inserts (or replaces) the map for (vertex, dir, cap) as most recently
+  /// used, then evicts least-recently-used entries until both budgets hold.
+  void Insert(VertexId vertex, Direction dir, Hop cap, VertexDistMap map);
+
+  /// Drops every entry (budgets and counters are kept).
+  void Invalidate();
+
+  size_t entries() const { return lru_.size(); }
+  uint64_t bytes() const { return bytes_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+  /// Zeroes the hit/miss/eviction counters (entries stay).
+  void ResetCounters() { hits_ = misses_ = evictions_ = 0; }
+
+ private:
+  struct Key {
+    VertexId vertex;
+    Direction dir;
+    Hop cap;
+    bool operator==(const Key& other) const {
+      return vertex == other.vertex && dir == other.dir && cap == other.cap;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = (static_cast<uint64_t>(k.vertex) << 16) ^
+                   (static_cast<uint64_t>(k.cap) << 8) ^
+                   static_cast<uint64_t>(k.dir == Direction::kForward);
+      h *= 0x9E3779B97F4A7C15ULL;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+  struct Entry {
+    Key key;
+    VertexDistMap map;
+    uint64_t bytes = 0;
+  };
+
+  void EvictToBudget();
+
+  size_t max_entries_;
+  uint64_t max_bytes_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> by_key_;
+  uint64_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_INDEX_ENDPOINT_CACHE_H_

@@ -1,0 +1,317 @@
+#include "service/path_engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/basic_enum.h"
+#include "core/batch_enum.h"
+#include "core/path_enum.h"
+#include "util/timer.h"
+
+namespace hcpath {
+
+namespace {
+
+/// Routes the micro-batch's emission stream to per-query destinations:
+/// counts every path, forwards to the query's own sink when given, and
+/// otherwise materializes into the query's result set when the engine
+/// collects. OnPath calls arrive serialized (the pipeline's ordered merge
+/// holds a drain lock), in the deterministic emission order.
+class DemuxSink : public PathSink {
+ public:
+  DemuxSink(size_t n, const std::vector<PathSink*>& sinks, bool collect)
+      : counts_(n, 0), sinks_(sinks), collect_(collect) {
+    if (collect_) sets_.resize(n);
+  }
+
+  void OnPath(size_t query_index, PathView path) override {
+    ++counts_[query_index];
+    if (sinks_[query_index] != nullptr) {
+      sinks_[query_index]->OnPath(query_index, path);
+    } else if (collect_) {
+      sets_[query_index].Add(path);
+    }
+  }
+
+  uint64_t count(size_t i) const { return counts_[i]; }
+  PathSet TakePaths(size_t i) {
+    return collect_ ? std::move(sets_[i]) : PathSet();
+  }
+
+ private:
+  std::vector<uint64_t> counts_;
+  const std::vector<PathSink*>& sinks_;
+  bool collect_;
+  std::vector<PathSet> sets_;
+};
+
+QueryResult MakeErrorResult(Status status) {
+  QueryResult r;
+  r.status = std::move(status);
+  return r;
+}
+
+/// The pipeline requires a sink; count-only callers pass nullptr.
+class DiscardSink : public PathSink {
+ public:
+  void OnPath(size_t, PathView) override {}
+};
+
+}  // namespace
+
+PathEngine::PathEngine(const Graph& g, const PathEngineOptions& options)
+    : g_(g),
+      options_(options),
+      init_status_(options.batch.Validate()),
+      cache_(options.enable_distance_cache
+                 ? options.distance_cache_max_entries
+                 : 0,
+             options.distance_cache_max_bytes) {
+  if (!init_status_.ok()) return;
+  if (options_.enable_distance_cache) ctx_.distance_cache = &cache_;
+  // Resolve the pool once up front: the engine, not the batch call, owns
+  // the threads for its whole lifetime.
+  ctx_.PoolFor(options_.batch.num_threads);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+PathEngine::~PathEngine() {
+  if (!dispatcher_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+}
+
+std::future<QueryResult> PathEngine::Submit(const PathQuery& query,
+                                            PathSink* sink) {
+  std::promise<QueryResult> promise;
+  std::future<QueryResult> future = promise.get_future();
+  if (!init_status_.ok()) {
+    promise.set_value(MakeErrorResult(init_status_));
+    return future;
+  }
+  // Admission-time validation: a bad query is rejected here, alone, so it
+  // can never fail the whole micro-batch it would have been cut into.
+  Status st = ValidateQueries(g_, {query});
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.queries_rejected;
+    promise.set_value(MakeErrorResult(std::move(st)));
+    return future;
+  }
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      promise.set_value(MakeErrorResult(
+          Status::FailedPrecondition("PathEngine is shutting down")));
+      return future;
+    }
+    Pending p;
+    p.query = query;
+    p.sink = sink;
+    p.promise = std::move(promise);
+    p.enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(p));
+    ++stats_.queries_submitted;
+    // Wake the dispatcher on the first pending query (it must arm the
+    // max-wait timer) and whenever the size cut is reached.
+    notify = queue_.size() == 1 || queue_.size() >= options_.max_batch_size;
+  }
+  if (notify) work_cv_.notify_all();
+  return future;
+}
+
+void PathEngine::Flush() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (queue_.empty()) return;
+    flush_requested_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void PathEngine::Drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drained_cv_.wait(lk, [&] { return queue_.empty() && !batch_in_flight_; });
+}
+
+Status PathEngine::RunBatch(const std::vector<PathQuery>& queries,
+                            PathSink* sink, BatchStats* stats) {
+  if (!init_status_.ok()) return init_status_;
+  DiscardSink discard;
+  BatchStats local_stats;
+  Status st;
+  {
+    std::lock_guard<std::mutex> lk(run_mu_);
+    st = ExecuteBatch(queries, sink != nullptr ? sink : &discard,
+                      &local_stats);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.batches_run;
+    stats_.batch_stats.Accumulate(local_stats);
+    stats_.distance_cache_hits += local_stats.distance_cache_hits;
+    stats_.distance_cache_misses += local_stats.distance_cache_misses;
+  }
+  if (stats != nullptr) stats->Accumulate(local_stats);
+  return st;
+}
+
+Status PathEngine::ExecuteBatch(const std::vector<PathQuery>& queries,
+                                PathSink* sink, BatchStats* stats) {
+  switch (options_.batch.algorithm) {
+    case Algorithm::kPathEnum: {
+      // Per-query baseline: no shared index, so the context and distance
+      // cache have nothing to recycle; kept for algorithm parity.
+      HCPATH_RETURN_NOT_OK(options_.batch.Validate());
+      HCPATH_RETURN_NOT_OK(ValidateQueries(g_, queries));
+      SingleQueryOptions sq;
+      sq.max_paths = options_.batch.max_paths_per_query;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        HCPATH_RETURN_NOT_OK(
+            PathEnumQuery(g_, queries[i], sq, i, sink, stats));
+      }
+      return Status::OK();
+    }
+    case Algorithm::kBasicEnum:
+      return RunBasicEnum(g_, queries, options_.batch,
+                          /*optimized_order=*/false, sink, stats, &ctx_);
+    case Algorithm::kBasicEnumPlus:
+      return RunBasicEnum(g_, queries, options_.batch,
+                          /*optimized_order=*/true, sink, stats, &ctx_);
+    case Algorithm::kBatchEnum:
+      return RunBatchEnum(g_, queries, options_.batch,
+                          /*optimized_order=*/false, sink, stats, &ctx_);
+    case Algorithm::kBatchEnumPlus:
+      return RunBatchEnum(g_, queries, options_.batch,
+                          /*optimized_order=*/true, sink, stats, &ctx_);
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+void PathEngine::DispatchLoop() {
+  const size_t max_batch = options_.max_batch_size < 1
+                               ? 1
+                               : options_.max_batch_size;
+  const bool timed_cuts = options_.max_wait_seconds > 0;
+  const auto max_wait = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(timed_cuts ? options_.max_wait_seconds
+                                               : 0));
+
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    if (queue_.empty()) {
+      if (stopping_) break;
+      flush_requested_ = false;  // nothing left to flush
+      drained_cv_.notify_all();
+      work_cv_.wait(lk, [&] {
+        return stopping_ || flush_requested_ || !queue_.empty();
+      });
+      continue;
+    }
+
+    // Decide the cut. Size, flush, and shutdown cut immediately; otherwise
+    // sleep until the oldest pending query's deadline and re-check.
+    CutReason reason;
+    if (queue_.size() >= max_batch) {
+      reason = CutReason::kSize;
+    } else if (stopping_ || flush_requested_) {
+      reason = CutReason::kFlush;
+    } else if (timed_cuts) {
+      const auto deadline = queue_.front().enqueued + max_wait;
+      const bool expired = !work_cv_.wait_until(lk, deadline, [&] {
+        return stopping_ || flush_requested_ || queue_.size() >= max_batch;
+      });
+      if (!expired) continue;  // woken by a stronger cut; re-evaluate
+      reason = CutReason::kWait;
+    } else {
+      // Untimed mode: only size / flush / shutdown cut.
+      work_cv_.wait(lk, [&] {
+        return stopping_ || flush_requested_ || queue_.size() >= max_batch;
+      });
+      continue;
+    }
+
+    std::vector<Pending> batch;
+    const size_t take = std::min(queue_.size(), max_batch);
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    batch_in_flight_ = true;
+    lk.unlock();
+    RunMicroBatch(std::move(batch), reason);
+    lk.lock();
+    batch_in_flight_ = false;
+    if (queue_.empty()) drained_cv_.notify_all();
+  }
+  drained_cv_.notify_all();
+}
+
+void PathEngine::RunMicroBatch(std::vector<Pending> batch, CutReason reason) {
+  const size_t n = batch.size();
+  const auto dispatched = std::chrono::steady_clock::now();
+  std::vector<PathQuery> queries;
+  std::vector<PathSink*> sinks;
+  queries.reserve(n);
+  sinks.reserve(n);
+  for (const Pending& p : batch) {
+    queries.push_back(p.query);
+    sinks.push_back(p.sink);
+  }
+
+  DemuxSink demux(n, sinks, options_.collect_paths);
+  BatchStats batch_stats;
+  WallTimer timer;
+  Status st;
+  {
+    std::lock_guard<std::mutex> lk(run_mu_);
+    st = ExecuteBatch(queries, &demux, &batch_stats);
+  }
+  const double batch_seconds = timer.ElapsedSeconds();
+
+  // Account the batch before resolving any future: a caller that wakes on
+  // future.get() must observe the engine stats already covering its batch.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.batches_run;
+    switch (reason) {
+      case CutReason::kSize: ++stats_.size_cuts; break;
+      case CutReason::kWait: ++stats_.wait_cuts; break;
+      case CutReason::kFlush: ++stats_.flush_cuts; break;
+    }
+    stats_.queries_completed += n;
+    stats_.batch_stats.Accumulate(batch_stats);
+    stats_.distance_cache_hits += batch_stats.distance_cache_hits;
+    stats_.distance_cache_misses += batch_stats.distance_cache_misses;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    QueryResult r;
+    r.status = st;  // the whole micro-batch shares the pipeline's outcome
+    r.path_count = demux.count(i);
+    r.paths = demux.TakePaths(i);
+    r.wait_seconds =
+        std::chrono::duration<double>(dispatched - batch[i].enqueued).count();
+    r.batch_seconds = batch_seconds;
+    batch[i].promise.set_value(std::move(r));
+  }
+}
+
+PathEngineStats PathEngine::GetStats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void PathEngine::InvalidateDistanceCache() {
+  std::lock_guard<std::mutex> lk(run_mu_);
+  cache_.Invalidate();
+}
+
+}  // namespace hcpath

@@ -1,0 +1,201 @@
+#ifndef HCPATH_SERVICE_PATH_ENGINE_H_
+#define HCPATH_SERVICE_PATH_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/batch_context.h"
+#include "core/enumerator.h"
+#include "core/options.h"
+#include "core/path.h"
+#include "core/query.h"
+#include "core/stats.h"
+#include "graph/graph.h"
+#include "index/endpoint_cache.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// Options of a PathEngine (see docs/SERVICE.md).
+struct PathEngineOptions {
+  /// Pipeline configuration shared by every micro-batch: algorithm,
+  /// clustering γ, thread count, per-query caps. Validated at engine
+  /// construction.
+  BatchOptions batch;
+
+  /// Admission cut by size: a micro-batch is dispatched as soon as this
+  /// many queries are pending. Values < 1 behave as 1.
+  size_t max_batch_size = 64;
+
+  /// Admission cut by wait: a micro-batch is dispatched once its oldest
+  /// pending query has waited this long, even if underfull. <= 0 disables
+  /// the timer (cuts happen on size, Flush, or shutdown only — the
+  /// deterministic mode the differential tests drive).
+  double max_wait_seconds = 0.002;
+
+  /// Materialize each query's paths into its QueryResult when the caller
+  /// gave no per-query sink. Disable for count-only serving.
+  bool collect_paths = true;
+
+  /// Cross-batch endpoint distance cache (docs/SERVICE.md): repeated
+  /// endpoints skip their BFS in later batches' index builds. Served maps
+  /// are content-identical to fresh builds, so results are unaffected.
+  bool enable_distance_cache = true;
+  size_t distance_cache_max_entries = 4096;
+  uint64_t distance_cache_max_bytes = 256ull << 20;
+};
+
+/// Outcome of one submitted query.
+struct QueryResult {
+  Status status;
+  uint64_t path_count = 0;
+  /// The query's paths, when the engine collects (collect_paths and no
+  /// per-query sink); empty otherwise.
+  PathSet paths;
+  /// Admission-queue time (submit -> batch dispatch).
+  double wait_seconds = 0;
+  /// Pipeline wall time of the micro-batch that carried this query.
+  double batch_seconds = 0;
+};
+
+/// Aggregate engine counters (monotonic since construction).
+struct PathEngineStats {
+  uint64_t queries_submitted = 0;
+  uint64_t queries_rejected = 0;  ///< failed admission-time validation
+  uint64_t queries_completed = 0;
+  uint64_t batches_run = 0;
+  uint64_t size_cuts = 0;   ///< micro-batches cut on max_batch_size
+  uint64_t wait_cuts = 0;   ///< micro-batches cut on max_wait_seconds
+  uint64_t flush_cuts = 0;  ///< micro-batches cut by Flush() or shutdown
+  uint64_t distance_cache_hits = 0;
+  uint64_t distance_cache_misses = 0;
+  /// Pipeline counters accumulated across all micro-batches.
+  BatchStats batch_stats;
+};
+
+/// Long-lived batch path-query service: the architectural seam between the
+/// BatchEnum pipeline (a pure batch function) and sustained query traffic.
+///
+/// A PathEngine owns the graph reference, the shared thread pool, a
+/// recycled BatchContext (index storage, BFS/cluster scratch, merge
+/// buffers), and the cross-batch endpoint distance cache. Submit() enqueues
+/// a query and returns a future; an admission thread cuts micro-batches by
+/// max-size / max-wait (plus explicit Flush() and shutdown drain) and
+/// drives each through the configured pipeline, streaming paths to the
+/// per-query sinks in the pipeline's deterministic emission order.
+///
+/// Determinism: a sequence of micro-batches produces paths, counts, and
+/// Status byte-identical to one-shot RunBatchEnum/RunBasicEnum calls on the
+/// same batches — regardless of thread count or cache warmth (asserted by
+/// differential_fuzz_test's engine configs; coherence argument in
+/// docs/SERVICE.md). Queries that fail validation are rejected at admission
+/// (their future carries InvalidArgument) and never poison co-batched
+/// queries; a mid-batch pipeline error (e.g. a max_paths cap) fails every
+/// query of that micro-batch with the batch's Status, exactly as the
+/// one-shot call would.
+///
+/// Thread-safety: Submit/Flush/Drain/RunBatch/GetStats may be called from
+/// any thread. The graph must outlive the engine and stay immutable (the
+/// distance cache depends on it; see EndpointDistanceCache).
+class PathEngine {
+ public:
+  PathEngine(const Graph& g, const PathEngineOptions& options);
+
+  /// Drains every pending query (shutdown acts as a final Flush), then
+  /// joins the admission thread. Futures of drained queries are fulfilled.
+  ~PathEngine();
+
+  PathEngine(const PathEngine&) = delete;
+  PathEngine& operator=(const PathEngine&) = delete;
+
+  /// Construction outcome: InvalidArgument when PathEngineOptions.batch
+  /// fails validation. A failed engine rejects every Submit/RunBatch.
+  const Status& status() const { return init_status_; }
+
+  /// Enqueues one query; the future resolves when its micro-batch
+  /// completes. With a `sink`, the query's paths stream there (tagged with
+  /// the query's index inside its micro-batch) and QueryResult.paths stays
+  /// empty. Sink calls across a micro-batch are totally ordered (the
+  /// merge's drain lock serializes them) and follow the pipeline's
+  /// deterministic emission order, but at num_threads > 1 they may arrive
+  /// on any pool worker thread — sinks must not assume thread affinity.
+  /// Invalid queries resolve immediately with InvalidArgument.
+  std::future<QueryResult> Submit(const PathQuery& query,
+                                  PathSink* sink = nullptr);
+
+  /// Requests an immediate cut of everything currently queued (possibly
+  /// several max_batch_size micro-batches). Non-blocking; pair with the
+  /// returned futures or Drain() to wait.
+  void Flush();
+
+  /// Blocks until the admission queue is empty and no batch is in flight.
+  void Drain();
+
+  /// Synchronous path: runs `queries` as one micro-batch through the same
+  /// recycled context and distance cache, bypassing the admission queue
+  /// (serialized against it). Exactly the one-shot pipeline semantics,
+  /// including whole-batch validation.
+  Status RunBatch(const std::vector<PathQuery>& queries, PathSink* sink,
+                  BatchStats* stats = nullptr);
+
+  PathEngineStats GetStats() const;
+
+  /// Drops every cached distance map (counters and budgets stay).
+  void InvalidateDistanceCache();
+
+  /// The engine's distance cache, or nullptr when disabled. The cache
+  /// object is unsynchronized (the dispatcher mutates it while batches
+  /// run), so reading its counters requires a quiesced engine — Drain()
+  /// with no concurrent Submit/RunBatch. Concurrent monitoring should use
+  /// GetStats(), whose cache totals are mutex-guarded.
+  const EndpointDistanceCache* distance_cache() const {
+    return options_.enable_distance_cache ? &cache_ : nullptr;
+  }
+
+  const PathEngineOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    PathQuery query;
+    PathSink* sink = nullptr;
+    std::promise<QueryResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  enum class CutReason { kSize, kWait, kFlush };
+
+  void DispatchLoop();
+  void RunMicroBatch(std::vector<Pending> batch, CutReason reason);
+  Status ExecuteBatch(const std::vector<PathQuery>& queries, PathSink* sink,
+                      BatchStats* stats);
+
+  const Graph& g_;
+  const PathEngineOptions options_;
+  Status init_status_;
+  EndpointDistanceCache cache_;
+
+  /// Serializes pipeline execution (admission batches vs RunBatch): the
+  /// BatchContext and the distance cache admit one batch at a time.
+  std::mutex run_mu_;
+  BatchContext ctx_;
+
+  // Admission state, guarded by mu_.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;    // dispatcher wakeups
+  std::condition_variable drained_cv_; // Drain() waiters
+  std::deque<Pending> queue_;
+  bool flush_requested_ = false;
+  bool stopping_ = false;
+  bool batch_in_flight_ = false;
+  PathEngineStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_SERVICE_PATH_ENGINE_H_

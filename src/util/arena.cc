@@ -42,4 +42,24 @@ void Arena::Clear() {
   bytes_reserved_ = 0;
 }
 
+void Arena::Rewind() {
+  // Allocate only ever bumps the last chunk, so keep exactly one: the
+  // largest, rewound to empty. Smaller chunks would sit dead in the vector.
+  if (chunks_.empty()) {
+    bytes_allocated_ = 0;
+    bytes_reserved_ = 0;
+    return;
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < chunks_.size(); ++i) {
+    if (chunks_[i].capacity > chunks_[best].capacity) best = i;
+  }
+  Chunk keep = std::move(chunks_[best]);
+  keep.used = 0;
+  chunks_.clear();
+  chunks_.push_back(std::move(keep));
+  bytes_allocated_ = 0;
+  bytes_reserved_ = chunks_[0].capacity;
+}
+
 }  // namespace hcpath

@@ -38,6 +38,12 @@ class Arena {
   /// Releases every chunk; all previously returned pointers die.
   void Clear();
 
+  /// Forgets every allocation but keeps the reserved chunks for reuse; all
+  /// previously returned pointers die. This is the recycling path for
+  /// pooled scratch (BatchContext): a rewound arena serves its next
+  /// allocations without touching the system allocator.
+  void Rewind();
+
  private:
   struct Chunk {
     std::unique_ptr<char[]> data;

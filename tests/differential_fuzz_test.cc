@@ -25,6 +25,7 @@
 #include "core/batch_enum.h"
 #include "core/brute_force.h"
 #include "graph/generators.h"
+#include "service/path_engine.h"
 #include "util/rng.h"
 
 namespace hcpath {
@@ -278,6 +279,72 @@ int ConfigCount() {
   return 200;
 }
 
+/// Engine-reuse differential: one long-lived PathEngine runs a random
+/// stream of micro-batches TWICE — the second pass fully warm (distance
+/// cache populated, BatchContext recycled) — and every micro-batch must be
+/// byte-identical (stream, Status code and message, work counters) to a
+/// fresh one-shot Run{Batch,Basic}Enum call on the same queries. Covers
+/// thread counts 1 and 4, invalid-input batches, and max_paths caps.
+void RunOneEngineConfig(uint64_t seed) {
+  Rng rng(seed);
+  std::string graph_desc;
+  Graph g = RandomGraph(rng, &graph_desc);
+  bool invalid = false;
+  std::vector<PathQuery> queries = RandomQueries(g, rng, &invalid);
+  bool capped = false;
+  BatchOptions opt = RandomOptions(rng, &capped);
+  opt.num_threads = rng.NextBounded(2) == 0 ? 1 : 4;
+  const bool batch_engine = rng.NextBounded(2) == 0;
+  const bool optimized = rng.NextBounded(2) == 0;
+  opt.algorithm = batch_engine
+                      ? (optimized ? Algorithm::kBatchEnumPlus
+                                   : Algorithm::kBatchEnum)
+                      : (optimized ? Algorithm::kBasicEnumPlus
+                                   : Algorithm::kBasicEnum);
+
+  SCOPED_TRACE(graph_desc + " |Q|=" + std::to_string(queries.size()) +
+               " engine=" + AlgorithmName(opt.algorithm) +
+               " threads=" + std::to_string(opt.num_threads) +
+               (invalid ? " [invalid-query]" : "") +
+               (capped ? " [capped]" : ""));
+
+  // Random micro-batch boundaries over the stream (empty batches allowed).
+  std::vector<std::vector<PathQuery>> batches;
+  for (size_t pos = 0; pos < queries.size();) {
+    const size_t take =
+        std::min(queries.size() - pos, 1 + rng.NextBounded(5));
+    batches.emplace_back(queries.begin() + pos, queries.begin() + pos + take);
+    pos += take;
+  }
+  if (batches.empty()) batches.emplace_back();
+
+  PathEngineOptions engine_opt;
+  engine_opt.batch = opt;
+  engine_opt.max_wait_seconds = 0;  // RunBatch path only; no timer thread churn
+  PathEngine engine(g, engine_opt);
+  ASSERT_TRUE(engine.status().ok()) << engine.status();
+
+  for (int pass = 0; pass < 2; ++pass) {
+    SCOPED_TRACE(pass == 0 ? "cold pass" : "warm pass");
+    for (size_t b = 0; b < batches.size(); ++b) {
+      SCOPED_TRACE("micro-batch " + std::to_string(b));
+      RecordingSink engine_sink;
+      BatchStats engine_stats;
+      Status engine_status =
+          engine.RunBatch(batches[b], &engine_sink, &engine_stats);
+
+      EngineRun oneshot =
+          RunEngine(g, batches[b], batch_engine, optimized, opt);
+      EXPECT_EQ(engine_status.code(), oneshot.status.code());
+      EXPECT_EQ(engine_status.message(), oneshot.status.message());
+      EXPECT_EQ(engine_sink.events(), oneshot.events);
+      if (engine_status.ok() && oneshot.status.ok()) {
+        ExpectCountersEqual(engine_stats, oneshot.stats, "engine vs one-shot");
+      }
+    }
+  }
+}
+
 TEST(DifferentialFuzz, RandomizedCrossCheck) {
   // Fixed base so the suite is reproducible run to run; per-config seeds
   // are printed on failure and can be replayed alone via HCPATH_FUZZ_SEED.
@@ -295,6 +362,30 @@ TEST(DifferentialFuzz, RandomizedCrossCheck) {
                  " — reproduce with HCPATH_FUZZ_SEED=" +
                  std::to_string(seed));
     RunOneConfig(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DifferentialFuzz, EngineMicroBatchParity) {
+  // Separate seed base from RandomizedCrossCheck so the two suites explore
+  // independent configurations. HCPATH_FUZZ_SEED replays a single printed
+  // seed through this suite's config runner.
+  constexpr uint64_t kBaseSeed = 0xD1B54A32D192ED03ull;
+  if (const char* one = std::getenv("HCPATH_FUZZ_SEED")) {
+    const uint64_t seed = std::strtoull(one, nullptr, 0);
+    SCOPED_TRACE("HCPATH_FUZZ_SEED=" + std::to_string(seed));
+    RunOneEngineConfig(seed);
+    return;
+  }
+  // Engine configs run the batch list twice (cold + warm), so half the
+  // count keeps the suite's wall-clock in line with RandomizedCrossCheck.
+  const int configs = std::max(1, ConfigCount() / 2);
+  for (int c = 0; c < configs; ++c) {
+    const uint64_t seed = kBaseSeed + static_cast<uint64_t>(c);
+    SCOPED_TRACE("engine config #" + std::to_string(c) +
+                 " — reproduce with HCPATH_FUZZ_SEED=" +
+                 std::to_string(seed));
+    RunOneEngineConfig(seed);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

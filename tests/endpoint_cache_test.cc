@@ -1,0 +1,166 @@
+// EndpointDistanceCache: LRU behavior, budgets, counters, and the
+// bit-identity of served maps — plus the DistanceIndex cache integration
+// (hits skip BFS but produce the exact same index).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bfs/msbfs.h"
+#include "core/basic_enum.h"
+#include "core/batch_context.h"
+#include "graph/generators.h"
+#include "index/distance_index.h"
+#include "index/endpoint_cache.h"
+#include "test_graphs.h"
+#include "util/rng.h"
+
+namespace hcpath {
+namespace {
+
+VertexDistMap MakeMap(const Graph& g, VertexId source, Hop cap,
+                      Direction dir) {
+  MsBfsResult r = MultiSourceBfs(g, {source}, {cap}, dir);
+  return std::move(r.per_source[0]);
+}
+
+/// Content equality over the whole universe (the property the coherence
+/// argument needs: same Lookup result for every vertex).
+void ExpectSameContent(const Graph& g, const VertexDistMap& a,
+                       const VertexDistMap& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(a.Lookup(v), b.Lookup(v)) << "vertex " << v;
+  }
+  EXPECT_EQ(a.SortedKeys(), b.SortedKeys());
+}
+
+TEST(EndpointCache, MissThenHit) {
+  const Graph g = PaperFigure1Graph();
+  EndpointDistanceCache cache(/*max_entries=*/8);
+  EXPECT_EQ(cache.Lookup(0, Direction::kForward, 5), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.Insert(0, Direction::kForward, 5,
+               MakeMap(g, 0, 5, Direction::kForward));
+  const VertexDistMap* served = cache.Lookup(0, Direction::kForward, 5);
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  ExpectSameContent(g, *served, MakeMap(g, 0, 5, Direction::kForward));
+}
+
+TEST(EndpointCache, KeyIsVertexDirectionAndCap) {
+  const Graph g = PaperFigure1Graph();
+  EndpointDistanceCache cache(8);
+  cache.Insert(0, Direction::kForward, 5,
+               MakeMap(g, 0, 5, Direction::kForward));
+  // Different direction or different cap must not alias.
+  EXPECT_EQ(cache.Lookup(0, Direction::kBackward, 5), nullptr);
+  EXPECT_EQ(cache.Lookup(0, Direction::kForward, 4), nullptr);
+  EXPECT_NE(cache.Lookup(0, Direction::kForward, 5), nullptr);
+}
+
+TEST(EndpointCache, LruEvictionOrder) {
+  const Graph g = PaperFigure1Graph();
+  EndpointDistanceCache cache(/*max_entries=*/2);
+  cache.Insert(0, Direction::kForward, 3, MakeMap(g, 0, 3, Direction::kForward));
+  cache.Insert(1, Direction::kForward, 3, MakeMap(g, 1, 3, Direction::kForward));
+  // Touch vertex 0 so vertex 1 becomes the LRU victim.
+  EXPECT_NE(cache.Lookup(0, Direction::kForward, 3), nullptr);
+  cache.Insert(2, Direction::kForward, 3, MakeMap(g, 2, 3, Direction::kForward));
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.Lookup(0, Direction::kForward, 3), nullptr);
+  EXPECT_EQ(cache.Lookup(1, Direction::kForward, 3), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(2, Direction::kForward, 3), nullptr);
+}
+
+TEST(EndpointCache, ByteBudgetEvicts) {
+  const Graph g = PaperFigure1Graph();
+  // A tiny byte budget still keeps at least one entry (the newest).
+  EndpointDistanceCache cache(/*max_entries=*/64, /*max_bytes=*/1);
+  cache.Insert(0, Direction::kForward, 5, MakeMap(g, 0, 5, Direction::kForward));
+  cache.Insert(1, Direction::kForward, 5, MakeMap(g, 1, 5, Direction::kForward));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_GE(cache.evictions(), 1u);
+  EXPECT_NE(cache.Lookup(1, Direction::kForward, 5), nullptr);
+}
+
+TEST(EndpointCache, ZeroEntriesDisables) {
+  const Graph g = PaperFigure1Graph();
+  EndpointDistanceCache cache(/*max_entries=*/0);
+  cache.Insert(0, Direction::kForward, 5, MakeMap(g, 0, 5, Direction::kForward));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.Lookup(0, Direction::kForward, 5), nullptr);
+}
+
+TEST(EndpointCache, InvalidateDropsEntries) {
+  const Graph g = PaperFigure1Graph();
+  EndpointDistanceCache cache(8);
+  cache.Insert(0, Direction::kForward, 5, MakeMap(g, 0, 5, Direction::kForward));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_GT(cache.bytes(), 0u);
+  cache.Invalidate();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.Lookup(0, Direction::kForward, 5), nullptr);
+}
+
+/// The integration property behind the whole feature: an index built with
+/// a warm cache equals a cold-built index in every observable way.
+TEST(EndpointCache, WarmIndexBuildIsContentIdentical) {
+  Rng rng(7);
+  const Graph g = *GenerateSmallWorld(400, 4, 0.1, rng);
+  std::vector<PathQuery> queries = {{0, 50, 5}, {3, 60, 4}, {0, 70, 5},
+                                    {12, 50, 3}, {3, 60, 4}};
+
+  BatchContext cold_ctx;  // no cache
+  DistanceIndex cold;
+  BuildBatchIndex(g, queries, &cold, nullptr);
+
+  EndpointDistanceCache cache(64);
+  BatchContext warm_ctx;
+  warm_ctx.distance_cache = &cache;
+  DistanceIndex warm;
+  // First build fills the cache (all misses)...
+  BuildBatchIndex(g, queries, &warm, nullptr, nullptr, &warm_ctx);
+  EXPECT_EQ(warm.cache_hits(), 0u);
+  EXPECT_GT(warm.cache_misses(), 0u);
+  // ...second build is served from it.
+  BuildBatchIndex(g, queries, &warm, nullptr, nullptr, &warm_ctx);
+  EXPECT_GT(warm.cache_hits(), 0u);
+  EXPECT_EQ(warm.cache_misses(), 0u);
+
+  ASSERT_EQ(warm.num_queries(), cold.num_queries());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameContent(g, warm.FromSourceMap(i), cold.FromSourceMap(i));
+    ExpectSameContent(g, warm.ToTargetMap(i), cold.ToTargetMap(i));
+  }
+  EXPECT_EQ(warm.MinDistFromAnySource(), cold.MinDistFromAnySource());
+  EXPECT_EQ(warm.MinDistToAnyTarget(), cold.MinDistToAnyTarget());
+}
+
+/// Duplicated endpoints with distinct caps are distinct keys, and
+/// batch-internal duplicates resolve to one probe per unique key.
+TEST(EndpointCache, PerKeyCounting) {
+  const Graph g = PaperFigure1Graph();
+  EndpointDistanceCache cache(64);
+  BatchContext ctx;
+  ctx.distance_cache = &cache;
+  // Same source vertex 0 under caps 5 and 3 (two keys), plus a clone of
+  // the cap-5 query (same key).
+  std::vector<PathQuery> queries = {{0, 11, 5}, {0, 13, 3}, {0, 11, 5}};
+  DistanceIndex index;
+  BuildBatchIndex(g, queries, &index, nullptr, nullptr, &ctx);
+  // Forward: 2 unique source keys missed. Backward: targets 11 (cap 5),
+  // 13 (cap 3), 11 (cap 5) -> 2 unique keys missed.
+  EXPECT_EQ(index.cache_misses(), 4u);
+  EXPECT_EQ(index.cache_hits(), 0u);
+  DistanceIndex again;
+  BuildBatchIndex(g, queries, &again, nullptr, nullptr, &ctx);
+  EXPECT_EQ(again.cache_hits(), 4u);
+  EXPECT_EQ(again.cache_misses(), 0u);
+}
+
+}  // namespace
+}  // namespace hcpath

@@ -1,0 +1,96 @@
+// BatchOptions::Validate and its wiring: malformed option values must be
+// rejected with InvalidArgument at every pipeline entry point (previously
+// they were silently accepted and steered clustering/detection).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/basic_enum.h"
+#include "core/batch_enum.h"
+#include "core/enumerator.h"
+#include "core/options.h"
+#include "test_graphs.h"
+
+namespace hcpath {
+namespace {
+
+TEST(OptionsValidate, DefaultsAreValid) {
+  BatchOptions opt;
+  EXPECT_TRUE(opt.Validate().ok());
+}
+
+TEST(OptionsValidate, GammaBounds) {
+  BatchOptions opt;
+  for (double ok : {0.0, 0.5, 1.0}) {
+    opt.gamma = ok;
+    EXPECT_TRUE(opt.Validate().ok()) << ok;
+  }
+  for (double bad : {-0.001, 1.001, -5.0, 42.0}) {
+    opt.gamma = bad;
+    Status st = opt.Validate();
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << bad;
+  }
+  opt.gamma = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptionsValidate, NegativeMinDominatingBudget) {
+  BatchOptions opt;
+  opt.min_dominating_budget = 0;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.min_dominating_budget = -1;
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptionsValidate, NegativeDominatingCap) {
+  BatchOptions opt;
+  opt.max_dominating_per_query = 0.0;  // 0 = unlimited, valid
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.max_dominating_per_query = -2.5;
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptionsValidate, RejectedAtEveryEntryPoint) {
+  const Graph g = PaperFigure1Graph();
+  const std::vector<PathQuery> queries = PaperFigure1Queries();
+  BatchOptions bad;
+  bad.gamma = 1.5;
+
+  CountingSink sink(queries.size());
+  EXPECT_EQ(RunBatchEnum(g, queries, bad, false, &sink, nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunBasicEnum(g, queries, bad, false, &sink, nullptr).code(),
+            StatusCode::kInvalidArgument);
+
+  BatchPathEnumerator enumerator(g);
+  for (Algorithm algo :
+       {Algorithm::kPathEnum, Algorithm::kBasicEnum, Algorithm::kBasicEnumPlus,
+        Algorithm::kBatchEnum, Algorithm::kBatchEnumPlus}) {
+    BatchOptions opt = bad;
+    opt.algorithm = algo;
+    auto result = enumerator.Run(queries, opt);
+    EXPECT_FALSE(result.ok()) << AlgorithmName(algo);
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+        << AlgorithmName(algo);
+  }
+
+  // Nothing was emitted by any rejected run.
+  EXPECT_EQ(sink.Total(), 0u);
+}
+
+TEST(OptionsValidate, ValidationFailureBeatsQueryValidation) {
+  // Options are checked before queries, so the error is stable even for
+  // batches that would also fail query validation.
+  const Graph g = PaperFigure1Graph();
+  std::vector<PathQuery> queries = {{0, 0, 3}};  // s == t, also invalid
+  BatchOptions bad;
+  bad.min_dominating_budget = -7;
+  Status st = RunBatchEnum(g, queries, bad, true, nullptr, nullptr);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("min_dominating_budget"), std::string::npos)
+      << st;
+}
+
+}  // namespace
+}  // namespace hcpath
