@@ -1,6 +1,11 @@
 // Micro-benchmarks (google-benchmark) for the kernels underlying every
 // experiment: hop-capped BFS, bit-parallel MS-BFS, the distance map, path
-// storage and the canonical-split join.
+// storage, the canonical-split join, and the three enumeration hot-loop
+// membership kernels rewritten onto epoch stamps (docs/PERF.md): the DFS
+// on-path test, the shortcut-splice disjointness check, and the join-probe
+// disjointness check — each on dense-overlap (rejection-heavy) and
+// no-overlap (acceptance-heavy) path sets so before/after is quantifiable
+// per kernel. A 1-iteration smoke run is wired into ctest (-L bench).
 
 #include <benchmark/benchmark.h>
 
@@ -9,6 +14,7 @@
 #include "core/join.h"
 #include "core/search.h"
 #include "graph/generators.h"
+#include "graph/graph_builder.h"
 #include "util/rng.h"
 
 namespace hcpath {
@@ -144,6 +150,159 @@ void BM_CanonicalJoin(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CanonicalJoin);
+
+// ---------------------------------------------------------------------------
+// Membership-kernel benchmarks. Each drives one of the three hot-loop
+// kernels through its public entry point on synthetic path sets whose
+// shape isolates the membership work:
+//   * overlap == 1 ("dense overlap"): every candidate shares a vertex with
+//     the stamped path, placed so the check runs its full length before
+//     rejecting — the disjointness test is all the kernel does;
+//   * overlap == 0 ("no overlap"): every candidate is accepted, so the
+//     numbers include the (identical) emission cost.
+// ---------------------------------------------------------------------------
+
+/// Builds the synthetic forward/backward sets of one join query: every
+/// forward path has length hf and ends at the shared midpoint, every
+/// backward path has length hb and tail == midpoint, so every pair is
+/// probed. Vertex ids are disjoint between paths except as `overlap`
+/// dictates.
+struct JoinFixture {
+  PathSet fwd, bwd;
+  VertexId s = 0, t = 1;
+  Hop hf, hb;
+
+  JoinFixture(size_t num_paths, Hop half_len, bool overlap)
+      : hf(half_len), hb(half_len) {
+    const VertexId mid = 2;
+    VertexId next = 3;
+    std::vector<VertexId> path;
+    for (size_t i = 0; i < num_paths; ++i) {
+      path.clear();
+      path.push_back(s);
+      for (Hop h = 1; h < hf; ++h) path.push_back(next++);
+      path.push_back(mid);
+      fwd.Add(path);
+    }
+    for (size_t i = 0; i < num_paths; ++i) {
+      path.clear();
+      path.push_back(t);
+      for (Hop h = 1; h < hb; ++h) path.push_back(next++);
+      if (overlap && hb >= 2) {
+        // Collide on `s` (in every forward path) at the last internal
+        // position the check visits, so every pair rejects — but only
+        // after the naive scan has paid its full O(|pb| x |pf|) cost.
+        path.back() = s;
+      }
+      path.push_back(mid);
+      bwd.Add(path);
+    }
+  }
+};
+
+void BM_JoinProbeDisjoint(benchmark::State& state) {
+  const bool overlap = state.range(0) != 0;
+  const Hop half_len = static_cast<Hop>(state.range(1));
+  const size_t kPaths = 32;
+  JoinFixture fx(kPaths, half_len, overlap);
+  CountingSink sink(1);
+  uint64_t probes = 0;
+  for (auto _ : state) {
+    JoinSpec join;
+    join.forward = &fx.fwd;
+    join.backward = &fx.bwd;
+    join.s = fx.s;
+    join.t = fx.t;
+    join.hf = fx.hf;
+    join.hb = fx.hb;
+    BatchStats stats;
+    auto emitted = JoinAndEmit(join, 0, &sink, &stats);
+    benchmark::DoNotOptimize(emitted.ok());
+    probes += stats.join_probes;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(probes));
+}
+BENCHMARK(BM_JoinProbeDisjoint)
+    ->ArgNames({"overlap", "len"})
+    ->Args({1, 8})
+    ->Args({0, 8})
+    ->Args({1, 12})
+    ->Args({0, 12});
+
+/// Chain graph 0 -> 1 -> ... -> prefix_len with a shortcut dep at the
+/// chain's end: the DFS walks the full prefix, then splices every cached
+/// suffix, so the run is dominated by the splice disjointness check of
+/// `num_cached` suffixes of length `suffix_len` against a stamped prefix.
+void BM_SpliceDisjoint(benchmark::State& state) {
+  const bool overlap = state.range(0) != 0;
+  const Hop kPrefixLen = 16;
+  const Hop kSuffixLen = 8;
+  const size_t kNumCached = 256;
+  const VertexId dep_vertex = kPrefixLen;
+  GraphBuilder b(dep_vertex + 1 + kNumCached * kSuffixLen);
+  for (VertexId v = 0; v < dep_vertex; ++v) b.AddEdge(v, v + 1);
+  Graph g = *b.Build();
+
+  PathSet cached;
+  std::vector<VertexId> path;
+  VertexId next = dep_vertex + 1;
+  for (size_t i = 0; i < kNumCached; ++i) {
+    path.clear();
+    path.push_back(dep_vertex);
+    for (Hop h = 0; h < kSuffixLen; ++h) path.push_back(next++);
+    // Collide on the last suffix vertex so the naive scan pays the full
+    // O(|suffix| x |prefix|) cost before rejecting.
+    if (overlap) path.back() = 3;
+    cached.Add(path);
+  }
+  SearchDep dep[] = {{dep_vertex, kSuffixLen, &cached}};
+
+  uint64_t splices = 0;
+  for (auto _ : state) {
+    HalfSearchSpec spec;
+    spec.start = 0;
+    spec.budget = static_cast<Hop>(kPrefixLen + kSuffixLen);
+    spec.dir = Direction::kForward;
+    spec.deps = dep;
+    PathSet out;
+    BatchStats stats;
+    Status st = RunHalfSearch(g, spec, &out, &stats);
+    benchmark::DoNotOptimize(st.ok());
+    splices += kNumCached;  // candidates tested per run
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(splices));
+}
+BENCHMARK(BM_SpliceDisjoint)
+    ->ArgNames({"overlap"})
+    ->Arg(1)
+    ->Arg(0);
+
+/// Deep DFS on a complete graph: every edge expansion runs the on-path
+/// membership test against a path of ~`budget` vertices, and expansions
+/// vastly outnumber stored paths, so the run is dominated by that test.
+void BM_DfsOnPath(benchmark::State& state) {
+  const Hop budget = static_cast<Hop>(state.range(0));
+  static const Graph* cg = new Graph(*GenerateComplete(9));
+  const Graph& g = *cg;
+  uint64_t expansions = 0;
+  for (auto _ : state) {
+    HalfSearchSpec spec;
+    spec.start = 0;
+    spec.budget = budget;
+    spec.dir = Direction::kForward;
+    // Store only full-length paths so the run measures the membership
+    // test, not result materialization.
+    spec.filter_for_join = true;
+    spec.store_target = 0;
+    PathSet out;
+    BatchStats stats;
+    Status st = RunHalfSearch(g, spec, &out, &stats);
+    benchmark::DoNotOptimize(st.ok());
+    expansions += stats.edges_expanded;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(expansions));
+}
+BENCHMARK(BM_DfsOnPath)->ArgNames({"budget"})->Arg(6)->Arg(8);
 
 }  // namespace
 }  // namespace hcpath

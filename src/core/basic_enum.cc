@@ -60,10 +60,10 @@ Status RunBasicEnum(const Graph& g, const std::vector<PathQuery>& queries,
     for (size_t i = 0; i < queries.size(); ++i) {
       HCPATH_RETURN_NOT_OK(EnumerateWithMaps(
           g, queries[i], index.FromSourceMap(i), index.ToTargetMap(i), sq, i,
-          sink, stats));
+          sink, stats, &c.stamps, &c.join_scratch));
     }
   } else {
-    // Query-parallel: each query emits into its own arena-backed buffer and
+    // Query-parallel: each query emits into its own private buffer and
     // accumulates its own stats; RunBufferedParallel streams the buffers
     // out in query order as they finish, so the downstream sink sees the
     // sequential emission stream and the counters match the sequential run
@@ -75,7 +75,7 @@ Status RunBasicEnum(const Graph& g, const std::vector<PathQuery>& queries,
         [&](size_t i, PathSink* query_sink, BatchStats* query_stats) {
           return EnumerateWithMaps(g, queries[i], index.FromSourceMap(i),
                                    index.ToTargetMap(i), sq, i, query_sink,
-                                   query_stats);
+                                   query_stats, &c.stamps, &c.join_scratch);
         },
         &mm, &c.sinks);
     FoldMergeMetrics(mm, stats);

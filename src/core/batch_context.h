@@ -4,9 +4,11 @@
 #include <memory>
 
 #include "core/buffered_sink.h"
+#include "core/join.h"
 #include "core/similarity.h"
 #include "index/distance_index.h"
 #include "index/endpoint_cache.h"
+#include "util/epoch_stamp.h"
 #include "util/thread_pool.h"
 
 namespace hcpath {
@@ -21,8 +23,12 @@ namespace hcpath {
 ///  * `fwd_bfs_scratch` / `bwd_bfs_scratch` — the |V|-sized MS-BFS working
 ///    sets for the two concurrent build directions;
 ///  * `similarity` — clustering scratch (sketches / bitsets);
-///  * `sinks` — pooled BufferedSinks (arena chunks, record tables) for the
+///  * `sinks` — pooled BufferedSinks (path storage, run tables) for the
 ///    streaming ordered merge;
+///  * `stamps` / `join_scratch` — pooled epoch-stamp tables and join
+///    working sets for the enumeration hot-loop kernels (DFS on-path
+///    test, splice/join disjointness, midpoint bucket index), leased one
+///    per concurrently active kernel (docs/PERF.md);
 ///  * `distance_cache` — optional non-owning pointer to a cross-batch
 ///    endpoint distance cache (the owner decides retention policy); index
 ///    builds probe it and feed BatchStats::distance_cache_{hits,misses}.
@@ -41,6 +47,8 @@ class BatchContext {
   MsBfsScratch bwd_bfs_scratch;
   SimilarityScratch similarity;
   SinkPool sinks;
+  EpochStampPool stamps;
+  JoinScratchPool join_scratch;
   EndpointDistanceCache* distance_cache = nullptr;
 
   /// The engine pool for `num_threads` compute threads, pinned in this

@@ -40,7 +40,7 @@ Status EnumerateSharingGraph(const Graph& g, Direction dir,
                              const DistanceIndex& index,
                              const BatchOptions& options,
                              ResultCache* cache, BatchStats* stats,
-                             ThreadPool* pool) {
+                             ThreadPool* pool, EpochStampPool* stamps) {
   std::vector<uint32_t> refcounts(psi.NumNodes());
   for (NodeId id = 0; id < psi.NumNodes(); ++id) {
     refcounts[id] = ConsumerCount(psi.node(id), options);
@@ -139,6 +139,7 @@ Status EnumerateSharingGraph(const Graph& g, Direction dir,
       // Deep root searches of a giant cluster frontier-split on the pool
       // (search.cc); the sub-merge keeps the stored order sequential.
       spec.pool = pool;
+      spec.stamps = stamps;
       // A forward root that nobody shares only feeds its own query's join,
       // so useless prefixes need not be materialized — this makes
       // BatchEnum degrade to BasicEnum cost when there is no sharing.
@@ -183,7 +184,7 @@ Status ProcessCluster(const Graph& g, const std::vector<PathQuery>& queries,
                       const std::vector<Hop>& hf, const std::vector<Hop>& hb,
                       const std::vector<bool>& reachable,
                       const DistanceIndex& index, ThreadPool* pool,
-                      SinkPool* sink_pool, PathSink* sink,
+                      BatchContext& bctx, PathSink* sink,
                       BatchStats* stats) {
   std::vector<Hop> fwd_budgets, bwd_budgets;
   std::vector<bool> skip;
@@ -226,12 +227,12 @@ Status ProcessCluster(const Graph& g, const std::vector<PathQuery>& queries,
           dir_status[0] = EnumerateSharingGraph(
               g, Direction::kForward, fwd.psi, queries, index, options,
               &fwd_cache, stats != nullptr ? &dir_stats[0] : nullptr,
-              intra_pool);
+              intra_pool, &bctx.stamps);
         } else {
           dir_status[1] = EnumerateSharingGraph(
               g, Direction::kBackward, bwd.psi, queries, index, options,
               &bwd_cache, stats != nullptr ? &dir_stats[1] : nullptr,
-              intra_pool);
+              intra_pool, &bctx.stamps);
         }
       });
       if (stats != nullptr) {
@@ -243,10 +244,10 @@ Status ProcessCluster(const Graph& g, const std::vector<PathQuery>& queries,
     } else {
       HCPATH_RETURN_NOT_OK(EnumerateSharingGraph(
           g, Direction::kForward, fwd.psi, queries, index, options,
-          &fwd_cache, stats, nullptr));
+          &fwd_cache, stats, nullptr, &bctx.stamps));
       HCPATH_RETURN_NOT_OK(EnumerateSharingGraph(
           g, Direction::kBackward, bwd.psi, queries, index, options,
-          &bwd_cache, stats, nullptr));
+          &bwd_cache, stats, nullptr, &bctx.stamps));
     }
 
     // Assembly (Algorithm 4 lines 11-13): per-query concatenation join
@@ -263,7 +264,9 @@ Status ProcessCluster(const Graph& g, const std::vector<PathQuery>& queries,
       join.hf = hf[qi];
       join.hb = hb[qi];
       join.max_paths = options.max_paths_per_query;
-      return JoinAndEmit(join, qi, join_sink, join_stats).status();
+      return JoinAndEmit(join, qi, join_sink, join_stats,
+                         &bctx.join_scratch)
+          .status();
     };
     if (intra_pool != nullptr) {
       // Query-parallel assembly: joins only read the caches; releases move
@@ -271,7 +274,7 @@ Status ProcessCluster(const Graph& g, const std::vector<PathQuery>& queries,
       // merge reproduces the sequential per-query emission order.
       MergeMetrics mm;
       Status st = RunBufferedParallel(*intra_pool, cluster.size(), sink,
-                                      stats, join_one, &mm, sink_pool);
+                                      stats, join_one, &mm, &bctx.sinks);
       FoldMergeMetrics(mm, stats);
       HCPATH_RETURN_NOT_OK(st);
       for (size_t pos = 0; pos < cluster.size(); ++pos) {
@@ -364,8 +367,8 @@ Status RunBatchEnum(const Graph& g, const std::vector<PathQuery>& queries,
     // and parallelizes *inside* ProcessCluster instead.
     for (const std::vector<size_t>& cluster : clusters) {
       HCPATH_RETURN_NOT_OK(ProcessCluster(g, queries, options, cluster, hf,
-                                          hb, reachable, index, pool,
-                                          &c.sinks, sink, stats));
+                                          hb, reachable, index, pool, c,
+                                          sink, stats));
     }
   } else {
     // Cluster-parallel: clusters are independent by construction
@@ -379,8 +382,8 @@ Status RunBatchEnum(const Graph& g, const std::vector<PathQuery>& queries,
         *pool, clusters.size(), sink, stats,
         [&](size_t ci, PathSink* cluster_sink, BatchStats* cluster_stats) {
           return ProcessCluster(g, queries, options, clusters[ci], hf, hb,
-                                reachable, index, pool, &c.sinks,
-                                cluster_sink, cluster_stats);
+                                reachable, index, pool, c, cluster_sink,
+                                cluster_stats);
         },
         &mm, &c.sinks);
     FoldMergeMetrics(mm, stats);

@@ -1,13 +1,11 @@
 #ifndef HCPATH_CORE_BUFFERED_SINK_H_
 #define HCPATH_CORE_BUFFERED_SINK_H_
 
-#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "core/path.h"
-#include "util/arena.h"
 
 namespace hcpath {
 
@@ -17,67 +15,82 @@ namespace hcpath {
 /// the downstream sink observes exactly the sequential emission stream
 /// (docs/PARALLELISM.md).
 ///
-/// Path storage is arena-backed: vertices are bump-allocated in chunks and
-/// released wholesale when the buffer dies, so buffering adds no per-path
-/// free-list churn.
+/// Storage is one densely packed PathSet plus a run table: consecutive
+/// emissions for the same query collapse into one [begin, end) run, so a
+/// buffer replays as a handful of bulk OnPaths calls — and when the
+/// downstream is itself a BufferedSink (nested merges) or a CollectingSink,
+/// each run lands as one PathSet::AppendRange copy instead of a virtual
+/// call and a vertex copy per path.
 class BufferedSink : public PathSink {
  public:
-  /// Small first chunk: parallel runs allocate one buffer per query or
-  /// cluster, and most hold few paths; the arena doubles into more chunks
-  /// only when a buffer actually fills.
-  BufferedSink() : arena_(16 << 10) {}
+  BufferedSink() = default;
 
-  // Non-copyable and non-movable (the arena pins its chunks); hold them in
-  // fixed-size containers.
+  // Non-copyable and non-movable; hold them in fixed-size containers.
   BufferedSink(const BufferedSink&) = delete;
   BufferedSink& operator=(const BufferedSink&) = delete;
 
   void OnPath(size_t query_index, PathView path) override {
-    VertexId* dst = arena_.AllocateArray<VertexId>(path.size());
-    std::copy(path.begin(), path.end(), dst);
-    records_.push_back({query_index, dst, path.size()});
+    paths_.Add(path);
+    ExtendRun(query_index, 1);
   }
 
-  /// Re-emits every buffered path, in emission order, to `downstream`.
+  void OnPaths(size_t query_index, const PathSet& paths, size_t begin,
+               size_t end) override {
+    if (begin == end) return;
+    paths_.AppendRange(paths, begin, end);
+    ExtendRun(query_index, end - begin);
+  }
+
+  /// Re-emits every buffered path, in emission order, to `downstream`:
+  /// one bulk OnPaths call per query run.
   void Replay(PathSink* downstream) const {
-    for (const Record& r : records_) {
-      downstream->OnPath(r.query_index, PathView{r.vertices, r.num_vertices});
+    for (const Run& r : runs_) {
+      downstream->OnPaths(r.query_index, paths_, r.begin, r.end);
     }
   }
 
-  /// Drops every buffered path and returns the arena chunks and record
-  /// table to the system. The streaming merge calls this as soon as a
-  /// buffer drains, so peak memory tracks undrained buffers, not the batch.
+  /// Drops every buffered path and returns the path storage and run table
+  /// to the system. The streaming merge calls this as soon as a buffer
+  /// drains, so peak memory tracks undrained buffers, not the batch.
   void Clear() {
-    arena_.Clear();
-    records_ = {};
+    paths_ = PathSet();
+    runs_ = {};
   }
 
-  /// Drops every buffered path but keeps the arena's largest chunk and the
-  /// record table's capacity for reuse. The recycling path for pooled
-  /// sinks (SinkPool below): a rewound buffer serves its next run without
-  /// returning to the system allocator.
+  /// Drops every buffered path but keeps the storage capacity for reuse.
+  /// The recycling path for pooled sinks (SinkPool below): a rewound
+  /// buffer serves its next run without returning to the system allocator.
   void Rewind() {
-    arena_.Rewind();
-    records_.clear();
+    paths_.Clear();
+    runs_.clear();
   }
 
-  /// Bytes currently pinned by this buffer (arena chunks + record table).
+  /// Bytes currently pinned by this buffer (path storage + run table).
   uint64_t buffered_bytes() const {
-    return arena_.bytes_reserved() + records_.capacity() * sizeof(Record);
+    return paths_.MemoryBytes() + runs_.capacity() * sizeof(Run);
   }
 
-  size_t num_paths() const { return records_.size(); }
+  size_t num_paths() const { return paths_.size(); }
 
  private:
-  struct Record {
+  struct Run {
     size_t query_index;
-    const VertexId* vertices;
-    size_t num_vertices;
+    size_t begin;  ///< first path index in paths_
+    size_t end;    ///< one past the last path index
   };
 
-  Arena arena_;
-  std::vector<Record> records_;
+  /// Runs are contiguous by construction (each covers the paths appended
+  /// since the previous run's end), so extending only needs the query id.
+  void ExtendRun(size_t query_index, size_t num_paths) {
+    if (!runs_.empty() && runs_.back().query_index == query_index) {
+      runs_.back().end += num_paths;
+      return;
+    }
+    runs_.push_back({query_index, paths_.size() - num_paths, paths_.size()});
+  }
+
+  PathSet paths_;
+  std::vector<Run> runs_;
 };
 
 /// Thread-safe free list of BufferedSinks, owned by a BatchContext so the

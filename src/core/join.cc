@@ -1,31 +1,74 @@
 #include "core/join.h"
 
-#include <unordered_map>
-#include <vector>
+#include <algorithm>
 
 namespace hcpath {
 
+namespace {
+
+/// Counting-sorts the usable backward paths (length in [1, hb]) into a CSR
+/// bucket index keyed by their stored tail (== forward-orientation head).
+/// Slots are assigned in first-appearance order and each bucket keeps its
+/// paths in ascending index order, so probing yields candidates in exactly
+/// the order the old per-query hash map produced them. Returns the number
+/// of distinct tails; every array lives in the recycled scratch.
+uint32_t BuildMidpointIndex(const PathSet& bwd, Hop hb, JoinScratch& s) {
+  s.tails.Clear();
+  s.counts.clear();
+  uint32_t num_slots = 0;
+  for (size_t i = 0; i < bwd.size(); ++i) {
+    const size_t len = bwd.Length(i);
+    if (len < 1 || len > hb) continue;
+    const VertexId v = bwd.Tail(i);
+    if (s.tails.Mark(v)) {
+      if (v >= s.slot_of.size()) {
+        s.slot_of.resize(std::max<size_t>(v + 1, s.slot_of.size() * 2));
+      }
+      s.slot_of[v] = num_slots++;
+      s.counts.push_back(1);
+    } else {
+      ++s.counts[s.slot_of[v]];
+    }
+  }
+  s.offsets.resize(num_slots + 1);
+  s.offsets[0] = 0;
+  for (uint32_t k = 0; k < num_slots; ++k) {
+    s.offsets[k + 1] = s.offsets[k] + s.counts[k];
+  }
+  s.cursor.assign(s.offsets.begin(), s.offsets.end() - 1);
+  s.items.resize(s.offsets[num_slots]);
+  for (size_t i = 0; i < bwd.size(); ++i) {
+    const size_t len = bwd.Length(i);
+    if (len < 1 || len > hb) continue;
+    s.items[s.cursor[s.slot_of[bwd.Tail(i)]]++] =
+        static_cast<uint32_t>(i);
+  }
+  return num_slots;
+}
+
+}  // namespace
+
 StatusOr<uint64_t> JoinAndEmit(const JoinSpec& spec, size_t query_index,
-                               PathSink* sink, BatchStats* stats) {
+                               PathSink* sink, BatchStats* stats,
+                               JoinScratchPool* scratch) {
   HCPATH_CHECK(spec.forward != nullptr && spec.backward != nullptr);
   HCPATH_CHECK(sink != nullptr);
   const PathSet& fwd = *spec.forward;
   const PathSet& bwd = *spec.backward;
 
-  // Group usable backward paths (length in [1, hb]) by their forward-
-  // orientation head == their stored tail (they are stored t-first).
-  std::unordered_map<VertexId, std::vector<uint32_t>> by_midpoint;
-  by_midpoint.reserve(bwd.size());
-  for (size_t i = 0; i < bwd.size(); ++i) {
-    const size_t len = bwd.Length(i);
-    if (len < 1 || len > spec.hb) continue;
-    by_midpoint[bwd.Tail(i)].push_back(static_cast<uint32_t>(i));
+  ScratchLease<JoinScratch> lease(scratch);
+  JoinScratch& s = *lease;
+
+  // The midpoint index only ever feeds probes of forward paths of length
+  // exactly hf with hb > 0; when hb == 0 or there is nothing to bucket,
+  // skip building it entirely.
+  const bool need_index = spec.hb > 0 && !bwd.empty();
+  if (need_index) {
+    BuildMidpointIndex(bwd, spec.hb, s);
+    if (stats != nullptr) ++stats->join_index_rebuilds;
   }
 
   uint64_t emitted = 0;
-  std::vector<VertexId> buf;
-  buf.reserve(static_cast<size_t>(spec.hf) + spec.hb + 1);
-
   auto emit = [&](PathView p) -> bool {
     if (spec.max_paths != 0 && emitted >= spec.max_paths) return false;
     sink->OnPath(query_index, p);
@@ -44,10 +87,16 @@ StatusOr<uint64_t> JoinAndEmit(const JoinSpec& spec, size_t query_index,
         return Status::ResourceExhausted("query exceeded max_paths");
       }
     }
-    if (len != spec.hf || spec.hb == 0) continue;
-    auto it = by_midpoint.find(pf.back());
-    if (it == by_midpoint.end()) continue;
-    for (uint32_t bi : it->second) {
+    if (len != spec.hf || !need_index) continue;
+    const VertexId mid = pf.back();
+    if (!s.tails.Contains(mid)) continue;
+    // Stamp the forward path once; every backward candidate then tests
+    // disjointness in O(|pb|) lookups instead of O(|pb| x |pf|) scans.
+    s.fwd_mark.Clear();
+    for (VertexId w : pf) s.fwd_mark.Mark(w);
+    const uint32_t slot = s.slot_of[mid];
+    for (uint32_t idx = s.offsets[slot]; idx < s.offsets[slot + 1]; ++idx) {
+      const uint32_t bi = s.items[idx];
       PathView pb = bwd[bi];
       if (stats != nullptr) ++stats->join_probes;
       // pb is (t, x1, ..., xm) with xm == pf.back(); the forward suffix is
@@ -55,21 +104,18 @@ StatusOr<uint64_t> JoinAndEmit(const JoinSpec& spec, size_t query_index,
       // shared midpoint may appear in pf.
       bool disjoint = true;
       for (size_t j = 0; j + 1 < pb.size(); ++j) {
-        for (VertexId w : pf) {
-          if (w == pb[j]) {
-            disjoint = false;
-            break;
-          }
+        if (s.fwd_mark.Contains(pb[j])) {
+          disjoint = false;
+          break;
         }
-        if (!disjoint) break;
       }
       if (!disjoint) {
         if (stats != nullptr) ++stats->join_rejected;
         continue;
       }
-      buf.assign(pf.begin(), pf.end());
-      for (size_t j = pb.size() - 1; j-- > 0;) buf.push_back(pb[j]);
-      if (!emit(buf)) {
+      s.buf.assign(pf.begin(), pf.end());
+      for (size_t j = pb.size() - 1; j-- > 0;) s.buf.push_back(pb[j]);
+      if (!emit(s.buf)) {
         return Status::ResourceExhausted("query exceeded max_paths");
       }
     }

@@ -2,14 +2,36 @@
 #define HCPATH_CORE_JOIN_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "bfs/distance_map.h"
 #include "core/path.h"
 #include "core/stats.h"
 #include "graph/graph.h"
+#include "util/epoch_stamp.h"
 #include "util/status.h"
 
 namespace hcpath {
+
+/// Recyclable working set of JoinAndEmit, leased from a BatchContext pool
+/// (or a per-thread fallback) so the join performs zero heap allocations
+/// in steady state: the midpoint index is a counting-sorted CSR over
+/// recycled flat arrays instead of a per-query hash map, and disjointness
+/// is tested against an epoch-stamped mark table instead of nested scans.
+/// All arrays grow to the high-water mark of the queries they serve and
+/// are reused as-is; validity is epoch-gated, so nothing is re-zeroed.
+struct JoinScratch {
+  EpochStampTable fwd_mark;   ///< vertices of the current forward path
+  EpochStampTable tails;      ///< stamped iff slot_of[tail] is valid
+  std::vector<uint32_t> slot_of;  ///< tail vertex -> dense bucket slot
+  std::vector<uint32_t> counts;   ///< slot -> usable backward paths
+  std::vector<uint32_t> offsets;  ///< CSR bucket offsets (size slots + 1)
+  std::vector<uint32_t> cursor;   ///< per-slot fill cursors
+  std::vector<uint32_t> items;    ///< CSR payload: backward path indices
+  std::vector<VertexId> buf;      ///< concatenation buffer for emission
+};
+
+using JoinScratchPool = ScratchPool<JoinScratch>;
 
 /// Inputs to the path concatenation operator ⊕ (Def 3.1), specialized to
 /// the canonical split that makes the join duplicate-free (DESIGN.md D2):
@@ -36,8 +58,14 @@ struct JoinSpec {
 /// Joins the two halves and emits every HC-s-t path of the query to `sink`
 /// (tagged with `query_index`). Returns the number of paths emitted or
 /// ResourceExhausted if `max_paths` was exceeded.
+///
+/// `scratch` recycles the midpoint index and mark tables across queries
+/// (BatchContext::join_scratch); nullptr falls back to a per-thread
+/// working set. Emission order, counters, and error points are identical
+/// either way — the scratch only changes where the index storage lives.
 StatusOr<uint64_t> JoinAndEmit(const JoinSpec& spec, size_t query_index,
-                               PathSink* sink, BatchStats* stats);
+                               PathSink* sink, BatchStats* stats,
+                               JoinScratchPool* scratch = nullptr);
 
 }  // namespace hcpath
 

@@ -51,7 +51,7 @@ inline void FoldMergeMetrics(const MergeMetrics& m, BatchStats* stats) {
 
 /// The buffered-parallel scaffold shared by the batch engines
 /// (docs/PARALLELISM.md): runs `task(i, sink, stats)` for every i in
-/// [0, n) across the pool — each item emitting into a private arena-backed
+/// [0, n) across the pool — each item emitting into a private buffered
 /// buffer with private stats — and merges in input order so the downstream
 /// sink observes exactly the sequential emission stream and the counters
 /// sum to the sequential totals.
@@ -59,7 +59,7 @@ inline void FoldMergeMetrics(const MergeMetrics& m, BatchStats* stats) {
 /// The merge *streams*: whenever the lowest-indexed unfinished item
 /// completes, the worker that finished it drains the contiguous completed
 /// prefix to the sink (under a single drain lock, so emission stays
-/// serialized and ordered) and recycles the drained buffers' arenas. Peak
+/// serialized and ordered) and recycles the drained buffers. Peak
 /// buffer memory is therefore bounded by the completed-but-undrained window
 /// — in practice the in-flight items — instead of the whole batch, and the
 /// first item's results reach the sink as soon as it finishes rather than
@@ -81,7 +81,7 @@ inline void FoldMergeMetrics(const MergeMetrics& m, BatchStats* stats) {
 ///
 /// With a `sink_pool` (BatchContext), per-item buffers are acquired from
 /// the pool instead of constructed, and a drained buffer is released back
-/// the moment the streaming drain passes it — so its arena chunks flow
+/// the moment the streaming drain passes it — so its path storage flows
 /// straight to concurrent nested merges and to the next batch, instead of
 /// being freed and reallocated.
 template <typename TaskFn>
@@ -126,7 +126,7 @@ Status RunBufferedParallel(ThreadPool& pool, size_t n, PathSink* sink,
         sink_pool->Release(buffers[frontier]);
         buffers[frontier] = nullptr;
       } else {
-        buf.Clear();  // recycle the arena now, not at scope exit
+        buf.Clear();  // recycle the storage now, not at scope exit
       }
       if (streaming) {
         ++mm.streamed_items;

@@ -45,6 +45,29 @@ class PathSet {
     offsets_.push_back(static_cast<uint64_t>(data_.size()));
   }
 
+  /// Appends paths [begin, end) of `other`, in order: one bulk vertex copy
+  /// plus a rebased offsets append instead of path-at-a-time Add. The
+  /// resulting set is element-for-element identical to the Add loop.
+  void AppendRange(const PathSet& other, size_t begin, size_t end) {
+    HCPATH_DCHECK(begin <= end && end <= other.size());
+    if (begin == end) return;
+    const uint64_t src_lo = other.offsets_[begin];
+    const uint64_t src_hi = other.offsets_[end];
+    // Every appended offset is the source offset shifted by one constant.
+    const uint64_t shift = static_cast<uint64_t>(data_.size()) - src_lo;
+    data_.insert(data_.end(), other.data_.begin() + src_lo,
+                 other.data_.begin() + src_hi);
+    offsets_.reserve(offsets_.size() + (end - begin));
+    for (size_t i = begin + 1; i <= end; ++i) {
+      offsets_.push_back(other.offsets_[i] + shift);
+    }
+  }
+
+  /// Appends every path of `other` (bulk transfer of a whole sub-result).
+  void AppendSet(const PathSet& other) {
+    AppendRange(other, 0, other.size());
+  }
+
   size_t size() const { return offsets_.size() - 1; }
   bool empty() const { return size() == 0; }
 
@@ -92,6 +115,17 @@ class PathSink {
   virtual ~PathSink() = default;
   /// `query_index` is the position of the owning query in the input batch.
   virtual void OnPath(size_t query_index, PathView path) = 0;
+
+  /// Bulk variant: paths [begin, end) of `paths`, in order, all owned by
+  /// `query_index`. The default forwards path-at-a-time, so every sink
+  /// observes a stream identical to repeated OnPath calls; sinks that
+  /// store paths contiguously (BufferedSink, CollectingSink) override it
+  /// with a bulk copy (PathSet::AppendRange), which is what makes the
+  /// streaming merge drains allocation- and dispatch-light.
+  virtual void OnPaths(size_t query_index, const PathSet& paths,
+                       size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) OnPath(query_index, paths[i]);
+  }
 };
 
 /// Sink that counts paths per query (the common benchmarking mode).
@@ -100,6 +134,10 @@ class CountingSink : public PathSink {
   explicit CountingSink(size_t num_queries) : counts_(num_queries, 0) {}
   void OnPath(size_t query_index, PathView) override {
     ++counts_[query_index];
+  }
+  void OnPaths(size_t query_index, const PathSet&, size_t begin,
+               size_t end) override {
+    counts_[query_index] += end - begin;
   }
   const std::vector<uint64_t>& counts() const { return counts_; }
   uint64_t Total() const;
@@ -114,6 +152,10 @@ class CollectingSink : public PathSink {
   explicit CollectingSink(size_t num_queries) : sets_(num_queries) {}
   void OnPath(size_t query_index, PathView path) override {
     sets_[query_index].Add(path);
+  }
+  void OnPaths(size_t query_index, const PathSet& paths, size_t begin,
+               size_t end) override {
+    sets_[query_index].AppendRange(paths, begin, end);
   }
   const PathSet& paths(size_t query_index) const {
     return sets_[query_index];

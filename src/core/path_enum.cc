@@ -63,7 +63,8 @@ Status EnumerateWithMaps(const Graph& g, const PathQuery& q,
                          const VertexDistMap& to_target,
                          const SingleQueryOptions& options,
                          size_t query_index, PathSink* sink,
-                         BatchStats* stats) {
+                         BatchStats* stats, EpochStampPool* stamps,
+                         JoinScratchPool* join_scratch) {
   // Unreachable within k hops: no results.
   Hop st = to_target.Lookup(q.s);
   if (st == kUnreachable || st > q.k) return Status::OK();
@@ -84,6 +85,7 @@ Status EnumerateWithMaps(const Graph& g, const PathQuery& q,
   fwd.filter_for_join = true;
   fwd.store_target = q.t;
   fwd.max_paths = options.max_paths;
+  fwd.stamps = stamps;
   HCPATH_RETURN_NOT_OK(RunHalfSearch(g, fwd, &fwd_paths, stats));
 
   PathSet bwd_paths;
@@ -94,6 +96,7 @@ Status EnumerateWithMaps(const Graph& g, const PathQuery& q,
     bwd.dir = Direction::kBackward;
     bwd.slacks = bwd_slack;
     bwd.max_paths = options.max_paths;
+    bwd.stamps = stamps;
     HCPATH_RETURN_NOT_OK(RunHalfSearch(g, bwd, &bwd_paths, stats));
   }
 
@@ -105,7 +108,7 @@ Status EnumerateWithMaps(const Graph& g, const PathQuery& q,
   join.hf = hf;
   join.hb = hb;
   join.max_paths = options.max_paths;
-  auto emitted = JoinAndEmit(join, query_index, sink, stats);
+  auto emitted = JoinAndEmit(join, query_index, sink, stats, join_scratch);
   if (!emitted.ok()) return emitted.status();
   return Status::OK();
 }

@@ -2,10 +2,12 @@
 #define HCPATH_CORE_PATH_ENUM_H_
 
 #include "bfs/distance_map.h"
+#include "core/join.h"
 #include "core/path.h"
 #include "core/query.h"
 #include "core/stats.h"
 #include "graph/graph.h"
+#include "util/epoch_stamp.h"
 #include "util/status.h"
 
 namespace hcpath {
@@ -38,12 +40,16 @@ Status PathEnumQuery(const Graph& g, const PathQuery& q,
 
 /// Core of Algorithm 1's per-query loop: enumerates `q` given prebuilt
 /// endpoint distance maps (from a shared index or per-query BFSs).
+/// `stamps` / `join_scratch` recycle the kernel working sets across
+/// queries (BatchContext); nullptr falls back to per-thread scratch.
 Status EnumerateWithMaps(const Graph& g, const PathQuery& q,
                          const VertexDistMap& from_source,
                          const VertexDistMap& to_target,
                          const SingleQueryOptions& options,
                          size_t query_index, PathSink* sink,
-                         BatchStats* stats);
+                         BatchStats* stats,
+                         EpochStampPool* stamps = nullptr,
+                         JoinScratchPool* join_scratch = nullptr);
 
 }  // namespace hcpath
 

@@ -8,11 +8,16 @@ namespace hcpath {
 
 namespace {
 
+/// `on_path` mirrors `path` as an epoch-stamped membership table (one mark
+/// per path vertex, maintained incrementally on push/pop), so the DFS
+/// cycle check and the splice disjointness test are O(1) per vertex
+/// instead of a scan of the path (docs/PERF.md).
 struct SearchCtx {
   const Graph& g;
   const HalfSearchSpec& spec;
   PathSet* out;
   BatchStats* stats;
+  EpochStampTable* on_path;
   std::vector<VertexId> path;
   Status status = Status::OK();
 };
@@ -27,13 +32,6 @@ inline bool Admissible(const HalfSearchSpec& spec, VertexId u, int depth) {
   for (const TargetSlack& ts : spec.slacks) {
     Hop d = ts.dist->Lookup(u);
     if (d != kUnreachable && d <= ts.slack - depth) return true;
-  }
-  return false;
-}
-
-inline bool OnPath(const std::vector<VertexId>& path, VertexId u) {
-  for (VertexId w : path) {
-    if (w == u) return true;
   }
   return false;
 }
@@ -75,11 +73,13 @@ bool StoreCurrent(SearchCtx& c) {
 /// `prefix` (within the remaining budget, disjoint from the prefix) into
 /// `out` instead of recursing. cached[0] == the shortcut vertex by
 /// construction, so only suffix vertices are checked (DESIGN.md D6).
-/// Shared by the recursion and the frontier-split sub-merge so the filter
-/// and cap semantics cannot diverge. Returns false + sets `status` at the
-/// max_paths cap.
+/// `prefix_mark` holds exactly the vertices of `prefix`, so each cached
+/// suffix is tested in O(|suffix|) stamp lookups. Shared by the recursion
+/// and the frontier-split sub-merge so the filter and cap semantics cannot
+/// diverge. Returns false + sets `status` at the max_paths cap.
 bool SpliceCached(const HalfSearchSpec& spec,
-                  const std::vector<VertexId>& prefix, const PathSet& cached,
+                  const std::vector<VertexId>& prefix,
+                  const EpochStampTable& prefix_mark, const PathSet& cached,
                   Hop remaining, PathSet* out, BatchStats* stats,
                   Status* status) {
   const size_t max_vertices = static_cast<size_t>(remaining) + 1;
@@ -88,7 +88,7 @@ bool SpliceCached(const HalfSearchSpec& spec,
     if (cp.size() > max_vertices) continue;
     bool disjoint = true;
     for (size_t j = 1; j < cp.size(); ++j) {
-      if (OnPath(prefix, cp[j])) {
+      if (prefix_mark.Contains(cp[j])) {
         disjoint = false;
         break;
       }
@@ -116,23 +116,32 @@ bool Dfs(SearchCtx& c) {
       if (c.stats != nullptr) ++c.stats->edges_pruned;
       continue;
     }
-    if (OnPath(c.path, u)) continue;
+    if (c.on_path->Contains(u)) continue;
     const Hop remaining = static_cast<Hop>(c.spec.budget - depth);
     const SearchDep* dep =
         c.spec.deps.empty() ? nullptr : FindDep(c.spec.deps, u);
     if (dep != nullptr && dep->budget >= remaining) {
-      if (!SpliceCached(c.spec, c.path, *dep->paths, remaining, c.out,
-                        c.stats, &c.status)) {
+      if (!SpliceCached(c.spec, c.path, *c.on_path, *dep->paths, remaining,
+                        c.out, c.stats, &c.status)) {
         return false;
       }
       continue;
     }
     c.path.push_back(u);
+    c.on_path->Mark(u);
     const bool keep_going = Dfs(c);
     c.path.pop_back();
+    c.on_path->Unmark(u);
     if (!keep_going) return false;
   }
   return true;
+}
+
+/// Seeds the mark table with the initial path vertices before the
+/// recursion takes over the incremental maintenance.
+void SeedMarks(SearchCtx& c) {
+  c.on_path->Clear();
+  for (VertexId v : c.path) c.on_path->Mark(v);
 }
 
 /// Splitting a 1- or 2-hop search buys nothing: the subtrees are a handful
@@ -189,9 +198,11 @@ Status RunHalfSearchSplit(const Graph& g, const HalfSearchSpec& spec,
   if (subs.size() < 2) {
     // Nothing to parallelize: discard the scan (no counters were committed)
     // and run the plain recursion, which counts as it goes.
-    SearchCtx ctx{g, spec, out, stats, {}, Status::OK()};
+    ScratchLease<EpochStampTable> mark(spec.stamps);
+    SearchCtx ctx{g, spec, out, stats, mark.get(), {}, Status::OK()};
     ctx.path.reserve(static_cast<size_t>(spec.budget) + 1);
     ctx.path.push_back(spec.start);
+    SeedMarks(ctx);
     Dfs(ctx);
     return ctx.status;
   }
@@ -203,29 +214,34 @@ Status RunHalfSearchSplit(const Graph& g, const HalfSearchSpec& spec,
   HalfSearchSpec sub_spec = spec;
   sub_spec.pool = nullptr;  // one split level; subtrees recurse sequentially
   spec.pool->ParallelFor(subs.size(), [&](size_t i) {
+    ScratchLease<EpochStampTable> mark(sub_spec.stamps);
     SearchCtx c{g,
                 sub_spec,
                 &subs[i].out,
                 stats != nullptr ? &subs[i].stats : nullptr,
+                mark.get(),
                 {},
                 Status::OK()};
     c.path.reserve(static_cast<size_t>(spec.budget) + 1);
     c.path.push_back(spec.start);
     c.path.push_back(subs[i].first);
+    SeedMarks(c);
     Dfs(c);
     subs[i].status = c.status;
   });
 
   // Sub-merge, in the order the recursion would have stored everything:
   // the trivial path (start), then per neighbor its splices or its subtree.
-  SearchCtx root{g, spec, out, stats, {}, Status::OK()};
+  ScratchLease<EpochStampTable> root_mark(spec.stamps);
+  SearchCtx root{g, spec, out, stats, root_mark.get(), {}, Status::OK()};
   root.path.push_back(spec.start);
+  SeedMarks(root);
   if (!StoreCurrent(root)) return root.status;
   for (const Action& a : actions) {
     if (a.dep != nullptr) {
       Status st;
-      if (!SpliceCached(spec, root.path, *a.dep->paths, remaining, out,
-                        stats, &st)) {
+      if (!SpliceCached(spec, root.path, *root_mark, *a.dep->paths,
+                        remaining, out, stats, &st)) {
         return st;
       }
       continue;
@@ -233,12 +249,19 @@ Status RunHalfSearchSplit(const Graph& g, const HalfSearchSpec& spec,
     SubSearch& sub = subs[a.sub_index];
     if (stats != nullptr) stats->Accumulate(sub.stats);
     if (!sub.status.ok()) return sub.status;
-    for (size_t i = 0; i < sub.out.size(); ++i) {
-      if (spec.max_paths != 0 && out->size() >= spec.max_paths) {
+    // Bulk transfer of the whole subtree result. The cap trips at exactly
+    // the point the per-path loop would have: before the first path that
+    // does not fit.
+    if (spec.max_paths != 0) {
+      const uint64_t room = spec.max_paths > out->size()
+                                ? spec.max_paths - out->size()
+                                : 0;
+      if (sub.out.size() > room) {
+        out->AppendRange(sub.out, 0, static_cast<size_t>(room));
         return ExceededMaxPaths(spec.max_paths);
       }
-      out->Add(sub.out[i]);
     }
+    out->AppendSet(sub.out);
     sub.out.Clear();  // drained; don't hold every subtree to the end
   }
   return Status::OK();
@@ -254,9 +277,11 @@ Status RunHalfSearch(const Graph& g, const HalfSearchSpec& spec,
       spec.budget >= kMinSplitBudget) {
     return RunHalfSearchSplit(g, spec, out, stats);
   }
-  SearchCtx ctx{g, spec, out, stats, {}, Status::OK()};
+  ScratchLease<EpochStampTable> mark(spec.stamps);
+  SearchCtx ctx{g, spec, out, stats, mark.get(), {}, Status::OK()};
   ctx.path.reserve(static_cast<size_t>(spec.budget) + 1);
   ctx.path.push_back(spec.start);
+  SeedMarks(ctx);
   Dfs(ctx);
   return ctx.status;
 }

@@ -9,6 +9,7 @@
 #include "core/path.h"
 #include "core/stats.h"
 #include "graph/graph.h"
+#include "util/epoch_stamp.h"
 #include "util/status.h"
 
 namespace hcpath {
@@ -71,6 +72,12 @@ struct HalfSearchSpec {
   /// counter values of *failed* runs may differ (the sequential search
   /// stops mid-subtree at the cap, sub-searches at their own boundary).
   ThreadPool* pool = nullptr;
+
+  /// Optional recycled epoch-stamp tables (BatchContext::stamps) backing
+  /// the O(1) on-path and splice-disjointness tests; nullptr falls back to
+  /// a per-thread table. Pure scratch plumbing: the visit order, prune
+  /// decisions, stored paths, and counters do not depend on it.
+  EpochStampPool* stamps = nullptr;
 };
 
 /// Runs the recursive Search procedure (Algorithm 1 lines 9-13 /

@@ -23,6 +23,13 @@ struct BatchStats {
   uint64_t paths_emitted = 0;       ///< HC-s-t paths output across queries
   uint64_t join_probes = 0;         ///< forward/backward join attempts
   uint64_t join_rejected = 0;       ///< join pairs rejected (dup vertex)
+  /// Midpoint bucket indexes built by JoinAndEmit (one per query whose
+  /// join can probe, i.e. hb > 0 and a non-empty backward set). The index
+  /// lives in recycled JoinScratch storage, so rebuilds reuse capacity;
+  /// steady-state scratch reuse shows up as rebuilds without allocation
+  /// growth (exp9 service stats). Deterministic: part of the counter
+  /// identity across thread counts.
+  uint64_t join_index_rebuilds = 0;
 
   // --- sharing counters (BatchEnum only) ---
   uint64_t num_clusters = 0;

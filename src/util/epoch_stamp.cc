@@ -1,0 +1,26 @@
+#include "util/epoch_stamp.h"
+
+#include <algorithm>
+
+namespace hcpath {
+
+void EpochStampTable::Grow(uint32_t v) {
+  // Geometric growth keeps repeated high-id marks amortized O(1); new
+  // slots start at stamp 0, which no live epoch equals.
+  const size_t want = static_cast<size_t>(v) + 1;
+  stamp_.resize(std::max(want, stamp_.size() * 2), 0);
+}
+
+void EpochStampTable::WrapEpoch() {
+  // Reached only every 2^32 clears: erase all stale stamps so no epoch
+  // value can ever re-match a mark from the previous cycle.
+  std::fill(stamp_.begin(), stamp_.end(), 0u);
+  epoch_ = 1;
+}
+
+void EpochStampTable::TestOnlySetEpoch(uint32_t epoch) {
+  HCPATH_CHECK(epoch != 0);
+  epoch_ = epoch;
+}
+
+}  // namespace hcpath

@@ -181,6 +181,7 @@ void ExpectCountersEqual(const BatchStats& a, const BatchStats& b,
   EXPECT_EQ(a.edges_pruned, b.edges_pruned) << what;
   EXPECT_EQ(a.join_probes, b.join_probes) << what;
   EXPECT_EQ(a.join_rejected, b.join_rejected) << what;
+  EXPECT_EQ(a.join_index_rebuilds, b.join_index_rebuilds) << what;
   EXPECT_EQ(a.num_clusters, b.num_clusters) << what;
   EXPECT_EQ(a.sharing_nodes, b.sharing_nodes) << what;
   EXPECT_EQ(a.dominating_nodes, b.dominating_nodes) << what;
@@ -362,6 +363,144 @@ TEST(DifferentialFuzz, RandomizedCrossCheck) {
                  " — reproduce with HCPATH_FUZZ_SEED=" +
                  std::to_string(seed));
     RunOneConfig(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+/// Join-heavy differential: dense graphs with deep hop budgets and high
+/// clone rates, so forward/backward halves are large (hf/hb up to 4/4),
+/// midpoint buckets hold many candidates, and the join's stamped
+/// disjointness + CSR bucket index dominate the run — the regime the
+/// epoch-stamp kernels (docs/PERF.md) were rewritten for. Cross-checks
+/// all four engines against BruteForce and seq vs threads {1, 4} for a
+/// byte-identical stream and identical counters, max_paths caps included.
+void RunOneJoinHeavyConfig(uint64_t seed) {
+  Rng rng(seed);
+  std::string graph_desc;
+  Graph g = [&]() -> Graph {
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        const VertexId n = static_cast<VertexId>(6 + rng.NextBounded(3));
+        graph_desc = "complete(n=" + std::to_string(n) + ")";
+        return *GenerateComplete(n);
+      }
+      case 1: {
+        const VertexId n = static_cast<VertexId>(14 + rng.NextBounded(16));
+        const uint32_t d = static_cast<uint32_t>(4 + rng.NextBounded(3));
+        graph_desc = "barabasi_albert(n=" + std::to_string(n) +
+                     ", d=" + std::to_string(d) + ")";
+        return *GenerateBarabasiAlbert(n, d, rng);
+      }
+      default: {
+        const VertexId n = static_cast<VertexId>(12 + rng.NextBounded(12));
+        graph_desc = "small_world(n=" + std::to_string(n) + ", k=4)";
+        return *GenerateSmallWorld(n, 4, 0.3, rng);
+      }
+    }
+  }();
+
+  // Deep budgets (k in [5, 8] => hf/hb up to 4/4) and heavy cloning: many
+  // queries share endpoints, so shared halves are reused across several
+  // joins and path counts per query run high.
+  const size_t nq = 3 + rng.NextBounded(8);
+  std::vector<PathQuery> queries;
+  const VertexId n = g.NumVertices();
+  while (queries.size() < nq) {
+    if (!queries.empty() && rng.NextBounded(3) == 0) {
+      PathQuery q = queries[rng.NextBounded(queries.size())];
+      if (rng.NextBounded(2) == 0) {
+        q.k = 5 + static_cast<int>(rng.NextBounded(4));
+      }
+      queries.push_back(q);
+      continue;
+    }
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId t = static_cast<VertexId>(rng.NextBounded(n));
+    if (s == t) continue;
+    queries.push_back({s, t, 5 + static_cast<int>(rng.NextBounded(4))});
+  }
+
+  bool capped = false;
+  BatchOptions opt = RandomOptions(rng, &capped);
+  // Dense graphs at k >= 5 explode; cap always, generously enough that
+  // many configs still complete (both outcomes are interesting).
+  opt.max_paths_per_query = 500 + rng.NextBounded(4000);
+
+  SCOPED_TRACE(graph_desc + " |Q|=" + std::to_string(queries.size()) +
+               " max_paths=" + std::to_string(opt.max_paths_per_query));
+
+  std::vector<std::vector<std::vector<VertexId>>> oracle;
+  for (const PathQuery& q : queries) {
+    auto paths = BruteForcePaths(g, q);
+    ASSERT_TRUE(paths.ok()) << paths.status();
+    oracle.push_back(paths->ToSortedVectors());
+  }
+
+  const struct {
+    bool batch;
+    bool optimized;
+    const char* name;
+  } kEngines[] = {{false, false, "basic"},
+                  {false, true, "basic+"},
+                  {true, false, "batch"},
+                  {true, true, "batch+"}};
+  for (const auto& engine : kEngines) {
+    BatchOptions seq_opt = opt;
+    seq_opt.num_threads = 1;
+    EngineRun seq =
+        RunEngine(g, queries, engine.batch, engine.optimized, seq_opt);
+
+    if (seq.status.ok()) {
+      // The cap didn't trip (it also guards intermediate half-path
+      // materialization, so success — not the oracle's path count — is
+      // the signal), hence the engine enumerated everything and must
+      // match the brute-force oracle.
+      RecordingSink replay;
+      for (const auto& e : seq.events) {
+        replay.OnPath(e.first, PathView{e.second.data(), e.second.size()});
+      }
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        EXPECT_EQ(replay.SortedPathsOf(qi), oracle[qi])
+            << engine.name << " vs brute force, query " << qi;
+      }
+    }
+
+    for (int threads : {4}) {
+      BatchOptions par_opt = opt;
+      par_opt.num_threads = threads;
+      EngineRun par =
+          RunEngine(g, queries, engine.batch, engine.optimized, par_opt);
+      const std::string what =
+          std::string(engine.name) + " threads=" + std::to_string(threads);
+      EXPECT_EQ(par.status.code(), seq.status.code()) << what;
+      EXPECT_EQ(par.status.message(), seq.status.message()) << what;
+      EXPECT_EQ(par.events, seq.events) << what;
+      if (seq.status.ok() && par.status.ok()) {
+        ExpectCountersEqual(seq.stats, par.stats, what);
+      }
+    }
+  }
+}
+
+TEST(DifferentialFuzz, JoinHeavyCrossCheck) {
+  // Separate seed base so the join-heavy sweep explores configurations
+  // independent of the other two suites.
+  constexpr uint64_t kBaseSeed = 0x6A015EEDB00F00ull;
+  if (const char* one = std::getenv("HCPATH_FUZZ_SEED")) {
+    const uint64_t seed = std::strtoull(one, nullptr, 0);
+    SCOPED_TRACE("HCPATH_FUZZ_SEED=" + std::to_string(seed));
+    RunOneJoinHeavyConfig(seed);
+    return;
+  }
+  // Join-heavy configs enumerate far more paths per query than the random
+  // sweep; a quarter of the config budget keeps wall-clock in line.
+  const int configs = std::max(1, ConfigCount() / 4);
+  for (int c = 0; c < configs; ++c) {
+    const uint64_t seed = kBaseSeed + static_cast<uint64_t>(c);
+    SCOPED_TRACE("join-heavy config #" + std::to_string(c) +
+                 " — reproduce with HCPATH_FUZZ_SEED=" +
+                 std::to_string(seed));
+    RunOneJoinHeavyConfig(seed);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

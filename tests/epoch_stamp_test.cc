@@ -1,0 +1,192 @@
+// EpochStampTable: the O(1) membership kernel behind the enumeration hot
+// loops (docs/PERF.md). Covers mark/unmark/contains semantics, O(1) clear,
+// growth, epoch wraparound (the one place storage is re-zeroed), and
+// concurrent leases from a ScratchPool.
+
+#include "util/epoch_stamp.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hcpath {
+namespace {
+
+TEST(EpochStampTable, MarkContainsUnmark) {
+  EpochStampTable t;
+  EXPECT_FALSE(t.Contains(0));
+  EXPECT_FALSE(t.Contains(42));
+
+  EXPECT_TRUE(t.Mark(42));
+  EXPECT_TRUE(t.Contains(42));
+  EXPECT_FALSE(t.Contains(41));
+  EXPECT_FALSE(t.Mark(42)) << "second mark of the same vertex";
+
+  t.Unmark(42);
+  EXPECT_FALSE(t.Contains(42));
+  EXPECT_TRUE(t.Mark(42)) << "re-mark after unmark is a fresh mark";
+}
+
+TEST(EpochStampTable, ClearForgetsEverythingWithoutTouchingStorage) {
+  EpochStampTable t;
+  for (uint32_t v = 0; v < 100; v += 7) t.Mark(v);
+  const size_t cap = t.capacity();
+  const uint32_t epoch_before = t.epoch();
+
+  t.Clear();
+  EXPECT_EQ(t.capacity(), cap) << "Clear must not shrink or grow storage";
+  EXPECT_EQ(t.epoch(), epoch_before + 1);
+  for (uint32_t v = 0; v < 100; ++v) {
+    EXPECT_FALSE(t.Contains(v)) << "v=" << v;
+  }
+  // Marks made after a clear are independent of pre-clear history.
+  EXPECT_TRUE(t.Mark(7));
+  EXPECT_TRUE(t.Contains(7));
+  EXPECT_FALSE(t.Contains(14));
+}
+
+TEST(EpochStampTable, GrowthPreservesMarksAndKeepsNewSlotsEmpty) {
+  EpochStampTable t;
+  t.Mark(3);
+  t.Mark(1000000);  // forces growth well past the first mark
+  EXPECT_TRUE(t.Contains(3));
+  EXPECT_TRUE(t.Contains(1000000));
+  EXPECT_FALSE(t.Contains(999999));
+  EXPECT_GE(t.capacity(), 1000001u);
+}
+
+TEST(EpochStampTable, ReservePresizes) {
+  EpochStampTable t;
+  t.Reserve(512);
+  EXPECT_GE(t.capacity(), 512u);
+  EXPECT_FALSE(t.Contains(511));
+  t.Mark(511);
+  EXPECT_TRUE(t.Contains(511));
+}
+
+TEST(EpochStampTable, EpochWraparoundReZeroesStaleStamps) {
+  EpochStampTable t;
+  t.Mark(5);
+  // Jump to the last representable epoch: the next Clear must wrap, and
+  // wrapping re-zeroes storage so no stale stamp from the previous cycle
+  // can ever match a repeated epoch value.
+  t.TestOnlySetEpoch(UINT32_MAX);
+  t.Mark(9);
+  EXPECT_TRUE(t.Contains(9));
+
+  t.Clear();
+  EXPECT_EQ(t.epoch(), 1u) << "epoch restarts after the wrap";
+  EXPECT_FALSE(t.Contains(5));
+  EXPECT_FALSE(t.Contains(9));
+  EXPECT_TRUE(t.Mark(9));
+  EXPECT_TRUE(t.Contains(9));
+
+  // A full post-wrap cycle still behaves: marks from epoch 1 are invisible
+  // at epoch 2.
+  t.Clear();
+  EXPECT_FALSE(t.Contains(9));
+}
+
+TEST(EpochStampTable, RandomizedAgainstReferenceSet) {
+  // Differential check of the stamp semantics against std::set across a
+  // random mark/unmark/clear schedule.
+  Rng rng(0xE70C5);
+  EpochStampTable t;
+  std::set<uint32_t> ref;
+  for (int op = 0; op < 20000; ++op) {
+    const uint32_t v = static_cast<uint32_t>(rng.NextBounded(300));
+    switch (rng.NextBounded(8)) {
+      case 0:
+        t.Clear();
+        ref.clear();
+        break;
+      case 1:
+      case 2:
+        t.Mark(v);  // ensure the slot exists; marking twice is fine
+        t.Unmark(v);
+        ref.erase(v);
+        break;
+      default: {
+        const bool fresh = t.Mark(v);
+        EXPECT_EQ(fresh, ref.insert(v).second) << "op " << op;
+        break;
+      }
+    }
+    const uint32_t probe = static_cast<uint32_t>(rng.NextBounded(300));
+    EXPECT_EQ(t.Contains(probe), ref.count(probe) > 0)
+        << "op " << op << " probe " << probe;
+  }
+}
+
+TEST(ScratchPoolTest, RecyclesObjects) {
+  EpochStampPool pool;
+  EpochStampTable* a = pool.Acquire();
+  a->Mark(123);
+  EXPECT_EQ(pool.free_count(), 0u);
+  pool.Release(a);
+  EXPECT_EQ(pool.free_count(), 1u);
+  EpochStampTable* b = pool.Acquire();
+  EXPECT_EQ(b, a) << "pooled object is reused";
+  EXPECT_GE(b->capacity(), 124u) << "storage survives the round trip";
+  pool.Release(b);
+}
+
+TEST(ScratchPoolTest, ConcurrentTablesFromThePoolDoNotInterfere) {
+  // Many threads lease tables concurrently, each marking a thread-unique
+  // id pattern; a table observed with someone else's marks (or missing its
+  // own) means the pool handed one object to two leases at once.
+  EpochStampPool pool;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&pool, &failures, ti] {
+      for (int r = 0; r < kRounds; ++r) {
+        ScratchLease<EpochStampTable> lease(&pool);
+        lease->Clear();
+        const uint32_t base = static_cast<uint32_t>(ti) * 1000;
+        for (uint32_t k = 0; k < 50; ++k) lease->Mark(base + k);
+        for (uint32_t other = 0; other < kThreads; ++other) {
+          const uint32_t probe = other * 1000 + (r % 50);
+          const bool expect = other == static_cast<uint32_t>(ti);
+          if (lease->Contains(probe) != expect) ++failures[ti];
+        }
+        for (uint32_t k = 0; k < 50; ++k) lease->Unmark(base + k);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int ti = 0; ti < kThreads; ++ti) {
+    EXPECT_EQ(failures[ti], 0) << "thread " << ti;
+  }
+  EXPECT_LE(pool.free_count(), EpochStampPool::MaxPooled());
+  EXPECT_GE(pool.free_count(), 1u);
+}
+
+TEST(ScratchPoolTest, NullPoolLeaseFallsBackToThreadLocal) {
+  // Direct API callers outside a BatchContext lease a per-thread fallback;
+  // sequential leases on one thread reuse the same storage.
+  size_t cap_first = 0;
+  {
+    ScratchLease<EpochStampTable> lease(nullptr);
+    lease->Clear();
+    lease->Mark(777);
+    EXPECT_TRUE(lease->Contains(777));
+    cap_first = lease->capacity();
+  }
+  {
+    ScratchLease<EpochStampTable> lease(nullptr);
+    EXPECT_GE(lease->capacity(), cap_first) << "storage is reused";
+    lease->Clear();
+    EXPECT_FALSE(lease->Contains(777));
+  }
+}
+
+}  // namespace
+}  // namespace hcpath

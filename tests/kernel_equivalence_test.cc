@@ -1,0 +1,319 @@
+// Kernel-equivalence suite for the epoch-stamped membership rewrite
+// (docs/PERF.md): the stamped kernels must make byte-identical decisions
+// to the naive O(k^2) scans they replaced. Each test keeps a from-scratch
+// naive reference implementation *here* (the old linear-scan code) and
+// cross-checks it against the library on fuzz-generated inputs:
+//
+//   * JoinEquivalence — JoinAndEmit vs the old hash-map + nested-scan
+//     join: emission stream, Status, and every counter, across dense-
+//     overlap, no-overlap, capped, hb==0, and empty-side configurations;
+//   * SearchEquivalence — RunHalfSearch vs a naive linear-scan DFS on
+//     random graphs: stored paths (order included) and work counters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/join.h"
+#include "core/search.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace hcpath {
+namespace {
+
+class RecordingSink : public PathSink {
+ public:
+  using Event = std::pair<size_t, std::vector<VertexId>>;
+  void OnPath(size_t qi, PathView p) override {
+    events_.emplace_back(qi, std::vector<VertexId>(p.begin(), p.end()));
+  }
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  std::vector<Event> events_;
+};
+
+// ---------------------------------------------------------------------------
+// Naive reference: the pre-stamp JoinAndEmit, verbatim — per-query hash
+// map keyed by backward tail, O(|pb| x |pf|) nested-scan disjointness.
+// ---------------------------------------------------------------------------
+StatusOr<uint64_t> NaiveJoinAndEmit(const JoinSpec& spec, size_t query_index,
+                                    PathSink* sink, BatchStats* stats) {
+  const PathSet& fwd = *spec.forward;
+  const PathSet& bwd = *spec.backward;
+
+  std::unordered_map<VertexId, std::vector<uint32_t>> by_midpoint;
+  by_midpoint.reserve(bwd.size());
+  for (size_t i = 0; i < bwd.size(); ++i) {
+    const size_t len = bwd.Length(i);
+    if (len < 1 || len > spec.hb) continue;
+    by_midpoint[bwd.Tail(i)].push_back(static_cast<uint32_t>(i));
+  }
+
+  uint64_t emitted = 0;
+  std::vector<VertexId> buf;
+  auto emit = [&](PathView p) -> bool {
+    if (spec.max_paths != 0 && emitted >= spec.max_paths) return false;
+    sink->OnPath(query_index, p);
+    ++emitted;
+    if (stats != nullptr) ++stats->paths_emitted;
+    return true;
+  };
+
+  for (size_t i = 0; i < fwd.size(); ++i) {
+    const size_t len = fwd.Length(i);
+    if (len > spec.hf) continue;
+    PathView pf = fwd[i];
+    if (pf.back() == spec.t) {
+      if (!emit(pf)) {
+        return Status::ResourceExhausted("query exceeded max_paths");
+      }
+    }
+    if (len != spec.hf || spec.hb == 0) continue;
+    auto it = by_midpoint.find(pf.back());
+    if (it == by_midpoint.end()) continue;
+    for (uint32_t bi : it->second) {
+      PathView pb = bwd[bi];
+      if (stats != nullptr) ++stats->join_probes;
+      bool disjoint = true;
+      for (size_t j = 0; j + 1 < pb.size(); ++j) {
+        for (VertexId w : pf) {
+          if (w == pb[j]) {
+            disjoint = false;
+            break;
+          }
+        }
+        if (!disjoint) break;
+      }
+      if (!disjoint) {
+        if (stats != nullptr) ++stats->join_rejected;
+        continue;
+      }
+      buf.assign(pf.begin(), pf.end());
+      for (size_t j = pb.size() - 1; j-- > 0;) buf.push_back(pb[j]);
+      if (!emit(buf)) {
+        return Status::ResourceExhausted("query exceeded max_paths");
+      }
+    }
+  }
+  return emitted;
+}
+
+/// Random path of `len` hops starting at `head`. `universe` bounds vertex
+/// ids; small universes force dense vertex overlap between paths.
+std::vector<VertexId> RandomPath(Rng& rng, VertexId head, size_t len,
+                                 uint32_t universe) {
+  std::vector<VertexId> p = {head};
+  for (size_t i = 0; i < len; ++i) {
+    p.push_back(static_cast<VertexId>(rng.NextBounded(universe)));
+  }
+  return p;
+}
+
+void RunOneJoinConfig(uint64_t seed) {
+  Rng rng(seed);
+  // Small universes provoke dense overlap (rejection-heavy joins), large
+  // ones keep paths disjoint (acceptance-heavy); both regimes matter.
+  const uint32_t universes[] = {6, 12, 40, 10000};
+  const uint32_t universe = universes[rng.NextBounded(4)];
+  JoinSpec spec;
+  spec.s = static_cast<VertexId>(rng.NextBounded(universe));
+  spec.t = static_cast<VertexId>(rng.NextBounded(universe));
+  spec.hf = static_cast<Hop>(1 + rng.NextBounded(10));
+  spec.hb = static_cast<Hop>(rng.NextBounded(11));  // hb == 0 included
+  if (rng.NextBounded(6) == 0) spec.max_paths = 1 + rng.NextBounded(20);
+
+  PathSet fwd, bwd;
+  const size_t nf = rng.NextBounded(60);  // empty sides included
+  const size_t nb = rng.NextBounded(60);
+  // Shared midpoint pool: forces tail collisions so buckets hold several
+  // backward paths and probes actually happen.
+  std::vector<VertexId> midpoints;
+  for (int i = 0; i < 4; ++i) {
+    midpoints.push_back(static_cast<VertexId>(rng.NextBounded(universe)));
+  }
+  for (size_t i = 0; i < nf; ++i) {
+    // Lengths straddle hf so the len == hf filter is exercised.
+    const size_t len = rng.NextBounded(spec.hf + 3);
+    std::vector<VertexId> p = RandomPath(rng, spec.s, len, universe);
+    if (!p.empty() && rng.NextBounded(2) == 0) {
+      p.back() = midpoints[rng.NextBounded(midpoints.size())];
+    }
+    if (rng.NextBounded(8) == 0 && p.size() > 1) p.back() = spec.t;
+    fwd.Add(p);
+  }
+  for (size_t i = 0; i < nb; ++i) {
+    const size_t len = rng.NextBounded(spec.hb + 3);
+    std::vector<VertexId> p = RandomPath(rng, spec.t, len, universe);
+    if (p.size() > 1 && rng.NextBounded(3) != 0) {
+      p.back() = midpoints[rng.NextBounded(midpoints.size())];
+    }
+    bwd.Add(p);
+  }
+  spec.forward = &fwd;
+  spec.backward = &bwd;
+
+  SCOPED_TRACE("universe=" + std::to_string(universe) +
+               " hf=" + std::to_string(spec.hf) +
+               " hb=" + std::to_string(spec.hb) +
+               " |fwd|=" + std::to_string(nf) +
+               " |bwd|=" + std::to_string(nb) +
+               " cap=" + std::to_string(spec.max_paths));
+
+  RecordingSink naive_sink, stamped_sink;
+  BatchStats naive_stats, stamped_stats;
+  auto naive = NaiveJoinAndEmit(spec, 7, &naive_sink, &naive_stats);
+  auto stamped = JoinAndEmit(spec, 7, &stamped_sink, &stamped_stats);
+
+  EXPECT_EQ(stamped.status().code(), naive.status().code());
+  EXPECT_EQ(stamped.status().message(), naive.status().message());
+  if (naive.ok() && stamped.ok()) {
+    EXPECT_EQ(*stamped, *naive);
+  }
+  EXPECT_EQ(stamped_sink.events(), naive_sink.events())
+      << "emission streams diverge";
+  EXPECT_EQ(stamped_stats.paths_emitted, naive_stats.paths_emitted);
+  EXPECT_EQ(stamped_stats.join_probes, naive_stats.join_probes);
+  EXPECT_EQ(stamped_stats.join_rejected, naive_stats.join_rejected);
+}
+
+TEST(KernelEquivalence, JoinEquivalence) {
+  constexpr uint64_t kBaseSeed = 0xAB12CD34EF56ull;
+  for (int c = 0; c < 400; ++c) {
+    SCOPED_TRACE("join config #" + std::to_string(c));
+    RunOneJoinConfig(kBaseSeed + static_cast<uint64_t>(c));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference half search: the pre-stamp DFS, linear-scanning the
+// current path per expanded edge. No deps (the splice path is covered by
+// JoinEquivalence-style disjointness plus the differential fuzz suite);
+// slacks, join filter, and caps are exercised.
+// ---------------------------------------------------------------------------
+struct NaiveCtx {
+  const Graph& g;
+  const HalfSearchSpec& spec;
+  PathSet* out;
+  BatchStats* stats;
+  std::vector<VertexId> path;
+  Status status = Status::OK();
+};
+
+bool NaiveAdmissible(const HalfSearchSpec& spec, VertexId u, int depth) {
+  if (spec.slacks.empty()) return true;
+  for (const TargetSlack& ts : spec.slacks) {
+    Hop d = ts.dist->Lookup(u);
+    if (d != kUnreachable && d <= ts.slack - depth) return true;
+  }
+  return false;
+}
+
+bool NaiveDfs(NaiveCtx& c) {
+  const size_t len = c.path.size() - 1;
+  bool store = true;
+  if (c.spec.filter_for_join) {
+    store = len == c.spec.budget || c.path.back() == c.spec.store_target;
+  }
+  if (store) {
+    if (c.spec.max_paths != 0 && c.out->size() >= c.spec.max_paths) {
+      c.status = Status::ResourceExhausted(
+          "half search exceeded max_paths = " +
+          std::to_string(c.spec.max_paths));
+      return false;
+    }
+    c.out->Add(c.path);
+  }
+  if (len >= c.spec.budget) return true;
+  const int depth = static_cast<int>(len) + 1;
+  for (VertexId u : c.g.Neighbors(c.path.back(), c.spec.dir)) {
+    if (c.stats != nullptr) ++c.stats->edges_expanded;
+    if (!NaiveAdmissible(c.spec, u, depth)) {
+      if (c.stats != nullptr) ++c.stats->edges_pruned;
+      continue;
+    }
+    bool on_path = false;
+    for (VertexId w : c.path) {
+      if (w == u) {
+        on_path = true;
+        break;
+      }
+    }
+    if (on_path) continue;
+    c.path.push_back(u);
+    const bool keep_going = NaiveDfs(c);
+    c.path.pop_back();
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+void RunOneSearchConfig(uint64_t seed) {
+  Rng rng(seed);
+  Graph g = [&] {
+    switch (rng.NextBounded(3)) {
+      case 0:
+        return *GenerateErdosRenyi(
+            static_cast<VertexId>(8 + rng.NextBounded(30)),
+            20 + rng.NextBounded(80), rng);
+      case 1:
+        return *GenerateComplete(
+            static_cast<VertexId>(5 + rng.NextBounded(4)));
+      default:
+        return *GenerateSmallWorld(
+            static_cast<VertexId>(10 + rng.NextBounded(30)), 3, 0.2, rng);
+    }
+  }();
+
+  HalfSearchSpec spec;
+  spec.start = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+  spec.budget = static_cast<Hop>(1 + rng.NextBounded(6));
+  spec.dir = rng.NextBounded(2) == 0 ? Direction::kForward
+                                     : Direction::kBackward;
+  if (rng.NextBounded(5) == 0) spec.max_paths = 1 + rng.NextBounded(40);
+  if (rng.NextBounded(3) == 0) {
+    spec.filter_for_join = true;
+    spec.store_target =
+        static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+  }
+
+  SCOPED_TRACE("n=" + std::to_string(g.NumVertices()) +
+               " start=" + std::to_string(spec.start) +
+               " budget=" + std::to_string(spec.budget) +
+               " cap=" + std::to_string(spec.max_paths));
+
+  PathSet naive_out, stamped_out;
+  BatchStats naive_stats, stamped_stats;
+  NaiveCtx naive{g, spec, &naive_out, &naive_stats, {}, Status::OK()};
+  naive.path.push_back(spec.start);
+  NaiveDfs(naive);
+  Status stamped = RunHalfSearch(g, spec, &stamped_out, &stamped_stats);
+
+  EXPECT_EQ(stamped.code(), naive.status.code());
+  EXPECT_EQ(stamped.message(), naive.status.message());
+  ASSERT_EQ(stamped_out.size(), naive_out.size());
+  for (size_t i = 0; i < naive_out.size(); ++i) {
+    ASSERT_TRUE(std::ranges::equal(stamped_out[i], naive_out[i]))
+        << "path " << i << " diverges (order matters)";
+  }
+  EXPECT_EQ(stamped_stats.edges_expanded, naive_stats.edges_expanded);
+  EXPECT_EQ(stamped_stats.edges_pruned, naive_stats.edges_pruned);
+}
+
+TEST(KernelEquivalence, SearchEquivalence) {
+  constexpr uint64_t kBaseSeed = 0x5EA2C4D8F00Dull;
+  for (int c = 0; c < 200; ++c) {
+    SCOPED_TRACE("search config #" + std::to_string(c));
+    RunOneSearchConfig(kBaseSeed + static_cast<uint64_t>(c));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace hcpath

@@ -134,10 +134,13 @@ TEST(StreamingMerge, PeakBufferedBytesBoundedOnSkewedBatch) {
   EXPECT_EQ(mm.streamed_items, kTiny + 1);
   // Strictly below the gather baseline...
   EXPECT_LT(mm.peak_buffered_bytes, mm.total_buffered_bytes);
-  // ...by at least the tiny buffers, all recycled before the giant buffer
-  // existed (each holds >= one 16 KiB arena chunk).
+  // ...by at least the tiny buffers' path payloads, all recycled before
+  // the giant buffer existed (each holds kTinyPaths 8-vertex paths plus
+  // their offsets).
+  const uint64_t tiny_payload =
+      kTinyPaths * (8 * sizeof(VertexId) + sizeof(uint64_t));
   EXPECT_LE(mm.peak_buffered_bytes,
-            mm.total_buffered_bytes - kTiny * (16u << 10));
+            mm.total_buffered_bytes - kTiny * tiny_payload);
 }
 
 // Error semantics under streaming: the failing item's pre-error paths are
