@@ -1,0 +1,359 @@
+// Exp-10: multi-tenant overload replay. A Zipf-skewed tenant mix — the
+// noisiest tenant carries the LOWEST weight (the classic noisy-neighbor
+// shape) — floods one PathEngine through a deliberately small admission
+// queue, once per backpressure policy:
+//
+//   * block:     the open loop self-paces on admission backpressure;
+//                nothing is lost (every query completes, or is shed with
+//                the documented Status if overload outlasts the patience)
+//                and the queue never exceeds its budgets.
+//   * fail_fast: excess submits get ResourceExhausted immediately and
+//                sustained overload sheds the lowest-weight waiting
+//                queries; high-weight tenants keep completing.
+//
+// Besides the JSON metrics, the driver *verifies* the PR's acceptance
+// criteria live and exits non-zero on violation (the CI bench-smoke runs
+// `exp10_overload --quick`):
+//   1. queue memory stays within the configured entry/byte budgets,
+//   2. every non-OK outcome carries one of the two documented admission
+//      Statuses ("admission queue full ...", "query shed by admission
+//      control ..."),
+//   3. a sample of admitted queries' path counts is identical to fresh
+//      unloaded one-shot runs (the full byte-identity is asserted by
+//      admission_sim_test and the EngineMultiTenantParity fuzz suite).
+//
+//   ./build/exp10_overload --stream=3000 --tenants=4 --queue_entries=128 \
+//       --json=BENCH_overload.json
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/batch_enum.h"
+#include "graph/generators.h"
+#include "service/path_engine.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/query_gen.h"
+
+using namespace hcpath;
+using namespace hcpath::bench;
+
+namespace {
+
+/// Zipf-ish sampler over ranks [0, n): P(r) ~ 1 / (r + 1)^alpha.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double alpha) : cdf_(n) {
+    double acc = 0;
+    for (size_t r = 0; r < n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+      cdf_[r] = acc;
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+  size_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+double Percentile(const std::vector<double>& sorted_values, double p) {
+  if (sorted_values.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_values.size() - 1));
+  return sorted_values[idx];
+}
+
+bool HasPrefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+struct OverloadOutcome {
+  double seconds = 0;
+  uint64_t completed = 0, shed = 0, fast_failed = 0, other_failures = 0;
+  uint64_t total_paths = 0;
+  double p50 = 0, p95 = 0;
+  bool within_budget = false;
+  bool statuses_documented = true;
+  bool parity_ok = true;
+  size_t parity_checked = 0;
+  PathEngineStats stats;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommonFlags cf;
+  int64_t* stream_size = cf.flags.AddInt64("stream", 3000, "queries in the replayed stream");
+  int64_t* endpoints = cf.flags.AddInt64("endpoints", 64, "distinct query templates in the pool");
+  int64_t* tenants = cf.flags.AddInt64("tenants", 4, "number of tenants (weights 2^i, t0 highest)");
+  double* tenant_zipf = cf.flags.AddDouble("tenant_zipf", 1.0, "tenant traffic skew; rank 0 = lowest-weight tenant");
+  int64_t* vertices = cf.flags.AddInt64("vertices", 8000, "graph size");
+  int64_t* k = cf.flags.AddInt64("k", 4, "hop constraint");
+  int64_t* window = cf.flags.AddInt64("window", 16, "micro-batch admission window");
+  double* max_wait_ms = cf.flags.AddDouble("max_wait_ms", 0.2, "admission max-wait cut (ms)");
+  int64_t* queue_entries = cf.flags.AddInt64("queue_entries", 128, "admission queue entry budget");
+  int64_t* queue_bytes = cf.flags.AddInt64("queue_bytes", 1 << 20, "admission queue byte budget");
+  double* patience_ms = cf.flags.AddDouble("patience_ms", 2.0, "overload patience before shedding (ms)");
+  int64_t* verify = cf.flags.AddInt64("verify", 32, "admitted queries to re-run one-shot for parity");
+  std::string* json = cf.flags.AddString("json", "", "also append JSON here");
+  ParseOrDie(cf, argc, argv);
+
+  size_t n_stream = static_cast<size_t>(*stream_size);
+  VertexId n_vertices = static_cast<VertexId>(*vertices);
+  size_t n_verify = static_cast<size_t>(*verify);
+  if (*cf.quick) {
+    n_stream = std::min<size_t>(n_stream, 400);
+    n_vertices = std::min<VertexId>(n_vertices, 2000);
+    n_verify = std::min<size_t>(n_verify, 16);
+  }
+  const size_t n_tenants = static_cast<size_t>(*tenants);
+
+  Rng grng(static_cast<uint64_t>(*cf.seed));
+  auto g = GenerateSmallWorld(n_vertices, 6, 0.05, grng);
+  if (!g.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 g.status().ToString().c_str());
+    return 1;
+  }
+
+  // Endpoint pool + Zipf tenant mix. Traffic rank r maps to tenant
+  // t_{n-1-r}: the busiest rank lands on the LOWEST-weight tenant.
+  Rng qrng(static_cast<uint64_t>(*cf.seed) + 1);
+  QueryGenOptions qopt;
+  qopt.k_min = static_cast<int>(*k);
+  qopt.k_max = static_cast<int>(*k);
+  qopt.min_distance = 2;
+  auto pool = GenerateRandomQueries(*g, static_cast<size_t>(*endpoints),
+                                    qopt, qrng);
+  if (!pool.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 pool.status().ToString().c_str());
+    return 1;
+  }
+  ZipfSampler endpoint_sampler(pool->size(), 1.1);
+  ZipfSampler tenant_sampler(n_tenants, *tenant_zipf);
+  struct StreamEntry {
+    PathQuery query;
+    std::string tenant;
+  };
+  std::vector<StreamEntry> stream;
+  stream.reserve(n_stream);
+  for (size_t i = 0; i < n_stream; ++i) {
+    const size_t rank = tenant_sampler.Sample(qrng);
+    stream.push_back({(*pool)[endpoint_sampler.Sample(qrng)],
+                      "t" + std::to_string(n_tenants - 1 - rank)});
+  }
+  std::fprintf(stderr,
+               "[exp10] |V|=%lld stream=%zu tenants=%zu queue=%lld "
+               "entries/%lld bytes threads=%lld\n",
+               static_cast<long long>(n_vertices), stream.size(), n_tenants,
+               static_cast<long long>(*queue_entries),
+               static_cast<long long>(*queue_bytes),
+               static_cast<long long>(*cf.threads));
+
+  std::FILE* jf = nullptr;
+  if (!json->empty()) {
+    jf = std::fopen(json->c_str(), "a");
+    if (jf == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json->c_str());
+      return 2;
+    }
+  }
+
+  bool all_ok = true;
+  struct Config {
+    AdmissionBackpressure policy;
+    double patience_seconds;
+  };
+  // The zero-patience fail-fast config sheds the moment the queue fills,
+  // so the JSON always demonstrates the lowest-weight-first shed
+  // distribution; with the configured patience, shedding only fires when
+  // batches drain slower than the patience window.
+  const Config configs[] = {
+      {AdmissionBackpressure::kBlock, *patience_ms / 1e3},
+      {AdmissionBackpressure::kFailFast, *patience_ms / 1e3},
+      {AdmissionBackpressure::kFailFast, 0.0},
+  };
+  for (const Config& config : configs) {
+    const AdmissionBackpressure policy = config.policy;
+    const bool fail_fast = policy == AdmissionBackpressure::kFailFast;
+    PathEngineOptions opt;
+    opt.batch = MakeBatchOptions(cf);
+    opt.batch.max_paths_per_query = 5'000'000;
+    opt.max_batch_size = static_cast<size_t>(*window);
+    opt.max_wait_seconds = *max_wait_ms / 1e3;
+    opt.collect_paths = false;  // serving-style: count, don't materialize
+    opt.admission.max_queued_queries = static_cast<size_t>(*queue_entries);
+    opt.admission.max_queued_bytes = static_cast<uint64_t>(*queue_bytes);
+    opt.admission.backpressure = policy;
+    opt.admission.shed_high_watermark = 1.0;
+    opt.admission.shed_low_watermark = 0.5;
+    opt.admission.shed_patience_seconds = config.patience_seconds;
+    for (size_t t = 0; t < n_tenants; ++t) {
+      // t0 = 2^(n-1) down to t_{n-1} = 1.
+      opt.admission.tenant_weights["t" + std::to_string(t)] =
+          static_cast<double>(1ull << (n_tenants - 1 - t));
+    }
+
+    OverloadOutcome out;
+    {
+      PathEngine engine(*g, opt);
+      if (!engine.status().ok()) {
+        std::fprintf(stderr, "engine construction failed: %s\n",
+                     engine.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<std::future<QueryResult>> futures;
+      futures.reserve(stream.size());
+      WallTimer timer;
+      for (const StreamEntry& e : stream) {
+        futures.push_back(engine.Submit(e.tenant, e.query));
+      }
+      engine.Flush();
+      std::vector<double> latencies;
+      std::vector<std::pair<size_t, uint64_t>> admitted;  // index, count
+      for (size_t i = 0; i < futures.size(); ++i) {
+        QueryResult r = futures[i].get();
+        if (r.status.ok()) {
+          ++out.completed;
+          out.total_paths += r.path_count;
+          latencies.push_back(r.wait_seconds + r.batch_seconds);
+          admitted.push_back({i, r.path_count});
+        } else if (HasPrefix(r.status.message(),
+                             "query shed by admission control")) {
+          ++out.shed;
+        } else if (HasPrefix(r.status.message(), "admission queue full")) {
+          ++out.fast_failed;
+        } else {
+          ++out.other_failures;
+          out.statuses_documented = false;
+          std::fprintf(stderr, "[exp10] UNDOCUMENTED status: %s\n",
+                       r.status.ToString().c_str());
+        }
+      }
+      out.seconds = timer.ElapsedSeconds();
+      std::sort(latencies.begin(), latencies.end());
+      out.p50 = Percentile(latencies, 0.50);
+      out.p95 = Percentile(latencies, 0.95);
+      out.stats = engine.GetStats();
+      out.within_budget =
+          out.stats.peak_queued_queries <= opt.admission.max_queued_queries &&
+          out.stats.peak_queued_bytes <= opt.admission.max_queued_bytes;
+
+      // Parity sample: an evenly spaced sample of admitted queries re-run
+      // as fresh unloaded one-shot calls must report identical counts.
+      const size_t step =
+          admitted.empty() ? 1 : std::max<size_t>(1, admitted.size() / std::max<size_t>(1, n_verify));
+      for (size_t j = 0; j < admitted.size() && out.parity_checked < n_verify;
+           j += step) {
+        const StreamEntry& e = stream[admitted[j].first];
+        CountingSink counter(1);
+        Status st = RunBatchEnum(*g, {e.query}, opt.batch,
+                                 /*optimized_order=*/true, &counter, nullptr);
+        if (!st.ok() || counter.Total() != admitted[j].second) {
+          out.parity_ok = false;
+          std::fprintf(stderr,
+                       "[exp10] PARITY VIOLATION %s: engine=%llu oneshot=%llu"
+                       " (%s)\n",
+                       e.query.ToString().c_str(),
+                       static_cast<unsigned long long>(admitted[j].second),
+                       static_cast<unsigned long long>(counter.Total()),
+                       st.ToString().c_str());
+        }
+        ++out.parity_checked;
+      }
+    }
+
+    const double qps = out.seconds > 0
+                           ? static_cast<double>(stream.size()) / out.seconds
+                           : 0;
+    std::string tenant_json;
+    for (size_t t = 0; t < n_tenants; ++t) {
+      const std::string id = "t" + std::to_string(t);
+      TenantAdmissionStats ts;
+      auto it = out.stats.tenants.find(id);
+      if (it != out.stats.tenants.end()) ts = it->second;
+      char buf[256];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s\"%s\":{\"weight\":%.0f,\"submitted\":%llu,\"admitted\":%llu,"
+          "\"completed\":%llu,\"shed\":%llu,\"fast_failed\":%llu,"
+          "\"blocked\":%llu}",
+          t == 0 ? "" : ",", id.c_str(),
+          opt.admission.tenant_weights[id],
+          static_cast<unsigned long long>(ts.submitted),
+          static_cast<unsigned long long>(ts.admitted),
+          static_cast<unsigned long long>(ts.completed),
+          static_cast<unsigned long long>(ts.shed),
+          static_cast<unsigned long long>(ts.fast_failed),
+          static_cast<unsigned long long>(ts.blocked));
+      tenant_json += buf;
+    }
+    char line[1536];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"bench\":\"exp10_overload\",\"policy\":\"%s\",\"stream\":%zu,"
+        "\"tenants\":%zu,\"window\":%lld,\"queue_entries\":%lld,"
+        "\"queue_bytes\":%lld,\"patience_ms\":%.3f,\"threads\":%d,"
+        "\"seconds\":%.6f,\"qps\":%.1f,\"paths\":%llu,"
+        "\"completed\":%llu,\"shed\":%llu,\"fast_failed\":%llu,"
+        "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"batches\":%llu,"
+        "\"shed_rounds\":%llu,\"backpressure_blocks\":%llu,"
+        "\"peak_queued_queries\":%llu,\"peak_queued_bytes\":%llu,"
+        "\"within_budget\":%s,\"statuses_documented\":%s,"
+        "\"parity_checked\":%zu,\"parity_ok\":%s,"
+        "\"per_tenant\":{%s}}\n",
+        fail_fast ? "fail_fast" : "block", stream.size(), n_tenants,
+        static_cast<long long>(*window),
+        static_cast<long long>(*queue_entries),
+        static_cast<long long>(*queue_bytes), config.patience_seconds * 1e3,
+        opt.batch.num_threads, out.seconds, qps,
+        static_cast<unsigned long long>(out.total_paths),
+        static_cast<unsigned long long>(out.completed),
+        static_cast<unsigned long long>(out.shed),
+        static_cast<unsigned long long>(out.fast_failed), out.p50 * 1e3,
+        out.p95 * 1e3,
+        static_cast<unsigned long long>(out.stats.batches_run),
+        static_cast<unsigned long long>(out.stats.shed_rounds),
+        static_cast<unsigned long long>(out.stats.backpressure_blocks),
+        static_cast<unsigned long long>(out.stats.peak_queued_queries),
+        static_cast<unsigned long long>(out.stats.peak_queued_bytes),
+        out.within_budget ? "true" : "false",
+        out.statuses_documented ? "true" : "false", out.parity_checked,
+        out.parity_ok ? "true" : "false", tenant_json.c_str());
+    std::fputs(line, stdout);
+    if (jf != nullptr) std::fputs(line, jf);
+
+    if (!out.within_budget || !out.statuses_documented || !out.parity_ok) {
+      all_ok = false;
+    }
+    // Under blocking backpressure nothing may be lost or shed-on-arrival:
+    // submits self-pace, so completed must equal the stream.
+    if (!fail_fast &&
+        out.completed + out.shed != stream.size()) {
+      std::fprintf(stderr, "[exp10] LOST QUERIES under block policy\n");
+      all_ok = false;
+    }
+    if (fail_fast && out.completed + out.shed + out.fast_failed !=
+                         stream.size()) {
+      std::fprintf(stderr, "[exp10] LOST QUERIES under fail_fast policy\n");
+      all_ok = false;
+    }
+  }
+  if (jf != nullptr) std::fclose(jf);
+  if (!all_ok) {
+    std::fprintf(stderr, "[exp10] VERIFICATION FAILED\n");
+    return 3;
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "util/status.h"
@@ -100,6 +101,61 @@ struct BatchOptions {
   /// BatchPathEnumerator::Run, PathEngine construction), so malformed
   /// options fail fast with InvalidArgument instead of silently steering
   /// clustering or detection.
+  Status Validate() const;
+};
+
+/// How a full admission queue pushes back on Submit (docs/SERVICE.md).
+enum class AdmissionBackpressure {
+  /// Submit blocks until queue space frees (or the engine stops). Blocked
+  /// submitters are admitted in FIFO order of arrival.
+  kBlock,
+  /// Submit resolves the query's future immediately with ResourceExhausted
+  /// ("admission queue full ...").
+  kFailFast,
+};
+
+/// Multi-tenant admission configuration of a PathEngine: the bounded
+/// admission queue, the backpressure policy, overload shedding, and tenant
+/// weights for the weighted-fair-queueing drain (docs/SERVICE.md covers
+/// the state machine and the fairness/determinism argument). Validated at
+/// engine construction next to BatchOptions::Validate().
+struct AdmissionOptions {
+  /// Entry budget of the admission queue (> 0): the queue never holds more
+  /// than this many waiting queries.
+  size_t max_queued_queries = 4096;
+
+  /// Byte budget of the admission queue (> 0), accounting each waiting
+  /// query's bookkeeping footprint. A query is always admissible into an
+  /// *empty* queue (otherwise an over-budget single query could never run),
+  /// which is the one case the budget may be exceeded.
+  uint64_t max_queued_bytes = 16ull << 20;
+
+  AdmissionBackpressure backpressure = AdmissionBackpressure::kBlock;
+
+  /// Overload begins when the queue reaches `shed_high_watermark` of either
+  /// budget, and ends when it drops below. Once overload has persisted for
+  /// `shed_patience_seconds`, waiting queries are shed —
+  /// lowest-weight-first (see WeightedFairQueue::ShedDownTo) — until the
+  /// queue is back at `shed_low_watermark` of both budgets. Shed queries'
+  /// futures resolve with ResourceExhausted ("query shed by admission
+  /// control ..."). Watermarks are fractions: 0 < low <= high <= 1.
+  double shed_high_watermark = 1.0;
+  double shed_low_watermark = 0.5;
+  double shed_patience_seconds = 0.050;
+
+  /// WFQ weight for tenants absent from `tenant_weights` (> 0).
+  double default_tenant_weight = 1.0;
+
+  /// Per-tenant WFQ weights (each > 0). Over any backlogged interval a
+  /// tenant receives micro-batch slots proportional to its weight; under
+  /// shedding, lower weight is shed first.
+  std::map<std::string, double> tenant_weights;
+
+  /// Range-checks the admission configuration: positive queue budgets,
+  /// consistent shed watermarks (0 < low <= high <= 1), non-negative
+  /// patience, and strictly positive tenant weights (NaN rejected
+  /// everywhere). Called by PathEngine construction; a failed engine
+  /// rejects every Submit/RunBatch.
   Status Validate() const;
 };
 

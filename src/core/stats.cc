@@ -56,4 +56,30 @@ std::string BatchStats::ToString() const {
   return buf;
 }
 
+void TenantAdmissionStats::Accumulate(const TenantAdmissionStats& other) {
+  submitted += other.submitted;
+  admitted += other.admitted;
+  completed += other.completed;
+  rejected += other.rejected;
+  fast_failed += other.fast_failed;
+  shed += other.shed;
+  blocked += other.blocked;
+}
+
+std::string TenantAdmissionStats::ToString() const {
+  char buf[192];
+  std::snprintf(
+      buf, sizeof(buf),
+      "submitted=%llu admitted=%llu completed=%llu rejected=%llu "
+      "fast_failed=%llu shed=%llu blocked=%llu",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(fast_failed),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(blocked));
+  return buf;
+}
+
 }  // namespace hcpath

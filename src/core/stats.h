@@ -63,6 +63,28 @@ struct BatchStats {
   std::string ToString() const;
 };
 
+/// Per-tenant admission counters of the PathEngine scheduler
+/// (docs/SERVICE.md). Every Submit naming a tenant lands in exactly one of
+/// {rejected, fast_failed, admitted}; every admitted query later lands in
+/// exactly one of {completed, shed} — so
+///   submitted == rejected + fast_failed + admitted   (once unblocked) and
+///   admitted  == completed + shed + currently-queued.
+/// The one exception: a submit that fails because the engine is shutting
+/// down counts only as submitted (the differential suite checks the laws
+/// on quiesced engines, where the exception cannot occur).
+struct TenantAdmissionStats {
+  uint64_t submitted = 0;    ///< Submit calls naming this tenant
+  uint64_t admitted = 0;     ///< entered the admission queue
+  uint64_t completed = 0;    ///< carried through a micro-batch
+  uint64_t rejected = 0;     ///< failed admission-time validation
+  uint64_t fast_failed = 0;  ///< ResourceExhausted at a full queue (fail-fast)
+  uint64_t shed = 0;         ///< dropped by overload shedding
+  uint64_t blocked = 0;      ///< submits that waited for queue space
+
+  void Accumulate(const TenantAdmissionStats& other);
+  std::string ToString() const;
+};
+
 }  // namespace hcpath
 
 #endif  // HCPATH_CORE_STATS_H_

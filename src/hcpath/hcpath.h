@@ -24,6 +24,11 @@
 ///   PathEngine engine(g, PathEngineOptions{});
 ///   auto future = engine.Submit({.s = 0, .t = 42, .k = 5});
 ///   uint64_t n = future.get().path_count;  // micro-batched + warm caches
+///
+/// Multi-tenant serving: Submit("tenant", query) feeds per-tenant queues
+/// drained by weighted fair queueing, with bounded-queue backpressure and
+/// overload shedding per PathEngineOptions::admission (docs/SERVICE.md,
+/// "Admission state machine").
 
 #include "core/basic_enum.h"
 #include "core/batch_context.h"

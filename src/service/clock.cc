@@ -1,0 +1,77 @@
+#include "service/clock.h"
+
+#include <algorithm>
+
+namespace hcpath {
+
+double WallClock::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       base_)
+      .count();
+}
+
+bool WallClock::WaitUntil(std::unique_lock<std::mutex>& lk,
+                          std::condition_variable& cv, double deadline_seconds,
+                          const std::function<bool()>& pred) {
+  // Deadlines beyond ~30 years from the clock epoch (or non-finite ones)
+  // are not representable in steady_clock ticks — converting them would be
+  // UB. Treat them as "no deadline".
+  constexpr double kMaxDeadlineSeconds = 1e9;
+  if (!(deadline_seconds < kMaxDeadlineSeconds)) {
+    cv.wait(lk, pred);
+    return pred();
+  }
+  const auto deadline =
+      base_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(deadline_seconds));
+  return cv.wait_until(lk, deadline, pred);
+}
+
+void WallClock::Wait(std::unique_lock<std::mutex>& lk,
+                     std::condition_variable& cv,
+                     const std::function<bool()>& pred) {
+  cv.wait(lk, pred);
+}
+
+WallClock& WallClock::Default() {
+  static WallClock clock;
+  return clock;
+}
+
+namespace {
+/// How long a virtual waiter sleeps between predicate/deadline re-checks.
+/// Notifications on `cv` (Submit wakeups, capacity releases) still
+/// interrupt the slice immediately; the slice only bounds how long it
+/// takes a sleeping thread to observe AdvanceTo.
+constexpr std::chrono::milliseconds kVirtualPollSlice{1};
+}  // namespace
+
+double VirtualClock::Now() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return now_;
+}
+
+bool VirtualClock::WaitUntil(std::unique_lock<std::mutex>& lk,
+                             std::condition_variable& cv,
+                             double deadline_seconds,
+                             const std::function<bool()>& pred) {
+  while (!pred() && Now() < deadline_seconds) {
+    cv.wait_for(lk, kVirtualPollSlice);
+  }
+  return pred();
+}
+
+void VirtualClock::Wait(std::unique_lock<std::mutex>& lk,
+                        std::condition_variable& cv,
+                        const std::function<bool()>& pred) {
+  while (!pred()) cv.wait_for(lk, kVirtualPollSlice);
+}
+
+void VirtualClock::AdvanceTo(double t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  now_ = std::max(now_, t);
+}
+
+void VirtualClock::Advance(double dt) { AdvanceTo(Now() + dt); }
+
+}  // namespace hcpath

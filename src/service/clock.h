@@ -1,0 +1,101 @@
+#ifndef HCPATH_SERVICE_CLOCK_H_
+#define HCPATH_SERVICE_CLOCK_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+namespace hcpath {
+
+/// Time source and wait strategy for the PathEngine admission layer
+/// (docs/SERVICE.md, "Admission determinism").
+///
+/// Every timing decision the scheduler makes — wait cuts, overload patience
+/// before shedding, blocked-submit deadlines — goes through one of these
+/// three calls, so the wall-clock scheduler and the deterministic
+/// virtual-clock simulation the tests drive are the same code with a
+/// different Clock injected.
+///
+/// Contract: `lk` is locked on entry and on return of both wait calls, and
+/// the predicate is only ever evaluated while `lk` is held (exactly the
+/// std::condition_variable contract). Implementations must wake a waiter
+/// whenever `cv` is notified; timed implementations must additionally wake
+/// it once Now() reaches `deadline_seconds`.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic seconds since an implementation-defined epoch.
+  virtual double Now() const = 0;
+
+  /// Blocks until pred() holds or Now() >= deadline_seconds.
+  /// Returns pred() at wakeup (false = the deadline expired first).
+  virtual bool WaitUntil(std::unique_lock<std::mutex>& lk,
+                         std::condition_variable& cv, double deadline_seconds,
+                         const std::function<bool()>& pred) = 0;
+
+  /// Blocks until pred() holds (no deadline).
+  virtual void Wait(std::unique_lock<std::mutex>& lk,
+                    std::condition_variable& cv,
+                    const std::function<bool()>& pred) = 0;
+};
+
+/// Production clock: std::chrono::steady_clock, epoch = construction.
+class WallClock : public Clock {
+ public:
+  WallClock() : base_(std::chrono::steady_clock::now()) {}
+
+  double Now() const override;
+  bool WaitUntil(std::unique_lock<std::mutex>& lk, std::condition_variable& cv,
+                 double deadline_seconds,
+                 const std::function<bool()>& pred) override;
+  void Wait(std::unique_lock<std::mutex>& lk, std::condition_variable& cv,
+            const std::function<bool()>& pred) override;
+
+  /// Process-wide default instance (what a PathEngine uses when no clock is
+  /// injected).
+  static WallClock& Default();
+
+ private:
+  const std::chrono::steady_clock::time_point base_;
+};
+
+/// Deterministic test clock: time only moves when the test calls
+/// Advance/AdvanceTo. Waiters poll: each blocked wait sleeps in short
+/// wait_for slices and re-checks its predicate and deadline, so
+/// correctness never depends on a wakeup notification reaching a waiter —
+/// AdvanceTo just publishes the new time (a notify sent without the
+/// waiter's mutex could otherwise be lost in the window between a
+/// predicate check and the block, and a waiter registry would dangle once
+/// the owning engine is destroyed). Scheduler *decisions* stay exact: they
+/// are pure functions of the virtual time, the poll only bounds how long a
+/// sleeping thread takes to observe an advance.
+///
+/// Lock ordering: the clock's internal mutex is acquired strictly after
+/// any caller mutex (Now() runs inside wait predicates that hold the
+/// engine lock) and is never held while a caller mutex is taken.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(double start_seconds = 0) : now_(start_seconds) {}
+
+  double Now() const override;
+  bool WaitUntil(std::unique_lock<std::mutex>& lk, std::condition_variable& cv,
+                 double deadline_seconds,
+                 const std::function<bool()>& pred) override;
+  void Wait(std::unique_lock<std::mutex>& lk, std::condition_variable& cv,
+            const std::function<bool()>& pred) override;
+
+  /// Moves time forward to max(Now(), t); polling waiters observe the new
+  /// time within one poll slice. Never moves time backwards.
+  void AdvanceTo(double t);
+  void Advance(double dt);
+
+ private:
+  mutable std::mutex mu_;
+  double now_;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_SERVICE_CLOCK_H_

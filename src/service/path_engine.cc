@@ -1,6 +1,9 @@
 #include "service/path_engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "core/basic_enum.h"
@@ -45,9 +48,10 @@ class DemuxSink : public PathSink {
   std::vector<PathSet> sets_;
 };
 
-QueryResult MakeErrorResult(Status status) {
+QueryResult MakeErrorResult(Status status, const std::string& tenant) {
   QueryResult r;
   r.status = std::move(status);
+  r.tenant = tenant;
   return r;
 }
 
@@ -63,65 +67,283 @@ PathEngine::PathEngine(const Graph& g, const PathEngineOptions& options)
     : g_(g),
       options_(options),
       init_status_(options.batch.Validate()),
+      clock_(options.clock != nullptr ? options.clock : &WallClock::Default()),
       cache_(options.enable_distance_cache
                  ? options.distance_cache_max_entries
                  : 0,
-             options.distance_cache_max_bytes) {
+             options.distance_cache_max_bytes),
+      queue_(options.admission.default_tenant_weight > 0
+                 ? options.admission.default_tenant_weight
+                 : 1.0) {
+  if (init_status_.ok()) init_status_ = options_.admission.Validate();
   if (!init_status_.ok()) return;
+  for (const auto& [tenant, weight] : options_.admission.tenant_weights) {
+    queue_.SetWeight(tenant, weight);
+  }
   if (options_.enable_distance_cache) ctx_.distance_cache = &cache_;
   // Resolve the pool once up front: the engine, not the batch call, owns
   // the threads for its whole lifetime.
   ctx_.PoolFor(options_.batch.num_threads);
-  dispatcher_ = std::thread([this] { DispatchLoop(); });
+  if (!options_.manual_dispatch) {
+    dispatcher_ = std::thread([this] { DispatchLoop(); });
+  }
 }
 
 PathEngine::~PathEngine() {
-  if (!dispatcher_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk(mu_);
     stopping_ = true;
+    // Wake the dispatcher (shutdown = final Flush) and every submit
+    // blocked on queue space (they fail with FailedPrecondition, never
+    // enqueue) — then wait for in-flight submits to leave the admission
+    // critical region: a woken submitter still touches the ticket deque
+    // and condition variables on its way out.
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+    idle_cv_.wait(lk, [&] { return submits_active_ == 0; });
   }
-  work_cv_.notify_all();
-  dispatcher_.join();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  if (options_.manual_dispatch && init_status_.ok()) {
+    // Manual mode has no dispatcher thread: the destructor steps the
+    // scheduler itself until the queue is drained.
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!queue_.empty()) {
+      if (StepDispatchLocked(lk) == 0) break;  // unreachable: kFlush cuts
+    }
+  }
+}
+
+uint64_t PathEngine::QueryCostBytes(const std::string& tenant_id) {
+  return sizeof(QueueItem) + tenant_id.size();
+}
+
+bool PathEngine::HasSpaceLocked(uint64_t cost) const {
+  if (queue_.empty()) return true;  // a lone query is always admissible
+  const AdmissionOptions& adm = options_.admission;
+  return queue_.size() + 1 <= adm.max_queued_queries &&
+         queue_.bytes() + cost <= adm.max_queued_bytes;
+}
+
+void PathEngine::UpdateOverloadLocked() {
+  const AdmissionOptions& adm = options_.admission;
+  const bool overloaded =
+      static_cast<double>(queue_.size()) >=
+          adm.shed_high_watermark *
+              static_cast<double>(adm.max_queued_queries) ||
+      static_cast<double>(queue_.bytes()) >=
+          adm.shed_high_watermark * static_cast<double>(adm.max_queued_bytes);
+  if (overloaded) {
+    if (!overload_since_.has_value()) overload_since_ = clock_->Now();
+  } else {
+    overload_since_.reset();
+  }
+}
+
+void PathEngine::ShedTargetsLocked(size_t* target_items,
+                                   uint64_t* target_bytes) const {
+  const AdmissionOptions& adm = options_.admission;
+  *target_items = static_cast<size_t>(
+      adm.shed_low_watermark * static_cast<double>(adm.max_queued_queries));
+  *target_bytes = static_cast<uint64_t>(
+      adm.shed_low_watermark * static_cast<double>(adm.max_queued_bytes));
+}
+
+bool PathEngine::AboveShedTargetsLocked() const {
+  size_t target_items;
+  uint64_t target_bytes;
+  ShedTargetsLocked(&target_items, &target_bytes);
+  return queue_.size() > target_items || queue_.bytes() > target_bytes;
+}
+
+bool PathEngine::ShedDueLocked() const {
+  return overload_since_.has_value() && AboveShedTargetsLocked() &&
+         clock_->Now() - *overload_since_ >=
+             options_.admission.shed_patience_seconds;
+}
+
+bool PathEngine::ShedIfDueLocked(std::vector<QueueItem>* shed) {
+  if (!ShedDueLocked()) return false;
+  size_t target_items;
+  uint64_t target_bytes;
+  ShedTargetsLocked(&target_items, &target_bytes);
+  *shed = queue_.ShedDownTo(target_items, target_bytes);
+  if (shed->empty()) return false;
+  ++stats_.shed_rounds;
+  stats_.queries_shed += shed->size();
+  for (const QueueItem& item : *shed) ++stats_.tenants[item.tenant].shed;
+  UpdateOverloadLocked();
+  return true;
+}
+
+void PathEngine::FinishSubmitLocked() {
+  --submits_active_;
+  if (submits_active_ == 0) idle_cv_.notify_all();
+}
+
+bool PathEngine::ShedAndResolveLocked(std::unique_lock<std::mutex>& lk) {
+  std::vector<QueueItem> shed;
+  if (!ShedIfDueLocked(&shed)) return false;
+  space_cv_.notify_all();
+  if (queue_.empty() && batches_in_flight_ == 0) drained_cv_.notify_all();
+  lk.unlock();
+  ResolveShed(std::move(shed));
+  lk.lock();
+  return true;
+}
+
+void PathEngine::ResolveShed(std::vector<QueueItem> shed) {
+  for (QueueItem& item : shed) {
+    // The documented shed outcome (docs/SERVICE.md, "Overload behavior"):
+    // ResourceExhausted with a message identifying the policy and the
+    // tenant. Tests key on the "query shed by admission control" prefix.
+    item.value.promise.set_value(MakeErrorResult(
+        Status::ResourceExhausted(
+            "query shed by admission control: sustained overload (tenant "
+            "\"" +
+            item.tenant + "\", weight " + std::to_string(item.weight) + ")"),
+        item.tenant));
+  }
+}
+
+std::vector<PathEngine::QueueItem> PathEngine::CutBatchLocked(size_t take) {
+  std::vector<QueueItem> batch;
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) batch.push_back(queue_.PopNext());
+  UpdateOverloadLocked();
+  space_cv_.notify_all();  // capacity freed: admit blocked submitters
+  return batch;
 }
 
 std::future<QueryResult> PathEngine::Submit(const PathQuery& query,
                                             PathSink* sink) {
+  return Submit(kDefaultTenant, query, sink);
+}
+
+std::future<QueryResult> PathEngine::Submit(const std::string& tenant_id,
+                                            const PathQuery& query,
+                                            PathSink* sink) {
   std::promise<QueryResult> promise;
   std::future<QueryResult> future = promise.get_future();
   if (!init_status_.ok()) {
-    promise.set_value(MakeErrorResult(init_status_));
+    promise.set_value(MakeErrorResult(init_status_, tenant_id));
     return future;
   }
   // Admission-time validation: a bad query is rejected here, alone, so it
   // can never fail the whole micro-batch it would have been cut into.
   Status st = ValidateQueries(g_, {query});
   if (!st.ok()) {
-    std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.queries_rejected;
-    promise.set_value(MakeErrorResult(std::move(st)));
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.queries_rejected;
+      TenantAdmissionStats& ts = stats_.tenants[tenant_id];
+      ++ts.submitted;
+      ++ts.rejected;
+    }
+    promise.set_value(MakeErrorResult(std::move(st), tenant_id));
     return future;
   }
-  bool notify = false;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
+
+  const AdmissionOptions& adm = options_.admission;
+  const uint64_t cost = QueryCostBytes(tenant_id);
+  std::unique_lock<std::mutex> lk(mu_);
+  const double submitted_seconds = clock_->Now();
+  ++submits_active_;
+  ++stats_.tenants[tenant_id].submitted;
+  bool ticketed = false;
+  uint64_t ticket = 0;
+  bool counted_block = false;
+  for (;;) {
     if (stopping_) {
+      if (ticketed) {
+        blocked_.erase(std::find(blocked_.begin(), blocked_.end(), ticket));
+        space_cv_.notify_all();  // the next ticket holder re-evaluates
+      }
+      FinishSubmitLocked();
+      lk.unlock();
       promise.set_value(MakeErrorResult(
-          Status::FailedPrecondition("PathEngine is shutting down")));
+          Status::FailedPrecondition("PathEngine is shutting down"),
+          tenant_id));
       return future;
     }
-    Pending p;
-    p.query = query;
-    p.sink = sink;
-    p.promise = std::move(promise);
-    p.enqueued = std::chrono::steady_clock::now();
-    queue_.push_back(std::move(p));
-    ++stats_.queries_submitted;
-    // Wake the dispatcher on the first pending query (it must arm the
-    // max-wait timer) and whenever the size cut is reached.
-    notify = queue_.size() == 1 || queue_.size() >= options_.max_batch_size;
+    // Overload shedding may be due while we wait for space (every blocked
+    // submitter and the dispatcher race benignly for it — ShedIfDueLocked
+    // re-checks the targets under the lock).
+    if (ShedAndResolveLocked(lk)) continue;
+    // Admit when there is space AND we are first in line: a ticket holder
+    // must be at the front of the blocked FIFO, and a new arrival may not
+    // overtake anyone already blocked (otherwise steady arrivals could
+    // starve a blocked submitter by taking every freed slot).
+    if (HasSpaceLocked(cost) &&
+        (ticketed ? blocked_.front() == ticket : blocked_.empty())) {
+      break;
+    }
+    if (adm.backpressure == AdmissionBackpressure::kFailFast) {
+      ++stats_.submits_fast_failed;
+      ++stats_.tenants[tenant_id].fast_failed;
+      // The documented fast-fail outcome (docs/SERVICE.md): tests key on
+      // the "admission queue full" prefix.
+      const std::string msg = "admission queue full: " +
+                              std::to_string(queue_.size()) + " queries / " +
+                              std::to_string(queue_.bytes()) +
+                              " bytes queued";
+      // A fail-fast submit never blocks, so it can never hold a ticket.
+      HCPATH_DCHECK(!ticketed);
+      FinishSubmitLocked();
+      lk.unlock();
+      promise.set_value(
+          MakeErrorResult(Status::ResourceExhausted(msg), tenant_id));
+      return future;
+    }
+    if (!ticketed) {
+      ticketed = true;
+      ticket = next_ticket_++;
+      blocked_.push_back(ticket);
+    }
+    if (!counted_block) {
+      counted_block = true;
+      ++stats_.backpressure_blocks;
+      ++stats_.tenants[tenant_id].blocked;
+    }
+    const auto ready = [&] {
+      return stopping_ ||
+             (blocked_.front() == ticket && HasSpaceLocked(cost)) ||
+             ShedDueLocked();
+    };
+    if (overload_since_.has_value() && AboveShedTargetsLocked()) {
+      // Sleep at most until shedding becomes due, so a fully-blocked
+      // system still sheds on schedule.
+      clock_->WaitUntil(lk, space_cv_,
+                        *overload_since_ + adm.shed_patience_seconds, ready);
+    } else {
+      clock_->Wait(lk, space_cv_, ready);
+    }
   }
-  if (notify) work_cv_.notify_all();
+  if (ticketed) {
+    blocked_.erase(std::find(blocked_.begin(), blocked_.end(), ticket));
+    space_cv_.notify_all();  // the next ticket may be admissible now
+  }
+  Pending p;
+  p.query = query;
+  p.sink = sink;
+  p.promise = std::move(promise);
+  p.submitted_seconds = submitted_seconds;
+  queue_.Push(tenant_id, clock_->Now(), cost, std::move(p));
+  ++stats_.queries_submitted;
+  ++stats_.tenants[tenant_id].admitted;
+  stats_.peak_queued_queries =
+      std::max(stats_.peak_queued_queries,
+               static_cast<uint64_t>(queue_.size()));
+  stats_.peak_queued_bytes =
+      std::max(stats_.peak_queued_bytes, queue_.bytes());
+  UpdateOverloadLocked();
+  // Wake the dispatcher on the first pending query (it must arm the
+  // max-wait timer) and whenever the size cut is reached. Notified under
+  // the lock: the engine may be destroyed the moment the lock is free.
+  if (queue_.size() == 1 || queue_.size() >= options_.max_batch_size) {
+    work_cv_.notify_all();
+  }
+  FinishSubmitLocked();
+  lk.unlock();
   return future;
 }
 
@@ -136,7 +358,57 @@ void PathEngine::Flush() {
 
 void PathEngine::Drain() {
   std::unique_lock<std::mutex> lk(mu_);
-  drained_cv_.wait(lk, [&] { return queue_.empty() && !batch_in_flight_; });
+  drained_cv_.wait(lk,
+                   [&] { return queue_.empty() && batches_in_flight_ == 0; });
+}
+
+size_t PathEngine::StepDispatch() {
+  if (!init_status_.ok() || !options_.manual_dispatch) return 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  // Counted like a Submit: the destructor must not free the engine while
+  // an external stepper is still running a batch.
+  ++submits_active_;
+  const size_t n = StepDispatchLocked(lk);
+  FinishSubmitLocked();
+  return n;
+}
+
+size_t PathEngine::StepDispatchLocked(std::unique_lock<std::mutex>& lk) {
+  const size_t max_batch =
+      options_.max_batch_size < 1 ? 1 : options_.max_batch_size;
+  // Overload decisions precede cut decisions — except at shutdown, which
+  // drains: every still-queued query runs.
+  if (!stopping_) ShedAndResolveLocked(lk);
+  if (queue_.empty()) {
+    flush_requested_ = false;
+    if (batches_in_flight_ == 0) drained_cv_.notify_all();
+    return 0;
+  }
+  CutReason reason;
+  if (queue_.size() >= max_batch) {
+    reason = CutReason::kSize;
+  } else if (stopping_ || flush_requested_) {
+    reason = CutReason::kFlush;
+  } else if (options_.max_wait_seconds > 0 &&
+             clock_->Now() >= queue_.OldestEnqueueSeconds() +
+                                  options_.max_wait_seconds) {
+    reason = CutReason::kWait;
+  } else {
+    return 0;
+  }
+  std::vector<QueueItem> batch =
+      CutBatchLocked(std::min(queue_.size(), max_batch));
+  const size_t n = batch.size();
+  ++batches_in_flight_;
+  lk.unlock();
+  RunMicroBatch(std::move(batch), reason);
+  lk.lock();
+  --batches_in_flight_;
+  if (queue_.empty()) {
+    flush_requested_ = false;
+    if (batches_in_flight_ == 0) drained_cv_.notify_all();
+  }
+  return n;
 }
 
 Status PathEngine::RunBatch(const std::vector<PathQuery>& queries,
@@ -198,10 +470,6 @@ void PathEngine::DispatchLoop() {
                                ? 1
                                : options_.max_batch_size;
   const bool timed_cuts = options_.max_wait_seconds > 0;
-  const auto max_wait = std::chrono::duration_cast<
-      std::chrono::steady_clock::duration>(
-      std::chrono::duration<double>(timed_cuts ? options_.max_wait_seconds
-                                               : 0));
 
   std::unique_lock<std::mutex> lk(mu_);
   while (true) {
@@ -209,61 +477,82 @@ void PathEngine::DispatchLoop() {
       if (stopping_) break;
       flush_requested_ = false;  // nothing left to flush
       drained_cv_.notify_all();
-      work_cv_.wait(lk, [&] {
+      clock_->Wait(lk, work_cv_, [&] {
         return stopping_ || flush_requested_ || !queue_.empty();
       });
       continue;
     }
 
+    // Overload decisions precede cut decisions — except at shutdown, which
+    // drains everything still queued.
+    if (!stopping_ && ShedAndResolveLocked(lk)) continue;
+
     // Decide the cut. Size, flush, and shutdown cut immediately; otherwise
-    // sleep until the oldest pending query's deadline and re-check.
+    // sleep until the earliest actionable deadline — the oldest pending
+    // query's wait cut and/or the overload shed patience — and re-check.
     CutReason reason;
     if (queue_.size() >= max_batch) {
       reason = CutReason::kSize;
     } else if (stopping_ || flush_requested_) {
       reason = CutReason::kFlush;
-    } else if (timed_cuts) {
-      const auto deadline = queue_.front().enqueued + max_wait;
-      const bool expired = !work_cv_.wait_until(lk, deadline, [&] {
-        return stopping_ || flush_requested_ || queue_.size() >= max_batch;
-      });
-      if (!expired) continue;  // woken by a stronger cut; re-evaluate
-      reason = CutReason::kWait;
     } else {
-      // Untimed mode: only size / flush / shutdown cut.
-      work_cv_.wait(lk, [&] {
+      double deadline = std::numeric_limits<double>::infinity();
+      if (timed_cuts) {
+        deadline = queue_.OldestEnqueueSeconds() + options_.max_wait_seconds;
+      }
+      if (overload_since_.has_value() && AboveShedTargetsLocked()) {
+        deadline = std::min(deadline,
+                            *overload_since_ +
+                                options_.admission.shed_patience_seconds);
+      }
+      const auto pred = [&] {
         return stopping_ || flush_requested_ || queue_.size() >= max_batch;
-      });
-      continue;
+      };
+      if (!std::isfinite(deadline)) {
+        // Untimed mode, no overload: only size / flush / shutdown cut.
+        clock_->Wait(lk, work_cv_, pred);
+        continue;
+      }
+      if (clock_->WaitUntil(lk, work_cv_, deadline, pred)) {
+        continue;  // woken by a stronger cut; re-evaluate
+      }
+      // The deadline expired — but the lock was released while we slept:
+      // a blocked submitter may have shed the whole queue in the interim.
+      if (queue_.empty()) continue;
+      // Shedding wins over the wait cut (the loop top sheds); only claim
+      // a wait cut when it actually expired.
+      if (ShedDueLocked()) continue;
+      if (!timed_cuts ||
+          clock_->Now() < queue_.OldestEnqueueSeconds() +
+                              options_.max_wait_seconds) {
+        continue;
+      }
+      reason = CutReason::kWait;
     }
 
-    std::vector<Pending> batch;
-    const size_t take = std::min(queue_.size(), max_batch);
-    batch.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
-    batch_in_flight_ = true;
+    std::vector<QueueItem> batch =
+        CutBatchLocked(std::min(queue_.size(), max_batch));
+    ++batches_in_flight_;
     lk.unlock();
     RunMicroBatch(std::move(batch), reason);
     lk.lock();
-    batch_in_flight_ = false;
-    if (queue_.empty()) drained_cv_.notify_all();
+    --batches_in_flight_;
+    if (queue_.empty() && batches_in_flight_ == 0) drained_cv_.notify_all();
   }
   drained_cv_.notify_all();
 }
 
-void PathEngine::RunMicroBatch(std::vector<Pending> batch, CutReason reason) {
+void PathEngine::RunMicroBatch(std::vector<QueueItem> batch,
+                               CutReason reason) {
   const size_t n = batch.size();
-  const auto dispatched = std::chrono::steady_clock::now();
+  const double dispatched = clock_->Now();
   std::vector<PathQuery> queries;
   std::vector<PathSink*> sinks;
   queries.reserve(n);
   sinks.reserve(n);
-  for (const Pending& p : batch) {
-    queries.push_back(p.query);
-    sinks.push_back(p.sink);
+  for (const QueueItem& item : batch) {
+    queries.push_back(item.value.query);
+    sinks.push_back(item.value.sink);
   }
 
   DemuxSink demux(n, sinks, options_.collect_paths);
@@ -287,6 +576,9 @@ void PathEngine::RunMicroBatch(std::vector<Pending> batch, CutReason reason) {
       case CutReason::kFlush: ++stats_.flush_cuts; break;
     }
     stats_.queries_completed += n;
+    for (const QueueItem& item : batch) {
+      ++stats_.tenants[item.tenant].completed;
+    }
     stats_.batch_stats.Accumulate(batch_stats);
     stats_.distance_cache_hits += batch_stats.distance_cache_hits;
     stats_.distance_cache_misses += batch_stats.distance_cache_misses;
@@ -295,12 +587,12 @@ void PathEngine::RunMicroBatch(std::vector<Pending> batch, CutReason reason) {
   for (size_t i = 0; i < n; ++i) {
     QueryResult r;
     r.status = st;  // the whole micro-batch shares the pipeline's outcome
+    r.tenant = batch[i].tenant;
     r.path_count = demux.count(i);
     r.paths = demux.TakePaths(i);
-    r.wait_seconds =
-        std::chrono::duration<double>(dispatched - batch[i].enqueued).count();
+    r.wait_seconds = dispatched - batch[i].value.submitted_seconds;
     r.batch_seconds = batch_seconds;
-    batch[i].promise.set_value(std::move(r));
+    batch[i].value.promise.set_value(std::move(r));
   }
 }
 

@@ -5,7 +5,10 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,9 +20,14 @@
 #include "core/stats.h"
 #include "graph/graph.h"
 #include "index/endpoint_cache.h"
+#include "service/clock.h"
+#include "service/tenant_queue.h"
 #include "util/status.h"
 
 namespace hcpath {
+
+/// Tenant id used by the tenant-less Submit overload.
+inline const std::string kDefaultTenant;
 
 /// Options of a PathEngine (see docs/SERVICE.md).
 struct PathEngineOptions {
@@ -27,6 +35,11 @@ struct PathEngineOptions {
   /// clustering γ, thread count, per-query caps. Validated at engine
   /// construction.
   BatchOptions batch;
+
+  /// Multi-tenant admission: bounded queue budgets, backpressure policy,
+  /// overload shedding, WFQ tenant weights. Validated at engine
+  /// construction alongside `batch`.
+  AdmissionOptions admission;
 
   /// Admission cut by size: a micro-batch is dispatched as soon as this
   /// many queries are pending. Values < 1 behave as 1.
@@ -37,6 +50,19 @@ struct PathEngineOptions {
   /// the timer (cuts happen on size, Flush, or shutdown only — the
   /// deterministic mode the differential tests drive).
   double max_wait_seconds = 0.002;
+
+  /// Time source and wait strategy for every admission timing decision
+  /// (wait cuts, shed patience, blocked-submit deadlines). nullptr = the
+  /// process-wide WallClock. Tests inject a VirtualClock to make cut and
+  /// shed ordering exactly assertable; the clock must outlive the engine.
+  Clock* clock = nullptr;
+
+  /// Manual dispatch: no background admission thread is started; cuts only
+  /// happen when StepDispatch() is called (and at destruction, which still
+  /// drains). Combined with a VirtualClock this is the deterministic
+  /// scheduler simulation the admission tests drive: the test interleaves
+  /// Submit / AdvanceTo / StepDispatch and observes exactly one schedule.
+  bool manual_dispatch = false;
 
   /// Materialize each query's paths into its QueryResult when the caller
   /// gave no per-query sink. Disable for count-only serving.
@@ -53,11 +79,14 @@ struct PathEngineOptions {
 /// Outcome of one submitted query.
 struct QueryResult {
   Status status;
+  /// Tenant the query was submitted under (kDefaultTenant when none).
+  std::string tenant;
   uint64_t path_count = 0;
   /// The query's paths, when the engine collects (collect_paths and no
   /// per-query sink); empty otherwise.
   PathSet paths;
-  /// Admission-queue time (submit -> batch dispatch).
+  /// Submit-to-dispatch time in the engine clock's seconds, INCLUDING any
+  /// time the Submit call spent blocked on admission backpressure.
   double wait_seconds = 0;
   /// Pipeline wall time of the micro-batch that carried this query.
   double batch_seconds = 0;
@@ -68,6 +97,13 @@ struct PathEngineStats {
   uint64_t queries_submitted = 0;
   uint64_t queries_rejected = 0;  ///< failed admission-time validation
   uint64_t queries_completed = 0;
+  /// Admission-control outcomes (docs/SERVICE.md, "Overload behavior").
+  uint64_t queries_shed = 0;        ///< dropped by overload shedding
+  uint64_t submits_fast_failed = 0; ///< ResourceExhausted at a full queue
+  uint64_t backpressure_blocks = 0; ///< submits that waited for queue space
+  uint64_t shed_rounds = 0;         ///< shedding episodes
+  uint64_t peak_queued_queries = 0; ///< admission-queue entry high-water mark
+  uint64_t peak_queued_bytes = 0;   ///< admission-queue byte high-water mark
   uint64_t batches_run = 0;
   uint64_t size_cuts = 0;   ///< micro-batches cut on max_batch_size
   uint64_t wait_cuts = 0;   ///< micro-batches cut on max_wait_seconds
@@ -76,65 +112,107 @@ struct PathEngineStats {
   uint64_t distance_cache_misses = 0;
   /// Pipeline counters accumulated across all micro-batches.
   BatchStats batch_stats;
+  /// Per-tenant admission counters, keyed by tenant id (kDefaultTenant for
+  /// the tenant-less Submit overload).
+  std::map<std::string, TenantAdmissionStats> tenants;
 };
 
 /// Long-lived batch path-query service: the architectural seam between the
-/// BatchEnum pipeline (a pure batch function) and sustained query traffic.
+/// BatchEnum pipeline (a pure batch function) and sustained multi-tenant
+/// query traffic.
 ///
 /// A PathEngine owns the graph reference, the shared thread pool, a
 /// recycled BatchContext (index storage, BFS/cluster scratch, merge
-/// buffers), and the cross-batch endpoint distance cache. Submit() enqueues
-/// a query and returns a future; an admission thread cuts micro-batches by
-/// max-size / max-wait (plus explicit Flush() and shutdown drain) and
-/// drives each through the configured pipeline, streaming paths to the
+/// buffers), and the cross-batch endpoint distance cache. Submit() feeds a
+/// bounded per-tenant admission queue and returns a future; the dispatcher
+/// cuts micro-batches by max-size / max-wait (plus explicit Flush() and
+/// shutdown drain), drains them by weighted fair queueing across tenants,
+/// and drives each through the configured pipeline, streaming paths to the
 /// per-query sinks in the pipeline's deterministic emission order.
 ///
-/// Determinism: a sequence of micro-batches produces paths, counts, and
-/// Status byte-identical to one-shot RunBatchEnum/RunBasicEnum calls on the
-/// same batches — regardless of thread count or cache warmth (asserted by
-/// differential_fuzz_test's engine configs; coherence argument in
-/// docs/SERVICE.md). Queries that fail validation are rejected at admission
-/// (their future carries InvalidArgument) and never poison co-batched
-/// queries; a mid-batch pipeline error (e.g. a max_paths cap) fails every
-/// query of that micro-batch with the batch's Status, exactly as the
-/// one-shot call would.
+/// Overload behavior (docs/SERVICE.md has the state machine):
+///  * The admission queue is bounded by entry and byte budgets
+///    (AdmissionOptions). A Submit that would exceed them either blocks —
+///    blocked submitters are admitted in FIFO order — or fails fast with
+///    ResourceExhausted ("admission queue full ..."), per
+///    `admission.backpressure`.
+///  * Once the queue has been at or above the high watermark for
+///    `shed_patience_seconds`, waiting queries are shed lowest-weight-first
+///    (ties: lexicographically greatest tenant, newest-first within a
+///    tenant) down to the low watermark. A shed query's future resolves
+///    with ResourceExhausted ("query shed by admission control ...").
+///    These two messages are the complete, documented overload vocabulary:
+///    an admitted query is never failed by admission control.
 ///
-/// Thread-safety: Submit/Flush/Drain/RunBatch/GetStats may be called from
-/// any thread. The graph must outlive the engine and stay immutable (the
-/// distance cache depends on it; see EndpointDistanceCache).
+/// Determinism: admission never alters results — each admitted query's
+/// paths, count, and Status are byte-identical to an unloaded one-shot
+/// Run{Batch,Basic}Enum call on any batch containing it, regardless of
+/// tenant mix, queue pressure, thread count, or cache warmth (asserted by
+/// differential_fuzz_test's EngineMultiTenantParity and the virtual-clock
+/// suite in admission_sim_test; coherence argument in docs/SERVICE.md).
+/// Queries that fail validation are rejected at admission (their future
+/// carries InvalidArgument) and never poison co-batched queries; a
+/// mid-batch pipeline error (e.g. a max_paths cap) fails every query of
+/// that micro-batch with the batch's Status, exactly as the one-shot call
+/// would.
+///
+/// Thread-safety: Submit/Flush/Drain/RunBatch/GetStats/StepDispatch may be
+/// called from any thread. The graph must outlive the engine and stay
+/// immutable (the distance cache depends on it; see EndpointDistanceCache).
 class PathEngine {
  public:
   PathEngine(const Graph& g, const PathEngineOptions& options);
 
-  /// Drains every pending query (shutdown acts as a final Flush), then
-  /// joins the admission thread. Futures of drained queries are fulfilled.
+  /// Drains every pending query (shutdown acts as a final Flush — in
+  /// manual mode the destructor steps the dispatcher itself), wakes blocked
+  /// submitters (they fail with FailedPrecondition), then joins the
+  /// admission thread. Futures of drained queries are fulfilled.
   ~PathEngine();
 
   PathEngine(const PathEngine&) = delete;
   PathEngine& operator=(const PathEngine&) = delete;
 
-  /// Construction outcome: InvalidArgument when PathEngineOptions.batch
-  /// fails validation. A failed engine rejects every Submit/RunBatch.
+  /// Construction outcome: InvalidArgument when PathEngineOptions.batch or
+  /// .admission fails validation. A failed engine rejects every
+  /// Submit/RunBatch.
   const Status& status() const { return init_status_; }
 
-  /// Enqueues one query; the future resolves when its micro-batch
-  /// completes. With a `sink`, the query's paths stream there (tagged with
-  /// the query's index inside its micro-batch) and QueryResult.paths stays
-  /// empty. Sink calls across a micro-batch are totally ordered (the
-  /// merge's drain lock serializes them) and follow the pipeline's
-  /// deterministic emission order, but at num_threads > 1 they may arrive
-  /// on any pool worker thread — sinks must not assume thread affinity.
-  /// Invalid queries resolve immediately with InvalidArgument.
+  /// Enqueues one query under `tenant_id`; the future resolves when its
+  /// micro-batch completes (or admission control sheds/rejects it — see the
+  /// class comment for the documented Status vocabulary). With a `sink`,
+  /// the query's paths stream there (tagged with the query's index inside
+  /// its micro-batch) and QueryResult.paths stays empty. Sink calls across
+  /// a micro-batch are totally ordered (the merge's drain lock serializes
+  /// them) and follow the pipeline's deterministic emission order, but at
+  /// num_threads > 1 they may arrive on any pool worker thread — sinks must
+  /// not assume thread affinity. Invalid queries resolve immediately with
+  /// InvalidArgument. May block when the admission queue is full and
+  /// `admission.backpressure` is kBlock.
+  std::future<QueryResult> Submit(const std::string& tenant_id,
+                                  const PathQuery& query,
+                                  PathSink* sink = nullptr);
+
+  /// Tenant-less convenience overload: submits under kDefaultTenant.
   std::future<QueryResult> Submit(const PathQuery& query,
                                   PathSink* sink = nullptr);
 
   /// Requests an immediate cut of everything currently queued (possibly
   /// several max_batch_size micro-batches). Non-blocking; pair with the
-  /// returned futures or Drain() to wait.
+  /// returned futures or Drain() to wait (in manual mode, with
+  /// StepDispatch).
   void Flush();
 
   /// Blocks until the admission queue is empty and no batch is in flight.
+  /// In manual mode some other thread must call StepDispatch for this to
+  /// make progress.
   void Drain();
+
+  /// Manual mode only: performs one dispatcher iteration synchronously on
+  /// the calling thread — sheds if overload patience has expired, then, if
+  /// a cut condition holds (size, wait per the injected clock, Flush, or
+  /// shutdown), cuts one micro-batch by weighted fair queueing and runs it
+  /// inline. Returns the number of queries carried (0 = no cut fired).
+  size_t StepDispatch();
 
   /// Synchronous path: runs `queries` as one micro-batch through the same
   /// recycled context and distance cache, bypassing the admission queue
@@ -164,18 +242,58 @@ class PathEngine {
     PathQuery query;
     PathSink* sink = nullptr;
     std::promise<QueryResult> promise;
-    std::chrono::steady_clock::time_point enqueued;
+    /// When the Submit call entered the engine — BEFORE any backpressure
+    /// blocking, unlike the queue item's enqueue stamp (which drives the
+    /// wait cut) — so QueryResult.wait_seconds covers the full
+    /// submit-to-dispatch interval.
+    double submitted_seconds = 0;
   };
+  using QueueItem = WeightedFairQueue<Pending>::Item;
   enum class CutReason { kSize, kWait, kFlush };
 
+  /// Bookkeeping bytes one queued query charges against the byte budget.
+  static uint64_t QueryCostBytes(const std::string& tenant_id);
+
   void DispatchLoop();
-  void RunMicroBatch(std::vector<Pending> batch, CutReason reason);
+  size_t StepDispatchLocked(std::unique_lock<std::mutex>& lk);
+  void RunMicroBatch(std::vector<QueueItem> batch, CutReason reason);
   Status ExecuteBatch(const std::vector<PathQuery>& queries, PathSink* sink,
                       BatchStats* stats);
+
+  /// True when a query of `cost` bytes fits the queue budgets (an empty
+  /// queue always admits).
+  bool HasSpaceLocked(uint64_t cost) const;
+  /// Refreshes overload_since_ from the current queue level.
+  void UpdateOverloadLocked();
+  /// The low-watermark shed targets: shedding stops once both hold.
+  void ShedTargetsLocked(size_t* target_items, uint64_t* target_bytes) const;
+  /// True when shedding would actually remove something (queue above the
+  /// low-watermark targets).
+  bool AboveShedTargetsLocked() const;
+  /// True when the overload episode has outlasted the shed patience and
+  /// there is something to shed.
+  bool ShedDueLocked() const;
+  /// When overload has persisted past patience, sheds down to the low
+  /// watermark and moves the victims into *shed (resolve them with
+  /// ResolveShed AFTER releasing mu_). Returns whether anything was shed.
+  bool ShedIfDueLocked(std::vector<QueueItem>* shed);
+  /// Completes shed queries' futures with the documented Status.
+  static void ResolveShed(std::vector<QueueItem> shed);
+  /// When shedding is due, sheds under `lk`, wakes space/drain waiters,
+  /// and resolves the victims' futures with `lk` released (relocked on
+  /// return). Returns whether anything was shed.
+  bool ShedAndResolveLocked(std::unique_lock<std::mutex>& lk);
+  /// Marks one Submit as leaving the admission critical region (wakes the
+  /// destructor when the last one leaves).
+  void FinishSubmitLocked();
+  /// WFQ-drains `take` queries, refreshes overload state, wakes blocked
+  /// submitters.
+  std::vector<QueueItem> CutBatchLocked(size_t take);
 
   const Graph& g_;
   const PathEngineOptions options_;
   Status init_status_;
+  Clock* clock_;
   EndpointDistanceCache cache_;
 
   /// Serializes pipeline execution (admission batches vs RunBatch): the
@@ -186,11 +304,27 @@ class PathEngine {
   // Admission state, guarded by mu_.
   mutable std::mutex mu_;
   std::condition_variable work_cv_;    // dispatcher wakeups
+  std::condition_variable space_cv_;   // blocked-submitter wakeups
   std::condition_variable drained_cv_; // Drain() waiters
-  std::deque<Pending> queue_;
+  WeightedFairQueue<Pending> queue_;
+  /// FIFO tickets of submits blocked on queue space; the front ticket is
+  /// admitted first (deterministic backpressure release ordering).
+  std::deque<uint64_t> blocked_;
+  uint64_t next_ticket_ = 0;
+  /// Submit and StepDispatch calls currently inside the engine. The
+  /// destructor waits (idle_cv_) until this drops to zero after setting
+  /// stopping_, so a submit woken at shutdown — or a batch an external
+  /// stepper is still running — finishes with the engine's members alive.
+  size_t submits_active_ = 0;
+  std::condition_variable idle_cv_;
+  /// Clock time the current overload episode began (queue at/above the
+  /// high watermark); empty when not overloaded.
+  std::optional<double> overload_since_;
   bool flush_requested_ = false;
   bool stopping_ = false;
-  bool batch_in_flight_ = false;
+  /// Micro-batches currently executing outside the lock. A counter, not a
+  /// flag: StepDispatch may be called from several threads at once.
+  size_t batches_in_flight_ = 0;
   PathEngineStats stats_;
 
   std::thread dispatcher_;

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <future>
 #include <string>
 #include <utility>
 #include <vector>
@@ -501,6 +502,168 @@ TEST(DifferentialFuzz, JoinHeavyCrossCheck) {
                  " — reproduce with HCPATH_FUZZ_SEED=" +
                  std::to_string(seed));
     RunOneJoinHeavyConfig(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+/// Multi-tenant admission differential: a random stream is submitted to a
+/// weighted-fair-queue engine under randomized tenant weights and queue
+/// budgets (both backpressure policies, shedding sometimes immediate) and
+/// every query's outcome is checked against a fresh one-shot singleton
+/// run: admitted queries must produce the identical sorted path set,
+/// count, and OK Status regardless of tenant mix, batch composition, or
+/// queue pressure; rejected queries must carry the identical
+/// InvalidArgument; every other failure must be one of the two documented
+/// admission-control Statuses. Also checks the admission conservation
+/// laws: every submit ends in exactly one of
+/// {completed, shed, fast-failed, rejected}, globally and per tenant.
+void RunOneMultiTenantConfig(uint64_t seed) {
+  Rng rng(seed);
+  std::string graph_desc;
+  Graph g = RandomGraph(rng, &graph_desc);
+  bool invalid = false;
+  std::vector<PathQuery> queries = RandomQueries(g, rng, &invalid);
+  bool capped = false;
+  BatchOptions opt = RandomOptions(rng, &capped);
+  // No per-query caps here: a capped query legitimately fails its whole
+  // micro-batch, whose composition depends on admission timing. Cap error
+  // parity is covered by EngineMicroBatchParity's deterministic batches.
+  opt.max_paths_per_query = 0;
+  opt.num_threads = rng.NextBounded(2) == 0 ? 1 : 4;
+  const bool batch_engine = rng.NextBounded(2) == 0;
+  const bool optimized = rng.NextBounded(2) == 0;
+  opt.algorithm = batch_engine
+                      ? (optimized ? Algorithm::kBatchEnumPlus
+                                   : Algorithm::kBatchEnum)
+                      : (optimized ? Algorithm::kBasicEnumPlus
+                                   : Algorithm::kBasicEnum);
+
+  const size_t num_tenants = 1 + rng.NextBounded(4);
+  PathEngineOptions engine_opt;
+  engine_opt.batch = opt;
+  engine_opt.max_wait_seconds = 0;  // deterministic cut modes only
+  engine_opt.max_batch_size = 1 + rng.NextBounded(6);
+  AdmissionOptions& adm = engine_opt.admission;
+  const double weight_choices[] = {0.5, 1.0, 2.0, 4.0, 8.0};
+  for (size_t t = 0; t < num_tenants; ++t) {
+    adm.tenant_weights["t" + std::to_string(t)] =
+        weight_choices[rng.NextBounded(5)];
+  }
+  const bool fail_fast = rng.NextBounded(2) == 0;
+  if (fail_fast) {
+    adm.backpressure = AdmissionBackpressure::kFailFast;
+    adm.max_queued_queries = 2 + rng.NextBounded(8);
+    if (rng.NextBounded(3) == 0) {
+      // Tight byte budget too (~a few queued entries' worth).
+      adm.max_queued_bytes = 200 + rng.NextBounded(2000);
+    }
+    adm.shed_low_watermark = 0.5;
+    // Half the configs shed the moment the queue fills; the rest never.
+    adm.shed_patience_seconds = rng.NextBounded(2) == 0 ? 0.0 : 1e6;
+  } else {
+    // Blocking submits make progress because the dispatcher's size cut
+    // fires at max_batch_size <= the entry budget.
+    adm.backpressure = AdmissionBackpressure::kBlock;
+    adm.max_queued_queries = std::max<size_t>(
+        engine_opt.max_batch_size,
+        static_cast<size_t>(2 + rng.NextBounded(8)));
+    adm.shed_patience_seconds = 1e6;
+  }
+
+  SCOPED_TRACE(graph_desc + " |Q|=" + std::to_string(queries.size()) +
+               " engine=" + AlgorithmName(opt.algorithm) +
+               " threads=" + std::to_string(opt.num_threads) +
+               " tenants=" + std::to_string(num_tenants) +
+               " window=" + std::to_string(engine_opt.max_batch_size) +
+               " budget=" + std::to_string(adm.max_queued_queries) +
+               (fail_fast ? " [fail-fast]" : " [block]") +
+               (adm.shed_patience_seconds == 0 ? " [shed]" : "") +
+               (invalid ? " [invalid-query]" : ""));
+
+  PathEngine engine(g, engine_opt);
+  ASSERT_TRUE(engine.status().ok()) << engine.status();
+
+  struct Sub {
+    PathQuery query;
+    std::string tenant;
+    std::future<QueryResult> future;
+  };
+  std::vector<Sub> subs;
+  subs.reserve(queries.size());
+  for (const PathQuery& q : queries) {
+    Sub s;
+    s.query = q;
+    s.tenant = "t" + std::to_string(rng.NextBounded(num_tenants));
+    subs.push_back(std::move(s));
+  }
+  for (Sub& s : subs) s.future = engine.Submit(s.tenant, s.query);
+  engine.Flush();
+  engine.Drain();
+
+  for (Sub& s : subs) {
+    SCOPED_TRACE("tenant " + s.tenant + " query " + s.query.ToString());
+    QueryResult r = s.future.get();
+    if (r.status.ok()) {
+      // Admitted: byte-identical to an unloaded one-shot singleton run.
+      EngineRun ref = RunEngine(g, {s.query}, batch_engine, optimized, opt);
+      ASSERT_TRUE(ref.status.ok()) << ref.status;
+      std::vector<std::vector<VertexId>> ref_paths;
+      ref_paths.reserve(ref.events.size());
+      for (const auto& e : ref.events) ref_paths.push_back(e.second);
+      std::sort(ref_paths.begin(), ref_paths.end());
+      EXPECT_EQ(r.path_count, ref_paths.size());
+      EXPECT_EQ(r.paths.ToSortedVectors(), ref_paths);
+    } else if (r.status.code() == StatusCode::kInvalidArgument) {
+      // Rejected at admission: identical error to the one-shot call.
+      EngineRun ref = RunEngine(g, {s.query}, batch_engine, optimized, opt);
+      EXPECT_EQ(ref.status.code(), StatusCode::kInvalidArgument);
+      EXPECT_EQ(r.status.message(), ref.status.message());
+    } else {
+      // Overload outcomes are limited to the documented vocabulary.
+      EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted) << r.status;
+      const bool shed = r.status.message().rfind(
+                            "query shed by admission control", 0) == 0;
+      const bool full =
+          r.status.message().rfind("admission queue full", 0) == 0;
+      EXPECT_TRUE(shed || full) << r.status;
+    }
+  }
+
+  // Conservation: every submit landed in exactly one outcome bucket.
+  PathEngineStats stats = engine.GetStats();
+  EXPECT_EQ(stats.queries_completed + stats.queries_shed +
+                stats.submits_fast_failed + stats.queries_rejected,
+            subs.size());
+  uint64_t tenant_submitted = 0;
+  for (const auto& [tenant, ts] : stats.tenants) {
+    SCOPED_TRACE("tenant " + tenant);
+    EXPECT_EQ(ts.submitted, ts.admitted + ts.rejected + ts.fast_failed);
+    EXPECT_EQ(ts.admitted, ts.completed + ts.shed);  // queue is drained
+    tenant_submitted += ts.submitted;
+  }
+  EXPECT_EQ(tenant_submitted, subs.size());
+  EXPECT_LE(stats.peak_queued_queries, adm.max_queued_queries);
+}
+
+TEST(DifferentialFuzz, EngineMultiTenantParity) {
+  // Separate seed base so the multi-tenant sweep explores configurations
+  // independent of the other suites.
+  constexpr uint64_t kBaseSeed = 0xFA1209AC5EDB00ull;
+  if (const char* one = std::getenv("HCPATH_FUZZ_SEED")) {
+    const uint64_t seed = std::strtoull(one, nullptr, 0);
+    SCOPED_TRACE("HCPATH_FUZZ_SEED=" + std::to_string(seed));
+    RunOneMultiTenantConfig(seed);
+    return;
+  }
+  // Each config also runs up to |Q| one-shot singleton references; a
+  // quarter of the budget keeps wall-clock in line.
+  const int configs = std::max(1, ConfigCount() / 4);
+  for (int c = 0; c < configs; ++c) {
+    const uint64_t seed = kBaseSeed + static_cast<uint64_t>(c);
+    SCOPED_TRACE("multi-tenant config #" + std::to_string(c) +
+                 " — reproduce with HCPATH_FUZZ_SEED=" +
+                 std::to_string(seed));
+    RunOneMultiTenantConfig(seed);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

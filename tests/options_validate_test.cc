@@ -10,6 +10,7 @@
 #include "core/batch_enum.h"
 #include "core/enumerator.h"
 #include "core/options.h"
+#include "service/path_engine.h"
 #include "test_graphs.h"
 
 namespace hcpath {
@@ -77,6 +78,82 @@ TEST(OptionsValidate, RejectedAtEveryEntryPoint) {
 
   // Nothing was emitted by any rejected run.
   EXPECT_EQ(sink.Total(), 0u);
+}
+
+TEST(OptionsValidate, AdmissionDefaultsAreValid) {
+  AdmissionOptions adm;
+  EXPECT_TRUE(adm.Validate().ok());
+}
+
+TEST(OptionsValidate, AdmissionRejectsZeroQueueBudgets) {
+  AdmissionOptions adm;
+  adm.max_queued_queries = 0;
+  EXPECT_EQ(adm.Validate().code(), StatusCode::kInvalidArgument);
+  adm = AdmissionOptions();
+  adm.max_queued_bytes = 0;
+  EXPECT_EQ(adm.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptionsValidate, AdmissionRejectsBadTenantWeights) {
+  AdmissionOptions adm;
+  adm.tenant_weights = {{"ok", 2.0}, {"bad", -1.0}};
+  Status st = adm.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("bad"), std::string::npos) << st;
+
+  adm.tenant_weights = {{"zero", 0.0}};  // zero weight would never drain
+  EXPECT_EQ(adm.Validate().code(), StatusCode::kInvalidArgument);
+  adm.tenant_weights = {{"nan", std::numeric_limits<double>::quiet_NaN()}};
+  EXPECT_EQ(adm.Validate().code(), StatusCode::kInvalidArgument);
+  adm.tenant_weights.clear();
+  for (double bad : {0.0, -3.0, std::numeric_limits<double>::quiet_NaN()}) {
+    adm.default_tenant_weight = bad;
+    EXPECT_EQ(adm.Validate().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(OptionsValidate, AdmissionRejectsInconsistentShedThresholds) {
+  AdmissionOptions adm;
+  adm.shed_low_watermark = 0.9;
+  adm.shed_high_watermark = 0.5;  // low > high
+  Status st = adm.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("inconsistent"), std::string::npos) << st;
+
+  for (double bad : {0.0, -0.1, 1.5, std::numeric_limits<double>::quiet_NaN()}) {
+    adm = AdmissionOptions();
+    adm.shed_low_watermark = bad;
+    EXPECT_EQ(adm.Validate().code(), StatusCode::kInvalidArgument) << bad;
+    adm = AdmissionOptions();
+    adm.shed_high_watermark = bad;  // out of range, or below the low mark
+    EXPECT_EQ(adm.Validate().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  adm = AdmissionOptions();
+  adm.shed_patience_seconds = -1.0;
+  EXPECT_EQ(adm.Validate().code(), StatusCode::kInvalidArgument);
+  adm.shed_patience_seconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(adm.Validate().code(), StatusCode::kInvalidArgument);
+  // Infinity is rejected too: an infinite shed deadline is not
+  // representable by the wall clock ("never shed" = low watermark 1.0).
+  adm.shed_patience_seconds = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(adm.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptionsValidate, AdmissionRejectedAtEngineConstruction) {
+  // The engine entry point: a bad admission config parks the engine the
+  // same way a bad batch config does — status() carries the error and
+  // every Submit/RunBatch/StepDispatch is refused.
+  const Graph g = PaperFigure1Graph();
+  PathEngineOptions opt;
+  opt.manual_dispatch = true;
+  opt.admission.tenant_weights = {{"t", -2.0}};
+  PathEngine engine(g, opt);
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+  auto future = engine.Submit("t", {0, 11, 5});
+  EXPECT_EQ(future.get().status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.RunBatch({{0, 11, 5}}, nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.StepDispatch(), 0u);
 }
 
 TEST(OptionsValidate, ValidationFailureBeatsQueryValidation) {

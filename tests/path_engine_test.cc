@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -234,6 +236,103 @@ TEST(PathEngine, DisabledCacheStillServes) {
   ASSERT_TRUE(engine.RunBatch(PaperFigure1Queries(), nullptr, &stats).ok());
   EXPECT_EQ(stats.distance_cache_hits, 0u);
   EXPECT_EQ(stats.distance_cache_misses, 0u);
+}
+
+/// Regression for the concurrent-Flush-during-Submit-at-capacity race:
+/// the queue budget (2) is far below the batch window (1024) in untimed
+/// mode, so ONLY Flush can cut — producers block at capacity while the
+/// main thread flushes concurrently. Every submit must eventually be
+/// admitted and completed; no deadlock, no lost query (wall clock, real
+/// threads — runs under the tsan label).
+TEST(PathEngine, ConcurrentFlushReleasesSubmitsBlockedAtCapacity) {
+  const Graph g = PaperFigure1Graph();
+  PathEngineOptions opt = UntimedOptions();
+  opt.max_batch_size = 1024;
+  opt.admission.max_queued_queries = 2;
+  opt.admission.backpressure = AdmissionBackpressure::kBlock;
+  // low == high == 1.0: shedding disabled (nothing is ever above the
+  // low-watermark target), so blocking is the only overload response.
+  opt.admission.shed_high_watermark = 1.0;
+  opt.admission.shed_low_watermark = 1.0;
+  PathEngine engine(g, opt);
+  ASSERT_TRUE(engine.status().ok());
+
+  const std::vector<PathQuery> queries = PaperFigure1Queries();
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 4;
+  std::vector<std::vector<std::future<QueryResult>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        futures[p].push_back(
+            engine.Submit("p" + std::to_string(p),
+                          queries[(p + i) % queries.size()]));
+      }
+    });
+  }
+  // Flush concurrently until everything submitted made it through.
+  while (engine.GetStats().queries_completed <
+         static_cast<uint64_t>(kProducers * kPerProducer)) {
+    engine.Flush();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& t : producers) t.join();
+  for (auto& fs : futures) {
+    for (auto& f : fs) {
+      QueryResult r = f.get();
+      EXPECT_TRUE(r.status.ok()) << r.status;
+    }
+  }
+  PathEngineStats stats = engine.GetStats();
+  EXPECT_EQ(stats.queries_completed,
+            static_cast<uint64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(stats.queries_shed, 0u);
+  EXPECT_LE(stats.peak_queued_queries, 2u);
+}
+
+/// Regression for the shutdown-with-queued-tenants race: at destruction,
+/// already-admitted queries are drained and complete OK while submits
+/// still blocked on queue space wake and fail with FailedPrecondition —
+/// nobody deadlocks, no future is abandoned.
+TEST(PathEngine, ShutdownDrainsQueuedTenantsAndFailsBlockedSubmitters) {
+  const Graph g = PaperFigure1Graph();
+  std::vector<std::future<QueryResult>> admitted;
+  std::vector<std::future<QueryResult>> blocked(3);
+  std::vector<std::thread> submitters;
+  {
+    PathEngineOptions opt = UntimedOptions();
+    opt.max_batch_size = 1024;  // only shutdown's final flush can cut
+    opt.admission.max_queued_queries = 2;
+    opt.admission.backpressure = AdmissionBackpressure::kBlock;
+    opt.admission.shed_high_watermark = 1.0;
+    opt.admission.shed_low_watermark = 1.0;
+    PathEngine engine(g, opt);
+    ASSERT_TRUE(engine.status().ok());
+
+    admitted.push_back(engine.Submit("queued", PathQuery{0, 11, 5}));
+    admitted.push_back(engine.Submit("queued", PathQuery{2, 13, 5}));
+    for (int i = 0; i < 3; ++i) {
+      submitters.emplace_back([&, i] {
+        blocked[i] =
+            engine.Submit("t" + std::to_string(i), PathQuery{4, 14, 4});
+      });
+    }
+    while (engine.GetStats().backpressure_blocks < 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Destruction: drain the two queued, fail the three blocked.
+  }
+  for (auto& t : submitters) t.join();
+  for (auto& f : admitted) {
+    QueryResult r = f.get();
+    EXPECT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.path_count, 3u);
+  }
+  for (auto& f : blocked) {
+    QueryResult r = f.get();
+    EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition) << r.status;
+  }
 }
 
 /// The acceptance-criteria property: N consecutive micro-batches through
