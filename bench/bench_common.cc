@@ -28,6 +28,12 @@ CommonFlags::CommonFlags() {
   time_budget =
       flags.AddDouble("time_budget", 120.0, "per-run budget in seconds (OT)");
   quick = flags.AddBool("quick", false, "shrink sweeps for smoke runs");
+  kernel = flags.AddString("kernel", "auto",
+                           "membership-probe kernel: auto | stamped | naive "
+                           "(all byte-identical; perf comparison knob)");
+  remap = flags.AddString("remap", "none",
+                          "vertex renumbering before enumeration: none | "
+                          "bfs | degree (output identical in original ids)");
 }
 
 void ParseOrDie(CommonFlags& cf, int argc, char** argv) {
@@ -44,6 +50,18 @@ BatchOptions MakeBatchOptions(const CommonFlags& cf) {
   BatchOptions opt;
   opt.gamma = *cf.gamma;
   opt.num_threads = static_cast<int>(*cf.threads);
+  auto kernel = ParseKernelMode(*cf.kernel);
+  if (!kernel.ok()) {
+    std::fprintf(stderr, "%s\n", kernel.status().ToString().c_str());
+    std::exit(2);
+  }
+  opt.kernel_mode = *kernel;
+  auto remap = ParseRemapMode(*cf.remap);
+  if (!remap.ok()) {
+    std::fprintf(stderr, "%s\n", remap.status().ToString().c_str());
+    std::exit(2);
+  }
+  opt.remap_mode = *remap;
   Status st = opt.Validate();
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -85,13 +103,14 @@ Graph LoadDataset(const std::string& name, double scale, uint64_t seed) {
 RunOutcome TimeAlgorithm(const Graph& g,
                          const std::vector<PathQuery>& queries,
                          Algorithm algo, const BatchOptions& base_options,
-                         double time_budget) {
+                         double time_budget, BatchPathEnumerator* enumerator) {
   RunOutcome out;
   BatchOptions options = base_options;
   options.algorithm = algo;
-  BatchPathEnumerator enumerator(g);
+  BatchPathEnumerator local(g);
+  BatchPathEnumerator& facade = enumerator != nullptr ? *enumerator : local;
   WallTimer timer;
-  auto result = enumerator.Run(queries, options, nullptr);
+  auto result = facade.Run(queries, options, nullptr);
   out.seconds = timer.ElapsedSeconds();
   if (!result.ok()) {
     // Per-query path caps fire as ResourceExhausted; report as OT.

@@ -5,7 +5,10 @@
 // on-path test, the shortcut-splice disjointness check, and the join-probe
 // disjointness check — each on dense-overlap (rejection-heavy) and
 // no-overlap (acceptance-heavy) path sets so before/after is quantifiable
-// per kernel. A 1-iteration smoke run is wired into ctest (-L bench).
+// per kernel. Also: the batched stamp probes (AVX2 gather vs the scalar
+// fallback, pinned via TestOnlyForceScalar) and the DFS expansion on
+// BFS/degree-remapped graph layouts. A 1-iteration smoke run is wired
+// into ctest (-L bench).
 
 #include <benchmark/benchmark.h>
 
@@ -15,6 +18,8 @@
 #include "core/search.h"
 #include "graph/generators.h"
 #include "graph/graph_builder.h"
+#include "graph/graph_remap.h"
+#include "util/epoch_stamp.h"
 #include "util/rng.h"
 
 namespace hcpath {
@@ -303,6 +308,107 @@ void BM_DfsOnPath(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(expansions));
 }
 BENCHMARK(BM_DfsOnPath)->ArgNames({"budget"})->Arg(6)->Arg(8);
+
+// ---------------------------------------------------------------------------
+// Batched stamp-probe benchmarks: the AVX2 gather kernel vs the unrolled
+// scalar fallback on the same table and probe vectors, isolated from the
+// enumeration loops (scalar == 1 pins the fallback via TestOnlyForceScalar;
+// scalar == 0 lets the host dispatch — AVX2 where supported). Probe ids
+// all miss, so TestAny scans its full span instead of early-exiting and
+// both kernels do identical per-lane work.
+// ---------------------------------------------------------------------------
+
+/// Table with the low half of a 2^20 universe ~6% marked; probes drawn
+/// from the unmarked high half.
+struct StampFixture {
+  EpochStampTable table;
+  std::vector<uint32_t> probes;
+
+  explicit StampFixture(size_t len) {
+    constexpr uint32_t kUniverse = 1u << 20;
+    table.Reserve(kUniverse);
+    Rng rng(31);
+    for (int i = 0; i < (1 << 16); ++i) {
+      table.Mark(rng.NextBounded(kUniverse / 2));
+    }
+    for (size_t i = 0; i < len; ++i) {
+      probes.push_back(kUniverse / 2 + rng.NextBounded(kUniverse / 2));
+    }
+  }
+};
+
+void BM_StampTestAny(benchmark::State& state) {
+  const bool force_scalar = state.range(0) != 0;
+  const size_t len = static_cast<size_t>(state.range(1));
+  StampFixture fx(len);
+  EpochStampTable::TestOnlyForceScalar(force_scalar ? 1 : 0);
+  for (auto _ : state) {
+    bool any = fx.table.TestAny(fx.probes);
+    benchmark::DoNotOptimize(any);
+  }
+  EpochStampTable::TestOnlyForceScalar(-1);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(len));
+}
+BENCHMARK(BM_StampTestAny)
+    ->ArgNames({"scalar", "len"})
+    ->Args({1, 8})
+    ->Args({0, 8})
+    ->Args({1, 32})
+    ->Args({0, 32})
+    ->Args({1, 256})
+    ->Args({0, 256});
+
+void BM_StampTestBatch(benchmark::State& state) {
+  const bool force_scalar = state.range(0) != 0;
+  const size_t len = static_cast<size_t>(state.range(1));
+  StampFixture fx(len);
+  std::vector<uint8_t> hits(len);
+  EpochStampTable::TestOnlyForceScalar(force_scalar ? 1 : 0);
+  for (auto _ : state) {
+    fx.table.TestBatch(fx.probes, hits.data());
+    benchmark::DoNotOptimize(hits.data());
+  }
+  EpochStampTable::TestOnlyForceScalar(-1);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(len));
+}
+BENCHMARK(BM_StampTestBatch)
+    ->ArgNames({"scalar", "len"})
+    ->Args({1, 8})
+    ->Args({0, 8})
+    ->Args({1, 32})
+    ->Args({0, 32})
+    ->Args({1, 256})
+    ->Args({0, 256});
+
+/// BM_HalfSearch (bounded DFS expansion over the 100k Barabási–Albert
+/// graph) repeated per renumbering, so the cache-locality effect of the
+/// remap orderings on the adjacency walk is measured in isolation:
+/// remap == 0 original ids, 1 BFS order, 2 degree order. Work counters
+/// are identical across the three (RemapParity); only memory layout moves.
+void BM_HalfSearchRemap(benchmark::State& state) {
+  const RemapMode modes[] = {RemapMode::kNone, RemapMode::kBfs,
+                             RemapMode::kDegree};
+  const RemapMode mode = modes[state.range(0)];
+  const Graph& original = BenchGraph();
+  const GraphRemap remap = GraphRemap::Build(original, mode);
+  const Graph& g = remap.is_identity() ? original : remap.remapped();
+  const VertexId start = remap.is_identity() ? 777 : remap.ToNew(777);
+  uint64_t expansions = 0;
+  for (auto _ : state) {
+    HalfSearchSpec spec;
+    spec.start = start;
+    spec.budget = 3;
+    spec.dir = Direction::kForward;
+    PathSet out;
+    BatchStats stats;
+    Status st = RunHalfSearch(g, spec, &out, &stats);
+    benchmark::DoNotOptimize(st.ok());
+    benchmark::DoNotOptimize(out.size());
+    expansions += stats.edges_expanded;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(expansions));
+}
+BENCHMARK(BM_HalfSearchRemap)->ArgNames({"remap"})->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 }  // namespace hcpath

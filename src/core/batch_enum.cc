@@ -136,6 +136,7 @@ Status EnumerateSharingGraph(const Graph& g, Direction dir,
       }
       spec.deps = deps;
       spec.max_paths = options.max_paths_per_query;
+      spec.kernel = options.kernel_mode;
       // Deep root searches of a giant cluster frontier-split on the pool
       // (search.cc); the sub-merge keeps the stored order sequential.
       spec.pool = pool;
@@ -264,6 +265,7 @@ Status ProcessCluster(const Graph& g, const std::vector<PathQuery>& queries,
       join.hf = hf[qi];
       join.hb = hb[qi];
       join.max_paths = options.max_paths_per_query;
+      join.kernel = options.kernel_mode;
       return JoinAndEmit(join, qi, join_sink, join_stats,
                          &bctx.join_scratch)
           .status();

@@ -58,6 +58,14 @@ StatusOr<Algorithm> ParseAlgorithm(const std::string& name) {
   return Status::InvalidArgument("unknown algorithm: " + name);
 }
 
+const GraphRemap& BatchPathEnumerator::RemapFor(RemapMode mode) {
+  if (remap_cache_ == nullptr || cached_mode_ != mode) {
+    remap_cache_ = std::make_unique<GraphRemap>(GraphRemap::Build(g_, mode));
+    cached_mode_ = mode;
+  }
+  return *remap_cache_;
+}
+
 StatusOr<BatchResult> BatchPathEnumerator::Run(
     const std::vector<PathQuery>& queries, const BatchOptions& options,
     PathSink* sink) {
@@ -67,35 +75,71 @@ StatusOr<BatchResult> BatchPathEnumerator::Run(
   if (!validated.ok()) return validated;
   BatchResult result;
   TeeSink tee(queries.size(), sink);
-  Status st;
+
+  // Remapping is handled entirely at this facade: the engines below run on
+  // the renumbered graph with translated queries and never see remap_mode,
+  // and every emitted path is translated back before reaching `tee`.
+  // Queries are validated against the ORIGINAL graph before translation —
+  // at the same points the engines validate, so failure ordering and error
+  // messages (which embed query ids) are byte-identical to a kNone run.
+  const GraphRemap& remap = RemapFor(options.remap_mode);
+  TranslatingSink translating(remap, &tee);
+  // Translation exists for the caller's sink; per-query counts only key on
+  // the query index. With no downstream sink nobody observes path bytes,
+  // so the per-path translate-and-copy is skipped and the engines feed the
+  // counting tee directly (counts are id-invariant, so this is unobservable
+  // apart from the time saved).
+  const bool translate = !remap.is_identity() && sink != nullptr;
+  PathSink* engine_sink =
+      translate ? static_cast<PathSink*>(&translating) : &tee;
+  const Graph& run_g = remap.is_identity() ? g_ : remap.remapped();
+  BatchOptions run_options = options;
+  run_options.remap_mode = RemapMode::kNone;
+
+  Status st = Status::OK();
   switch (options.algorithm) {
     case Algorithm::kPathEnum: {
       WallTimer total;
       SingleQueryOptions sq;
       sq.max_paths = options.max_paths_per_query;
-      st = Status::OK();
+      sq.kernel = options.kernel_mode;
+      // Per-query validation, matching the sequencing of PathEnumQuery
+      // itself: queries before an invalid one still emit.
       for (size_t i = 0; i < queries.size() && st.ok(); ++i) {
-        st = PathEnumQuery(g_, queries[i], sq, i, &tee, &result.stats);
+        PathQuery q = queries[i];
+        if (!remap.is_identity()) {
+          st = ValidateQueries(g_, {q});
+          if (!st.ok()) break;
+          q.s = remap.ToNew(q.s);
+          q.t = remap.ToNew(q.t);
+        }
+        st = PathEnumQuery(run_g, q, sq, i, engine_sink, &result.stats);
       }
       result.stats.total_seconds = total.ElapsedSeconds();
       break;
     }
-    case Algorithm::kBasicEnum:
-      st = RunBasicEnum(g_, queries, options, /*optimized_order=*/false,
-                        &tee, &result.stats);
+    default: {
+      const std::vector<PathQuery>* run_queries = &queries;
+      std::vector<PathQuery> translated;
+      if (!remap.is_identity()) {
+        // Mirrors the batch engines' own up-front whole-batch validation.
+        st = ValidateQueries(g_, queries);
+        if (!st.ok()) return st;
+        translated = remap.TranslateQueries(queries);
+        run_queries = &translated;
+      }
+      const bool optimized = options.algorithm == Algorithm::kBasicEnumPlus ||
+                             options.algorithm == Algorithm::kBatchEnumPlus;
+      if (options.algorithm == Algorithm::kBasicEnum ||
+          options.algorithm == Algorithm::kBasicEnumPlus) {
+        st = RunBasicEnum(run_g, *run_queries, run_options, optimized,
+                          engine_sink, &result.stats);
+      } else {
+        st = RunBatchEnum(run_g, *run_queries, run_options, optimized,
+                          engine_sink, &result.stats);
+      }
       break;
-    case Algorithm::kBasicEnumPlus:
-      st = RunBasicEnum(g_, queries, options, /*optimized_order=*/true,
-                        &tee, &result.stats);
-      break;
-    case Algorithm::kBatchEnum:
-      st = RunBatchEnum(g_, queries, options, /*optimized_order=*/false,
-                        &tee, &result.stats);
-      break;
-    case Algorithm::kBatchEnumPlus:
-      st = RunBatchEnum(g_, queries, options, /*optimized_order=*/true,
-                        &tee, &result.stats);
-      break;
+    }
   }
   if (!st.ok()) return st;
   result.path_counts = tee.TakeCounts();

@@ -1,6 +1,7 @@
 #ifndef HCPATH_CORE_ENUMERATOR_H_
 #define HCPATH_CORE_ENUMERATOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/options.h"
@@ -40,12 +41,51 @@ class BatchPathEnumerator {
 
   /// Runs all `queries` with the algorithm selected in `options`, streaming
   /// every path to `sink` (when non-null) and returning per-query counts.
+  ///
+  /// Not thread-safe across concurrent Run calls on one enumerator (the
+  /// remap cache below mutates); intra-batch parallelism lives in the
+  /// engines. Lease one enumerator per concurrent caller.
   StatusOr<BatchResult> Run(const std::vector<PathQuery>& queries,
                             const BatchOptions& options,
                             PathSink* sink = nullptr);
 
  private:
+  /// Returns the remap for `mode`, building it on first use and reusing
+  /// it across Run calls. The renumbering is a per-graph index build
+  /// (like loading), not a per-batch cost: a driver that holds one
+  /// enumerator per graph pays it once, the same amortization PathEngine
+  /// gets by building its remap at engine construction.
+  const GraphRemap& RemapFor(RemapMode mode);
+
   const Graph& g_;
+  std::unique_ptr<GraphRemap> remap_cache_;
+  RemapMode cached_mode_ = RemapMode::kNone;
+};
+
+/// Sink adapter that translates every emitted path from a renumbered id
+/// space (GraphRemap) back to original ids before forwarding. Interposed
+/// by the remap-aware entry points (BatchPathEnumerator::Run, PathEngine)
+/// between the engines and the caller's sink, so callers always observe
+/// original ids regardless of BatchOptions::remap_mode. Forwards one path
+/// per downstream OnPath call — the same per-path sequence the default
+/// PathSink::OnPaths produces — so emission streams are byte-identical to
+/// an un-remapped run. Not thread-safe (engine emission is serialized by
+/// the input-order merge; see docs/PARALLELISM.md).
+class TranslatingSink : public PathSink {
+ public:
+  TranslatingSink(const GraphRemap& remap, PathSink* downstream)
+      : remap_(remap), downstream_(downstream) {}
+
+  void OnPath(size_t query_index, PathView path) override {
+    buf_.assign(path.begin(), path.end());
+    for (VertexId& v : buf_) v = remap_.ToOriginal(v);
+    downstream_->OnPath(query_index, buf_);
+  }
+
+ private:
+  const GraphRemap& remap_;
+  PathSink* downstream_;
+  std::vector<VertexId> buf_;  ///< recycled translation buffer
 };
 
 const char* AlgorithmName(Algorithm a);

@@ -1,8 +1,65 @@
 #include "core/options.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cmath>
 
 namespace hcpath {
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+const char* KernelModeName(KernelMode m) {
+  switch (m) {
+    case KernelMode::kAuto:
+      return "auto";
+    case KernelMode::kStamped:
+      return "stamped";
+    case KernelMode::kNaive:
+      return "naive";
+  }
+  return "unknown";
+}
+
+const char* RemapModeName(RemapMode m) {
+  switch (m) {
+    case RemapMode::kNone:
+      return "none";
+    case RemapMode::kBfs:
+      return "bfs";
+    case RemapMode::kDegree:
+      return "degree";
+  }
+  return "unknown";
+}
+
+StatusOr<KernelMode> ParseKernelMode(const std::string& name) {
+  const std::string n = Lower(name);
+  if (n == "auto") return KernelMode::kAuto;
+  if (n == "stamped") return KernelMode::kStamped;
+  if (n == "naive") return KernelMode::kNaive;
+  return Status::InvalidArgument(
+      "unknown kernel mode \"" + name +
+      "\" (expected one of: auto, stamped, naive)");
+}
+
+StatusOr<RemapMode> ParseRemapMode(const std::string& name) {
+  const std::string n = Lower(name);
+  if (n == "none") return RemapMode::kNone;
+  if (n == "bfs") return RemapMode::kBfs;
+  if (n == "degree") return RemapMode::kDegree;
+  return Status::InvalidArgument(
+      "unknown remap mode \"" + name +
+      "\" (expected one of: none, bfs, degree)");
+}
 
 Status BatchOptions::Validate() const {
   if (!(gamma >= 0.0 && gamma <= 1.0)) {  // the negation also rejects NaN
@@ -18,6 +75,26 @@ Status BatchOptions::Validate() const {
     return Status::InvalidArgument(
         "BatchOptions.max_dominating_per_query must be >= 0, got " +
         std::to_string(max_dominating_per_query));
+  }
+  // Guard against out-of-range casts into the mode enums (e.g. from raw
+  // flag integers); a bad value here would silently pick a probe kernel.
+  switch (kernel_mode) {
+    case KernelMode::kAuto:
+    case KernelMode::kStamped:
+    case KernelMode::kNaive:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "BatchOptions.kernel_mode holds an invalid enum value");
+  }
+  switch (remap_mode) {
+    case RemapMode::kNone:
+    case RemapMode::kBfs:
+    case RemapMode::kDegree:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "BatchOptions.remap_mode holds an invalid enum value");
   }
   return Status::OK();
 }

@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 
+#include "graph/graph_remap.h"
 #include "util/status.h"
 
 namespace hcpath {
@@ -37,6 +38,30 @@ enum class SimilarityMode {
   kExact,   ///< exact |Γ| intersections via bitsets
   kSketch,  ///< bottom-k minhash estimate (fast, approximate)
 };
+
+/// Which membership-probe kernel the enumeration hot loops use for the
+/// disjointness tests (join backward-candidate probe, cached-suffix splice
+/// probe, DFS on-path check). All modes compute identical results — this
+/// knob exists for benchmarking and differential testing, never for
+/// correctness (docs/PERF.md "Kernel inventory").
+enum class KernelMode {
+  /// Stamped probes with the batched TestAny/TestBatch path, plus the
+  /// measured adaptive cutover to the naive scan for very short probes.
+  kAuto,
+  /// Stamped probes only — no naive cutover, batched tests always.
+  kStamped,
+  /// The pre-stamp linear scans (the verbatim reference kernels); the
+  /// differential oracle.
+  kNaive,
+};
+
+const char* KernelModeName(KernelMode m);
+const char* RemapModeName(RemapMode m);
+
+/// Parses "auto" / "stamped" / "naive" (case-insensitive).
+StatusOr<KernelMode> ParseKernelMode(const std::string& name);
+/// Parses "none" / "bfs" / "degree" (case-insensitive).
+StatusOr<RemapMode> ParseRemapMode(const std::string& name);
 
 /// Options controlling a batch run. Defaults mirror the paper's settings
 /// (γ = 0.5, Section V "Settings").
@@ -93,6 +118,17 @@ struct BatchOptions {
   /// Disable HC-s path sharing entirely inside BatchEnum (detection still
   /// runs, shortcuts are ignored); ablation of the cache reuse.
   bool disable_cache_reuse = false;
+
+  /// Membership-probe kernel selection for the enumeration hot loops.
+  /// Every mode produces byte-identical output; see KernelMode.
+  KernelMode kernel_mode = KernelMode::kAuto;
+
+  /// Vertex renumbering applied before enumeration (GraphRemap). Handled
+  /// at the facade (BatchPathEnumerator::Run, PathEngine construction):
+  /// the engines below always see RemapMode::kNone and a graph already in
+  /// the id space they should search, and emitted paths are translated
+  /// back so output is byte-identical in original ids.
+  RemapMode remap_mode = RemapMode::kNone;
 
   /// Range-checks the option values: γ must lie in [0, 1] (Algorithm 2
   /// clusters on a similarity threshold), and min_dominating_budget /

@@ -86,6 +86,7 @@ Status EnumerateWithMaps(const Graph& g, const PathQuery& q,
   fwd.store_target = q.t;
   fwd.max_paths = options.max_paths;
   fwd.stamps = stamps;
+  fwd.kernel = options.kernel;
   HCPATH_RETURN_NOT_OK(RunHalfSearch(g, fwd, &fwd_paths, stats));
 
   PathSet bwd_paths;
@@ -97,6 +98,7 @@ Status EnumerateWithMaps(const Graph& g, const PathQuery& q,
     bwd.slacks = bwd_slack;
     bwd.max_paths = options.max_paths;
     bwd.stamps = stamps;
+    bwd.kernel = options.kernel;
     HCPATH_RETURN_NOT_OK(RunHalfSearch(g, bwd, &bwd_paths, stats));
   }
 
@@ -108,6 +110,7 @@ Status EnumerateWithMaps(const Graph& g, const PathQuery& q,
   join.hf = hf;
   join.hb = hb;
   join.max_paths = options.max_paths;
+  join.kernel = options.kernel;
   auto emitted = JoinAndEmit(join, query_index, sink, stats, join_scratch);
   if (!emitted.ok()) return emitted.status();
   return Status::OK();

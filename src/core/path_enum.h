@@ -20,6 +20,9 @@ struct SingleQueryOptions {
   /// cheaper side absorbs more hops.
   bool optimized_order = false;
   uint64_t max_paths = 0;  ///< 0 = unlimited
+  /// Probe-kernel selection forwarded to the half searches and the join;
+  /// every mode emits byte-identical output (see KernelMode).
+  KernelMode kernel = KernelMode::kAuto;
 };
 
 /// Chooses the forward hop budget hf in [1, k] minimizing the estimated

@@ -18,9 +18,45 @@ struct SearchCtx {
   PathSet* out;
   BatchStats* stats;
   EpochStampTable* on_path;
-  std::vector<VertexId> path;
+  std::vector<VertexId> path = {};
   Status status = Status::OK();
+  /// Per-depth on-path bitmasks for the batched neighbor probe, indexed by
+  /// the path length at which Dfs computed them. One buffer per depth (not
+  /// one shared buffer) because the recursion below a neighbor runs while
+  /// this level's mask is still live; distinct depths never alias. Inner
+  /// buffers stay valid across outer-vector growth (vector move steals the
+  /// heap block), so the raw pointer Dfs holds survives deeper resizes.
+  std::vector<std::vector<uint8_t>> probe_masks = {};
+  /// Kernel decisions resolved once per search (InitSearch), not per node:
+  /// the recursive frame tests one precomputed threshold / bool instead of
+  /// re-deriving the mode logic at every vertex visit.
+  size_t batch_cutover = 0;  ///< nbrs.size() >= this => batched TestBatch
+  bool naive_kernel = false;
+  bool prefetch = false;
 };
+
+/// The pre-stamp cycle check (KernelMode::kNaive): scan the path.
+inline bool NaiveOnPath(const std::vector<VertexId>& path, VertexId u) {
+  for (VertexId w : path) {
+    if (w == u) return true;
+  }
+  return false;
+}
+
+/// Adaptive cutovers of KernelMode::kAuto (kStamped forces the batched
+/// probe everywhere, which is what the differential tests sweep). The
+/// batched probe pays call context a short span cannot amortize —
+/// span staging, the out-of-line call, the mask-buffer round trip —
+/// while a handful of inline Contains() loads early-exits from L1.
+/// Measured with BM_HalfSearch / BM_DfsOnPath / BM_SpliceDisjoint /
+/// BM_StampTestBatch A/B sweeps (docs/PERF.md "Adaptive cutover").
+constexpr size_t kDfsBatchCutover = 16;     ///< adjacency-block vertices
+constexpr size_t kSpliceBatchCutover = 16;  ///< cached-suffix vertices
+
+/// Prefetching the next adjacency block only pays once the CSR arrays
+/// outgrow the fast cache levels; on small graphs the prefetch
+/// instruction itself is the only effect.
+constexpr VertexId kPrefetchMinVertices = 1u << 15;
 
 /// Lemma 3.1 pruning: is `u` admissible at suffix depth `depth`?
 inline bool Admissible(const HalfSearchSpec& spec, VertexId u, int depth) {
@@ -83,14 +119,47 @@ bool SpliceCached(const HalfSearchSpec& spec,
                   Hop remaining, PathSet* out, BatchStats* stats,
                   Status* status) {
   const size_t max_vertices = static_cast<size_t>(remaining) + 1;
+  // The prefix is already stamped by the DFS, so probing has zero marginal
+  // stamping cost. The kernel branch is hoisted out of the candidate loop:
+  // kNaive gets its own loop (the oracle, scanning the prefix per suffix
+  // vertex); the stamped loop applies kAuto's span cutover as one compare
+  // against a precomputed threshold — short suffixes probe with inline
+  // early-exit Contains() loads, long ones with one batched TestAny
+  // through a handle resolved once for the whole candidate sweep (the
+  // mark table is immutable here).
+  if (spec.kernel == KernelMode::kNaive) {
+    for (size_t i = 0; i < cached.size(); ++i) {
+      PathView cp = cached[i];
+      if (cp.size() > max_vertices) continue;
+      bool disjoint = true;
+      for (size_t j = 1; j < cp.size() && disjoint; ++j) {
+        disjoint = !NaiveOnPath(prefix, cp[j]);
+      }
+      if (!disjoint) continue;
+      if (spec.max_paths != 0 && out->size() >= spec.max_paths) {
+        *status = ExceededMaxPaths(spec.max_paths);
+        return false;
+      }
+      out->AddConcat(prefix, cp);
+      if (stats != nullptr) ++stats->shortcut_splices;
+    }
+    return true;
+  }
+  const size_t batch_min =
+      spec.kernel == KernelMode::kStamped ? 0 : kSpliceBatchCutover;
+  const EpochStampTable::Prober prober = prefix_mark.prober();
   for (size_t i = 0; i < cached.size(); ++i) {
     PathView cp = cached[i];
     if (cp.size() > max_vertices) continue;
     bool disjoint = true;
-    for (size_t j = 1; j < cp.size(); ++j) {
-      if (prefix_mark.Contains(cp[j])) {
-        disjoint = false;
-        break;
+    if (cp.size() - 1 >= batch_min) {
+      disjoint = !prober.TestAny(cp.subspan(1));
+    } else {
+      for (size_t j = 1; j < cp.size(); ++j) {
+        if (prefix_mark.Contains(cp[j])) {
+          disjoint = false;
+          break;
+        }
       }
     }
     if (!disjoint) continue;
@@ -104,44 +173,130 @@ bool SpliceCached(const HalfSearchSpec& spec,
   return true;
 }
 
+/// Batched cycle check: one TestBatch over the whole adjacency block
+/// computes every neighbor's on-path bit up front (8 gathered stamps per
+/// iteration). The mask stays valid across the child recursions below the
+/// caller because each push/Mark ... pop/Unmark pair restores the table to
+/// exactly the state the mask was computed against. Out of line (and cold)
+/// on purpose: short adjacency blocks never come here, and keeping the
+/// buffer bookkeeping out of the recursive frame keeps Dfs itself tight.
+__attribute__((noinline)) const uint8_t* ComputeNeighborMask(
+    SearchCtx& c, std::span<const VertexId> nbrs, size_t len) {
+  if (c.probe_masks.size() <= len) c.probe_masks.resize(len + 1);
+  std::vector<uint8_t>& buf = c.probe_masks[len];
+  if (buf.size() < nbrs.size()) buf.resize(nbrs.size());
+  c.on_path->TestBatch(nbrs, buf.data());
+  return buf.data();
+}
+
+template <bool kNaive, bool kPrefetch>
+bool Dfs(SearchCtx& c);
+
+/// The per-neighbor tail of the DFS expansion (everything after the
+/// cycle check): splice a cached subtree or recurse. Force-inlined into
+/// both neighbor loops of Dfs so the split into specialized loops costs
+/// no call overhead.
+template <bool kNaive, bool kPrefetch>
+__attribute__((always_inline)) inline bool ExpandNeighbor(SearchCtx& c,
+                                                          VertexId u,
+                                                          int depth) {
+  const Hop remaining = static_cast<Hop>(c.spec.budget - depth);
+  const SearchDep* dep =
+      c.spec.deps.empty() ? nullptr : FindDep(c.spec.deps, u);
+  if (dep != nullptr && dep->budget >= remaining) {
+    return SpliceCached(c.spec, c.path, *c.on_path, *dep->paths, remaining,
+                        c.out, c.stats, &c.status);
+  }
+  // Pull u's adjacency block toward cache while this frame finishes its
+  // bookkeeping; the recursion reads it a few dozen instructions later.
+  // Only worth the instruction once the CSR arrays outgrow cache
+  // (InitSearch resolves the gate, the template drops the test entirely).
+  if constexpr (kPrefetch) c.g.PrefetchNeighbors(u, c.spec.dir);
+  c.path.push_back(u);
+  c.on_path->Mark(u);
+  const bool keep_going = Dfs<kNaive, kPrefetch>(c);
+  c.path.pop_back();
+  c.on_path->Unmark(u);
+  return keep_going;
+}
+
+/// The recursion is specialized on the per-search-invariant kernel
+/// decisions (naive oracle? prefetch?) so its hot loop carries no
+/// per-neighbor mode branches; only the per-node adaptive choice — batch
+/// the whole adjacency block or probe per neighbor — remains, as a single
+/// compare against the precomputed threshold. InitSearch + RunDfs pick
+/// the instantiation.
+template <bool kNaive, bool kPrefetch>
 bool Dfs(SearchCtx& c) {
   if (!StoreCurrent(c)) return false;
   const size_t len = c.path.size() - 1;
   if (len >= c.spec.budget) return true;
   const VertexId tail = c.path.back();
   const int depth = static_cast<int>(len) + 1;
-  for (VertexId u : c.g.Neighbors(tail, c.spec.dir)) {
+  const std::span<const VertexId> nbrs = c.g.Neighbors(tail, c.spec.dir);
+
+  if constexpr (!kNaive) {
+    // Block long enough to amortize the gather (threshold resolved once
+    // in InitSearch: kAuto => kDfsBatchCutover, kStamped => always)?
+    // Probe it in one batch and run the mask loop.
+    if (nbrs.size() >= c.batch_cutover) {
+      const uint8_t* mask = ComputeNeighborMask(c, nbrs, len);
+      for (size_t ni = 0; ni < nbrs.size(); ++ni) {
+        const VertexId u = nbrs[ni];
+        if (c.stats != nullptr) ++c.stats->edges_expanded;
+        if (!Admissible(c.spec, u, depth)) {
+          if (c.stats != nullptr) ++c.stats->edges_pruned;
+          continue;
+        }
+        if (mask[ni] != 0) continue;
+        if (!ExpandNeighbor<kNaive, kPrefetch>(c, u, depth)) return false;
+      }
+      return true;
+    }
+  }
+  for (VertexId u : nbrs) {
     if (c.stats != nullptr) ++c.stats->edges_expanded;
     if (!Admissible(c.spec, u, depth)) {
       if (c.stats != nullptr) ++c.stats->edges_pruned;
       continue;
     }
-    if (c.on_path->Contains(u)) continue;
-    const Hop remaining = static_cast<Hop>(c.spec.budget - depth);
-    const SearchDep* dep =
-        c.spec.deps.empty() ? nullptr : FindDep(c.spec.deps, u);
-    if (dep != nullptr && dep->budget >= remaining) {
-      if (!SpliceCached(c.spec, c.path, *c.on_path, *dep->paths, remaining,
-                        c.out, c.stats, &c.status)) {
-        return false;
-      }
-      continue;
-    }
-    c.path.push_back(u);
-    c.on_path->Mark(u);
-    const bool keep_going = Dfs(c);
-    c.path.pop_back();
-    c.on_path->Unmark(u);
-    if (!keep_going) return false;
+    const bool on_path =
+        kNaive ? NaiveOnPath(c.path, u) : c.on_path->Contains(u);
+    if (on_path) continue;
+    if (!ExpandNeighbor<kNaive, kPrefetch>(c, u, depth)) return false;
   }
   return true;
 }
 
+/// Dispatches the recursion to the instantiation matching the decisions
+/// InitSearch resolved.
+bool RunDfs(SearchCtx& c) {
+  if (c.naive_kernel) {
+    return c.prefetch ? Dfs<true, true>(c) : Dfs<true, false>(c);
+  }
+  return c.prefetch ? Dfs<false, true>(c) : Dfs<false, false>(c);
+}
+
 /// Seeds the mark table with the initial path vertices before the
-/// recursion takes over the incremental maintenance.
-void SeedMarks(SearchCtx& c) {
+/// recursion takes over the incremental maintenance, and resolves the
+/// per-search kernel decisions the recursive frame reads (batch threshold,
+/// naive fallback, prefetch gate).
+void InitSearch(SearchCtx& c) {
   c.on_path->Clear();
   for (VertexId v : c.path) c.on_path->Mark(v);
+  switch (c.spec.kernel) {
+    case KernelMode::kStamped:
+      c.batch_cutover = 1;  // every non-empty block probes batched
+      break;
+    case KernelMode::kNaive:
+      c.batch_cutover = SIZE_MAX;  // never
+      break;
+    case KernelMode::kAuto:
+      c.batch_cutover = kDfsBatchCutover;
+      break;
+  }
+  c.naive_kernel = c.spec.kernel == KernelMode::kNaive;
+  c.prefetch = c.g.NumVertices() >= kPrefetchMinVertices;
 }
 
 /// Splitting a 1- or 2-hop search buys nothing: the subtrees are a handful
@@ -199,11 +354,11 @@ Status RunHalfSearchSplit(const Graph& g, const HalfSearchSpec& spec,
     // Nothing to parallelize: discard the scan (no counters were committed)
     // and run the plain recursion, which counts as it goes.
     ScratchLease<EpochStampTable> mark(spec.stamps);
-    SearchCtx ctx{g, spec, out, stats, mark.get(), {}, Status::OK()};
+    SearchCtx ctx{g, spec, out, stats, mark.get()};
     ctx.path.reserve(static_cast<size_t>(spec.budget) + 1);
     ctx.path.push_back(spec.start);
-    SeedMarks(ctx);
-    Dfs(ctx);
+    InitSearch(ctx);
+    RunDfs(ctx);
     return ctx.status;
   }
   if (stats != nullptr) {
@@ -215,27 +370,22 @@ Status RunHalfSearchSplit(const Graph& g, const HalfSearchSpec& spec,
   sub_spec.pool = nullptr;  // one split level; subtrees recurse sequentially
   spec.pool->ParallelFor(subs.size(), [&](size_t i) {
     ScratchLease<EpochStampTable> mark(sub_spec.stamps);
-    SearchCtx c{g,
-                sub_spec,
-                &subs[i].out,
-                stats != nullptr ? &subs[i].stats : nullptr,
-                mark.get(),
-                {},
-                Status::OK()};
+    SearchCtx c{g, sub_spec, &subs[i].out,
+                stats != nullptr ? &subs[i].stats : nullptr, mark.get()};
     c.path.reserve(static_cast<size_t>(spec.budget) + 1);
     c.path.push_back(spec.start);
     c.path.push_back(subs[i].first);
-    SeedMarks(c);
-    Dfs(c);
+    InitSearch(c);
+    RunDfs(c);
     subs[i].status = c.status;
   });
 
   // Sub-merge, in the order the recursion would have stored everything:
   // the trivial path (start), then per neighbor its splices or its subtree.
   ScratchLease<EpochStampTable> root_mark(spec.stamps);
-  SearchCtx root{g, spec, out, stats, root_mark.get(), {}, Status::OK()};
+  SearchCtx root{g, spec, out, stats, root_mark.get()};
   root.path.push_back(spec.start);
-  SeedMarks(root);
+  InitSearch(root);
   if (!StoreCurrent(root)) return root.status;
   for (const Action& a : actions) {
     if (a.dep != nullptr) {
@@ -278,11 +428,11 @@ Status RunHalfSearch(const Graph& g, const HalfSearchSpec& spec,
     return RunHalfSearchSplit(g, spec, out, stats);
   }
   ScratchLease<EpochStampTable> mark(spec.stamps);
-  SearchCtx ctx{g, spec, out, stats, mark.get(), {}, Status::OK()};
+  SearchCtx ctx{g, spec, out, stats, mark.get()};
   ctx.path.reserve(static_cast<size_t>(spec.budget) + 1);
   ctx.path.push_back(spec.start);
-  SeedMarks(ctx);
-  Dfs(ctx);
+  InitSearch(ctx);
+  RunDfs(ctx);
   return ctx.status;
 }
 

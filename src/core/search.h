@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bfs/distance_map.h"
+#include "core/options.h"
 #include "core/path.h"
 #include "core/stats.h"
 #include "graph/graph.h"
@@ -78,6 +79,10 @@ struct HalfSearchSpec {
   /// a per-thread table. Pure scratch plumbing: the visit order, prune
   /// decisions, stored paths, and counters do not depend on it.
   EpochStampPool* stamps = nullptr;
+
+  /// Probe-kernel selection for the on-path and splice disjointness tests;
+  /// every mode stores identical paths and counters (see KernelMode).
+  KernelMode kernel = KernelMode::kAuto;
 };
 
 /// Runs the recursive Search procedure (Algorithm 1 lines 9-13 /

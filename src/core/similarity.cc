@@ -19,11 +19,15 @@ double HarmonicMu(double fwd, double bwd) {
 
 /// Bottom-k sketch of a vertex set: the k smallest Mix64 hashes, sorted.
 /// Built straight from the distance map to avoid materializing and sorting
-/// the full key set; `hashes` is a recycled output vector.
-void BuildSketch(const VertexDistMap& set, std::vector<uint64_t>* hashes) {
+/// the full key set; `hashes` is a recycled output vector. Hashes key on
+/// *original* vertex ids so the sketch — and therefore clustering — is
+/// invariant under a GraphRemap renumbering.
+void BuildSketch(const Graph& g, const VertexDistMap& set,
+                 std::vector<uint64_t>* hashes) {
   hashes->clear();
   hashes->reserve(set.size());
-  set.ForEach([&](VertexId v, Hop) { hashes->push_back(Mix64(v)); });
+  set.ForEach(
+      [&](VertexId v, Hop) { hashes->push_back(Mix64(g.OriginalId(v))); });
   if (hashes->size() > kSketchSize) {
     std::nth_element(hashes->begin(), hashes->begin() + kSketchSize - 1,
                      hashes->end());
@@ -155,8 +159,8 @@ SimilarityMatrix ComputeSimilarityMatrix(
     fwd_size.assign(n, 0);
     bwd_size.assign(n, 0);
     for_each_row([&](size_t i) {
-      BuildSketch(index.FromSourceMap(i), &fwd_sketch[i]);
-      BuildSketch(index.ToTargetMap(i), &bwd_sketch[i]);
+      BuildSketch(g, index.FromSourceMap(i), &fwd_sketch[i]);
+      BuildSketch(g, index.ToTargetMap(i), &bwd_sketch[i]);
       fwd_size[i] = index.FromSourceMap(i).size();
       bwd_size[i] = index.ToTargetMap(i).size();
     });

@@ -78,7 +78,36 @@ class Graph {
   }
 
   /// True iff the directed edge (u, v) exists; O(log outdeg(u)).
+  /// Only valid on graphs whose adjacency is sorted by vertex id — i.e.
+  /// not on a renumbered graph from GraphRemap, whose lists are ordered
+  /// by *original* neighbor id instead.
   bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Pre-renumbering id of v on a remapped graph (GraphRemap); identity
+  /// on graphs that were never renumbered. Order-sensitive consumers
+  /// (detection level grouping, similarity sketch hashing) key on this so
+  /// renumbering never changes an observable decision.
+  VertexId OriginalId(VertexId v) const {
+    return original_ids_.empty() ? v : original_ids_[v];
+  }
+
+  /// Attaches the original-id annotation of a renumbered graph;
+  /// `ids[new_id] == original_id`, one entry per vertex. GraphRemap is the
+  /// only intended caller.
+  void SetOriginalIds(std::vector<VertexId> ids) {
+    HCPATH_CHECK_EQ(ids.size(), static_cast<size_t>(NumVertices()));
+    original_ids_ = std::move(ids);
+  }
+
+  /// Hints the adjacency block of v into cache ahead of the DFS expanding
+  /// it (core/search.cc); correctness never depends on it.
+  void PrefetchNeighbors(VertexId v, Direction d) const {
+    if (d == Direction::kForward) {
+      __builtin_prefetch(out_adj_.data() + out_offsets_[v]);
+    } else {
+      __builtin_prefetch(in_adj_.data() + in_offsets_[v]);
+    }
+  }
 
   /// All edges as (src, dst) pairs, ordered by src then dst.
   std::vector<std::pair<VertexId, VertexId>> Edges() const;
@@ -94,6 +123,7 @@ class Graph {
   std::vector<VertexId> out_adj_;
   std::vector<uint64_t> in_offsets_;
   std::vector<VertexId> in_adj_;
+  std::vector<VertexId> original_ids_;  ///< empty on non-renumbered graphs
 };
 
 }  // namespace hcpath

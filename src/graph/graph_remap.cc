@@ -1,0 +1,87 @@
+#include "graph/graph_remap.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hcpath {
+
+namespace {
+
+/// BFS visit order over the out-adjacency, seeding unreached vertices in
+/// ascending original id. Wholly deterministic: seeds and neighbor
+/// expansion both follow original-id order.
+std::vector<VertexId> BfsOrder(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<uint8_t> seen(n, 0);
+  for (VertexId seed = 0; seed < n; ++seed) {
+    if (seen[seed]) continue;
+    seen[seed] = 1;
+    size_t head = order.size();
+    order.push_back(seed);
+    // order doubles as the BFS queue: everything from `head` on is the
+    // frontier of this component.
+    while (head < order.size()) {
+      const VertexId u = order[head++];
+      for (VertexId w : g.OutNeighbors(u)) {
+        if (!seen[w]) {
+          seen[w] = 1;
+          order.push_back(w);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+/// Descending total degree, ties in ascending original id: hot hub rows
+/// compact at the low end of the stamp table and the CSR.
+std::vector<VertexId> DegreeOrder(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return g.OutDegree(a) + g.InDegree(a) > g.OutDegree(b) + g.InDegree(b);
+  });
+  return order;
+}
+
+}  // namespace
+
+GraphRemap GraphRemap::Build(const Graph& g, RemapMode mode) {
+  GraphRemap remap;
+  if (mode == RemapMode::kNone) return remap;
+
+  // to_original[new_id] == original id, in the chosen visit order.
+  std::vector<VertexId> to_original =
+      mode == RemapMode::kBfs ? BfsOrder(g) : DegreeOrder(g);
+  const VertexId n = g.NumVertices();
+  remap.to_new_.resize(n);
+  for (VertexId x = 0; x < n; ++x) remap.to_new_[to_original[x]] = x;
+
+  // Rebuild both CSR sides under the permutation. Each list is the mapped
+  // image of the original (sorted-by-original-id) list — NOT re-sorted —
+  // which is what keeps every traversal order invariant.
+  std::vector<uint64_t> out_offsets(n + 1, 0), in_offsets(n + 1, 0);
+  std::vector<VertexId> out_adj, in_adj;
+  out_adj.reserve(g.NumEdges());
+  in_adj.reserve(g.NumEdges());
+  for (VertexId x = 0; x < n; ++x) {
+    const VertexId orig = to_original[x];
+    for (VertexId w : g.OutNeighbors(orig)) {
+      out_adj.push_back(remap.to_new_[w]);
+    }
+    out_offsets[x + 1] = out_adj.size();
+    for (VertexId w : g.InNeighbors(orig)) {
+      in_adj.push_back(remap.to_new_[w]);
+    }
+    in_offsets[x + 1] = in_adj.size();
+  }
+  remap.remapped_ = Graph(std::move(out_offsets), std::move(out_adj),
+                          std::move(in_offsets), std::move(in_adj));
+  remap.remapped_.SetOriginalIds(std::move(to_original));
+  return remap;
+}
+
+}  // namespace hcpath

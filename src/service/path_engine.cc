@@ -77,6 +77,11 @@ PathEngine::PathEngine(const Graph& g, const PathEngineOptions& options)
                  : 1.0) {
   if (init_status_.ok()) init_status_ = options_.admission.Validate();
   if (!init_status_.ok()) return;
+  // One-time layout pass: every micro-batch this engine ever runs reuses
+  // the same renumbered graph (and a distance cache coherent with it).
+  remap_ = GraphRemap::Build(g_, options_.batch.remap_mode);
+  batch_options_ = options_.batch;
+  batch_options_.remap_mode = RemapMode::kNone;
   for (const auto& [tenant, weight] : options_.admission.tenant_weights) {
     queue_.SetWeight(tenant, weight);
   }
@@ -435,31 +440,48 @@ Status PathEngine::RunBatch(const std::vector<PathQuery>& queries,
 
 Status PathEngine::ExecuteBatch(const std::vector<PathQuery>& queries,
                                 PathSink* sink, BatchStats* stats) {
-  switch (options_.batch.algorithm) {
+  if (remap_.is_identity()) {
+    return ExecuteBatchOn(g_, queries, sink, stats);
+  }
+  // Validate against the ORIGINAL graph before translating, exactly where
+  // an un-remapped batch validates: whole-batch, up front. Messages embed
+  // the caller's ids; after this passes, translation (a bijection) cannot
+  // introduce a validation failure downstream.
+  HCPATH_RETURN_NOT_OK(ValidateQueries(g_, queries));
+  TranslatingSink translating(remap_, sink);
+  return ExecuteBatchOn(remap_.remapped(), remap_.TranslateQueries(queries),
+                        &translating, stats);
+}
+
+Status PathEngine::ExecuteBatchOn(const Graph& g,
+                                  const std::vector<PathQuery>& queries,
+                                  PathSink* sink, BatchStats* stats) {
+  switch (batch_options_.algorithm) {
     case Algorithm::kPathEnum: {
       // Per-query baseline: no shared index, so the context and distance
       // cache have nothing to recycle; kept for algorithm parity.
-      HCPATH_RETURN_NOT_OK(options_.batch.Validate());
-      HCPATH_RETURN_NOT_OK(ValidateQueries(g_, queries));
+      HCPATH_RETURN_NOT_OK(batch_options_.Validate());
+      HCPATH_RETURN_NOT_OK(ValidateQueries(g, queries));
       SingleQueryOptions sq;
-      sq.max_paths = options_.batch.max_paths_per_query;
+      sq.max_paths = batch_options_.max_paths_per_query;
+      sq.kernel = batch_options_.kernel_mode;
       for (size_t i = 0; i < queries.size(); ++i) {
         HCPATH_RETURN_NOT_OK(
-            PathEnumQuery(g_, queries[i], sq, i, sink, stats));
+            PathEnumQuery(g, queries[i], sq, i, sink, stats));
       }
       return Status::OK();
     }
     case Algorithm::kBasicEnum:
-      return RunBasicEnum(g_, queries, options_.batch,
+      return RunBasicEnum(g, queries, batch_options_,
                           /*optimized_order=*/false, sink, stats, &ctx_);
     case Algorithm::kBasicEnumPlus:
-      return RunBasicEnum(g_, queries, options_.batch,
+      return RunBasicEnum(g, queries, batch_options_,
                           /*optimized_order=*/true, sink, stats, &ctx_);
     case Algorithm::kBatchEnum:
-      return RunBatchEnum(g_, queries, options_.batch,
+      return RunBatchEnum(g, queries, batch_options_,
                           /*optimized_order=*/false, sink, stats, &ctx_);
     case Algorithm::kBatchEnumPlus:
-      return RunBatchEnum(g_, queries, options_.batch,
+      return RunBatchEnum(g, queries, batch_options_,
                           /*optimized_order=*/true, sink, stats, &ctx_);
   }
   return Status::Internal("unknown algorithm");

@@ -257,8 +257,16 @@ class PathEngine {
   void DispatchLoop();
   size_t StepDispatchLocked(std::unique_lock<std::mutex>& lk);
   void RunMicroBatch(std::vector<QueueItem> batch, CutReason reason);
+  /// Remap boundary: validates against the original graph (error-message
+  /// parity), translates queries, and interposes a TranslatingSink so the
+  /// pipeline below always runs in the engine's (possibly renumbered) id
+  /// space while callers only ever see original ids.
   Status ExecuteBatch(const std::vector<PathQuery>& queries, PathSink* sink,
                       BatchStats* stats);
+  /// The algorithm switch proper, running on `g` (the original graph or
+  /// remap_.remapped()) with batch_options_ (remap_mode already cleared).
+  Status ExecuteBatchOn(const Graph& g, const std::vector<PathQuery>& queries,
+                        PathSink* sink, BatchStats* stats);
 
   /// True when a query of `cost` bytes fits the queue budgets (an empty
   /// queue always admits).
@@ -294,6 +302,14 @@ class PathEngine {
   const PathEngineOptions options_;
   Status init_status_;
   Clock* clock_;
+  /// Built once at construction from options_.batch.remap_mode (identity
+  /// when kNone): a long-lived engine renumbers the graph once and amortizes
+  /// the pass over every micro-batch it ever serves. The distance cache and
+  /// BatchContext then live entirely in the renumbered id space.
+  GraphRemap remap_;
+  /// options_.batch with remap_mode cleared to kNone — the pipeline calls
+  /// below must never re-apply the remap the engine already performed.
+  BatchOptions batch_options_;
   EndpointDistanceCache cache_;
 
   /// Serializes pipeline execution (admission batches vs RunBatch): the

@@ -1,8 +1,284 @@
 #include "util/epoch_stamp.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define HCPATH_HAVE_X86 1
+#endif
 
 namespace hcpath {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Batched membership kernels. The scalar variant is the oracle on every
+// platform; the AVX2 variant gathers 8 stamps per iteration and must be
+// bit-equivalent (tests/kernel_equivalence_test.cc cross-checks them).
+// Both take the raw table view (stamp array, size, epoch) so the dispatch
+// decision sits in one place and the kernels stay branch-light.
+// ---------------------------------------------------------------------------
+
+bool ScalarTestAny(const uint32_t* stamp, size_t n, uint32_t epoch,
+                   const uint32_t* vs, size_t m) {
+  size_t i = 0;
+  // Unrolled by 4: the four loads are independent, so the OoO core overlaps
+  // them instead of serializing on the per-element branch.
+  for (; i + 4 <= m; i += 4) {
+    const bool h0 = vs[i] < n && stamp[vs[i]] == epoch;
+    const bool h1 = vs[i + 1] < n && stamp[vs[i + 1]] == epoch;
+    const bool h2 = vs[i + 2] < n && stamp[vs[i + 2]] == epoch;
+    const bool h3 = vs[i + 3] < n && stamp[vs[i + 3]] == epoch;
+    if (h0 | h1 | h2 | h3) return true;
+  }
+  for (; i < m; ++i) {
+    if (vs[i] < n && stamp[vs[i]] == epoch) return true;
+  }
+  return false;
+}
+
+void ScalarTestAnySpans(const uint32_t* stamp, size_t n, uint32_t epoch,
+                        const std::span<const uint32_t>* spans, size_t count,
+                        uint8_t* hits) {
+  for (size_t c = 0; c < count; ++c) {
+    hits[c] = ScalarTestAny(stamp, n, epoch, spans[c].data(), spans[c].size());
+  }
+}
+
+void ScalarTestBatch(const uint32_t* stamp, size_t n, uint32_t epoch,
+                     const uint32_t* vs, size_t m, uint8_t* hits) {
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    hits[i] = vs[i] < n && stamp[vs[i]] == epoch;
+    hits[i + 1] = vs[i + 1] < n && stamp[vs[i + 1]] == epoch;
+    hits[i + 2] = vs[i + 2] < n && stamp[vs[i + 2]] == epoch;
+    hits[i + 3] = vs[i + 3] < n && stamp[vs[i + 3]] == epoch;
+  }
+  for (; i < m; ++i) hits[i] = vs[i] < n && stamp[vs[i]] == epoch;
+}
+
+#ifdef HCPATH_HAVE_X86
+
+// Unsigned 32-bit a < b via the signed comparator: flip the sign bit of
+// both operands. Out-of-bounds lanes are masked OFF the gather, so they
+// never touch memory; their result lanes read the zero source, and the
+// epoch is never 0, so they compare "not marked" — exactly Contains().
+// The vertex ids themselves may exceed INT32_MAX (ids go up to 2^32 - 2);
+// only in-bounds lanes feed the gather's sign-extended index, and the
+// dispatch below keeps tables at or under 2^31 slots, so every gathered
+// index is non-negative.
+
+__attribute__((target("avx2"))) bool Avx2TestAny(const uint32_t* stamp,
+                                                 size_t n, uint32_t epoch,
+                                                 const uint32_t* vs,
+                                                 size_t m) {
+  const __m256i flip = _mm256_set1_epi32(INT32_MIN);
+  const __m256i bound =
+      _mm256_set1_epi32(static_cast<int32_t>(static_cast<uint32_t>(n)) ^
+                        INT32_MIN);
+  const __m256i vepoch = _mm256_set1_epi32(static_cast<int32_t>(epoch));
+  const __m256i zero = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vs + i));
+    const __m256i in_bounds =
+        _mm256_cmpgt_epi32(bound, _mm256_xor_si256(v, flip));
+    const __m256i got = _mm256_mask_i32gather_epi32(
+        zero, reinterpret_cast<const int*>(stamp), v, in_bounds, 4);
+    const __m256i hit = _mm256_cmpeq_epi32(got, vepoch);
+    if (_mm256_movemask_epi8(hit) != 0) return true;
+  }
+  for (; i < m; ++i) {
+    if (vs[i] < n && stamp[vs[i]] == epoch) return true;
+  }
+  return false;
+}
+
+/// Whole-run TestAny: the broadcast constants live in registers across the
+/// candidate loop (one set of set1's per run, not per candidate), and the
+/// per-candidate cost collapses to the gathers plus loop control. The tail
+/// of a span past one vector is covered by a final vector re-aligned to
+/// the span's end — the overlapped lanes re-probe ids already tested,
+/// which the any-reduction absorbs — so no span of 8+ ever takes the
+/// scalar path; only spans shorter than one vector do.
+__attribute__((target("avx2"))) void Avx2TestAnySpans(
+    const uint32_t* stamp, size_t n, uint32_t epoch,
+    const std::span<const uint32_t>* spans, size_t count, uint8_t* hits) {
+  const __m256i flip = _mm256_set1_epi32(INT32_MIN);
+  const __m256i bound =
+      _mm256_set1_epi32(static_cast<int32_t>(static_cast<uint32_t>(n)) ^
+                        INT32_MIN);
+  const __m256i vepoch = _mm256_set1_epi32(static_cast<int32_t>(epoch));
+  const __m256i zero = _mm256_setzero_si256();
+  for (size_t c = 0; c < count; ++c) {
+    const uint32_t* vs = spans[c].data();
+    const size_t m = spans[c].size();
+    bool any = false;
+    if (m == 8) {
+      // Exactly one gather — the most common batched shape (the join's
+      // spans are capped by hb, typically one vector wide), peeled so it
+      // pays no loop bookkeeping at all.
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vs));
+      const __m256i in_bounds =
+          _mm256_cmpgt_epi32(bound, _mm256_xor_si256(v, flip));
+      const __m256i got = _mm256_mask_i32gather_epi32(
+          zero, reinterpret_cast<const int*>(stamp), v, in_bounds, 4);
+      const __m256i hit = _mm256_cmpeq_epi32(got, vepoch);
+      any = !_mm256_testz_si256(hit, hit);
+    } else if (m > 8) {
+      size_t i = 0;
+      const size_t last = m - 8;
+      while (true) {
+        const __m256i v =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vs + i));
+        const __m256i in_bounds =
+            _mm256_cmpgt_epi32(bound, _mm256_xor_si256(v, flip));
+        const __m256i got = _mm256_mask_i32gather_epi32(
+            zero, reinterpret_cast<const int*>(stamp), v, in_bounds, 4);
+        const __m256i hit = _mm256_cmpeq_epi32(got, vepoch);
+        if (!_mm256_testz_si256(hit, hit)) {
+          any = true;
+          break;
+        }
+        if (i >= last) break;
+        i = i + 8 <= last ? i + 8 : last;
+      }
+    } else {
+      for (size_t i = 0; i < m; ++i) {
+        if (vs[i] < n && stamp[vs[i]] == epoch) {
+          any = true;
+          break;
+        }
+      }
+    }
+    hits[c] = any;
+  }
+}
+
+__attribute__((target("avx2"))) void Avx2TestBatch(const uint32_t* stamp,
+                                                   size_t n, uint32_t epoch,
+                                                   const uint32_t* vs,
+                                                   size_t m, uint8_t* hits) {
+  const __m256i flip = _mm256_set1_epi32(INT32_MIN);
+  const __m256i bound =
+      _mm256_set1_epi32(static_cast<int32_t>(static_cast<uint32_t>(n)) ^
+                        INT32_MIN);
+  const __m256i vepoch = _mm256_set1_epi32(static_cast<int32_t>(epoch));
+  const __m256i zero = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vs + i));
+    const __m256i in_bounds =
+        _mm256_cmpgt_epi32(bound, _mm256_xor_si256(v, flip));
+    const __m256i got = _mm256_mask_i32gather_epi32(
+        zero, reinterpret_cast<const int*>(stamp), v, in_bounds, 4);
+    const __m256i hit = _mm256_cmpeq_epi32(got, vepoch);
+    // Narrow the eight 0/-1 lanes to eight 0/1 bytes in lane order:
+    // packs(lo, hi) interleaves halves as [lo0..lo3, hi0..hi3], and the
+    // saturating packs preserve 0/1 exactly. One 8-byte store per vector
+    // beats extracting lanes through a scalar movemask loop.
+    const __m256i ones = _mm256_and_si256(hit, _mm256_set1_epi32(1));
+    const __m128i packed16 =
+        _mm_packs_epi32(_mm256_castsi256_si128(ones),
+                        _mm256_extracti128_si256(ones, 1));
+    const __m128i packed8 = _mm_packs_epi16(packed16, packed16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(hits + i), packed8);
+  }
+  for (; i < m; ++i) hits[i] = vs[i] < n && stamp[vs[i]] == epoch;
+}
+
+#endif  // HCPATH_HAVE_X86
+
+// Dispatch state. The env var is latched once; the test hook overrides it
+// at runtime so one process can exercise (and benchmark) both kernels.
+std::atomic<int> g_force_scalar_override{-1};
+
+bool EnvForceScalar() {
+  static const bool forced = [] {
+    const char* e = std::getenv("HCPATH_FORCE_SCALAR");
+    return e != nullptr && e[0] != '\0' &&
+           !(e[0] == '0' && e[1] == '\0');
+  }();
+  return forced;
+}
+
+bool SimdSupported() {
+#ifdef HCPATH_HAVE_X86
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+inline bool UseSimd(size_t table_size) {
+  // Tables past 2^31 slots would sign-flip the gather index; no dataset in
+  // the paper comes near that, but the scalar kernel stays correct there.
+  if (table_size > static_cast<size_t>(INT32_MAX)) return false;
+  const int o = g_force_scalar_override.load(std::memory_order_relaxed);
+  if (o > 0) return false;
+  if (o == 0) return SimdSupported();
+  return SimdSupported() && !EnvForceScalar();
+}
+
+}  // namespace
+
+bool EpochStampTable::TestAny(std::span<const uint32_t> vs) const {
+#ifdef HCPATH_HAVE_X86
+  if (vs.size() >= 8 && UseSimd(stamp_.size())) {
+    return Avx2TestAny(stamp_.data(), stamp_.size(), epoch_, vs.data(),
+                       vs.size());
+  }
+#endif
+  return ScalarTestAny(stamp_.data(), stamp_.size(), epoch_, vs.data(),
+                       vs.size());
+}
+
+void EpochStampTable::TestBatch(std::span<const uint32_t> vs,
+                                uint8_t* hits) const {
+#ifdef HCPATH_HAVE_X86
+  if (vs.size() >= 8 && UseSimd(stamp_.size())) {
+    Avx2TestBatch(stamp_.data(), stamp_.size(), epoch_, vs.data(), vs.size(),
+                  hits);
+    return;
+  }
+#endif
+  ScalarTestBatch(stamp_.data(), stamp_.size(), epoch_, vs.data(), vs.size(),
+                  hits);
+}
+
+void EpochStampTable::TestAnySpans(
+    std::span<const std::span<const uint32_t>> spans, uint8_t* hits) const {
+#ifdef HCPATH_HAVE_X86
+  if (UseSimd(stamp_.size())) {
+    Avx2TestAnySpans(stamp_.data(), stamp_.size(), epoch_, spans.data(),
+                     spans.size(), hits);
+    return;
+  }
+#endif
+  ScalarTestAnySpans(stamp_.data(), stamp_.size(), epoch_, spans.data(),
+                     spans.size(), hits);
+}
+
+EpochStampTable::Prober EpochStampTable::prober() const {
+#ifdef HCPATH_HAVE_X86
+  if (UseSimd(stamp_.size())) {
+    return Prober(&Avx2TestAny, stamp_.data(), stamp_.size(), epoch_);
+  }
+#endif
+  return Prober(&ScalarTestAny, stamp_.data(), stamp_.size(), epoch_);
+}
+
+bool EpochStampTable::UsingSimd() { return UseSimd(0); }
+
+void EpochStampTable::TestOnlyForceScalar(int mode) {
+  g_force_scalar_override.store(mode, std::memory_order_relaxed);
+}
 
 void EpochStampTable::Grow(uint32_t v) {
   // Geometric growth keeps repeated high-id marks amortized O(1); new

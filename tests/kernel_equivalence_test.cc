@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -21,6 +23,7 @@
 #include "core/join.h"
 #include "core/search.h"
 #include "graph/generators.h"
+#include "util/epoch_stamp.h"
 #include "util/rng.h"
 
 namespace hcpath {
@@ -104,14 +107,27 @@ StatusOr<uint64_t> NaiveJoinAndEmit(const JoinSpec& spec, size_t query_index,
   return emitted;
 }
 
-/// Random path of `len` hops starting at `head`. `universe` bounds vertex
-/// ids; small universes force dense vertex overlap between paths.
-std::vector<VertexId> RandomPath(Rng& rng, VertexId head, size_t len,
-                                 uint32_t universe) {
+/// Random *simple* path of `len` hops starting at `head`, optionally
+/// forced to end at `tail` — JoinAndEmit requires vertex-distinct forward
+/// paths (the half searches produce nothing else; see JoinSpec). Sampled
+/// without replacement; the path comes out shorter than `len` when the
+/// universe is exhausted, and small universes force dense vertex overlap
+/// *between* paths (the rejection-heavy probe regime).
+std::vector<VertexId> RandomSimplePath(Rng& rng, VertexId head, size_t len,
+                                       uint32_t universe,
+                                       VertexId tail = kInvalidVertex) {
   std::vector<VertexId> p = {head};
-  for (size_t i = 0; i < len; ++i) {
-    p.push_back(static_cast<VertexId>(rng.NextBounded(universe)));
+  const bool forced = tail != kInvalidVertex && tail != head && len >= 1;
+  const size_t hops = forced ? len - 1 : len;
+  for (size_t i = 0; i < hops; ++i) {
+    if (p.size() + (forced ? 1 : 0) >= universe) break;
+    VertexId v;
+    do {
+      v = static_cast<VertexId>(rng.NextBounded(universe));
+    } while (v == tail || std::find(p.begin(), p.end(), v) != p.end());
+    p.push_back(v);
   }
+  if (forced) p.push_back(tail);
   return p;
 }
 
@@ -125,7 +141,10 @@ void RunOneJoinConfig(uint64_t seed) {
   spec.s = static_cast<VertexId>(rng.NextBounded(universe));
   spec.t = static_cast<VertexId>(rng.NextBounded(universe));
   spec.hf = static_cast<Hop>(1 + rng.NextBounded(10));
-  spec.hb = static_cast<Hop>(rng.NextBounded(11));  // hb == 0 included
+  // hb == 0 included; the range straddles kJoinBatchMinHb so both the
+  // fused short-span loop and the run-batched TestAnySpans path (spans
+  // past one full gather, exercising its overlapped tail) are fuzzed.
+  spec.hb = static_cast<Hop>(rng.NextBounded(15));
   if (rng.NextBounded(6) == 0) spec.max_paths = 1 + rng.NextBounded(20);
 
   PathSet fwd, bwd;
@@ -140,20 +159,20 @@ void RunOneJoinConfig(uint64_t seed) {
   for (size_t i = 0; i < nf; ++i) {
     // Lengths straddle hf so the len == hf filter is exercised.
     const size_t len = rng.NextBounded(spec.hf + 3);
-    std::vector<VertexId> p = RandomPath(rng, spec.s, len, universe);
-    if (!p.empty() && rng.NextBounded(2) == 0) {
-      p.back() = midpoints[rng.NextBounded(midpoints.size())];
+    VertexId tail = kInvalidVertex;
+    if (rng.NextBounded(2) == 0) {
+      tail = midpoints[rng.NextBounded(midpoints.size())];
     }
-    if (rng.NextBounded(8) == 0 && p.size() > 1) p.back() = spec.t;
-    fwd.Add(p);
+    if (rng.NextBounded(8) == 0) tail = spec.t;
+    fwd.Add(RandomSimplePath(rng, spec.s, len, universe, tail));
   }
   for (size_t i = 0; i < nb; ++i) {
     const size_t len = rng.NextBounded(spec.hb + 3);
-    std::vector<VertexId> p = RandomPath(rng, spec.t, len, universe);
-    if (p.size() > 1 && rng.NextBounded(3) != 0) {
-      p.back() = midpoints[rng.NextBounded(midpoints.size())];
+    VertexId tail = kInvalidVertex;
+    if (rng.NextBounded(3) != 0) {
+      tail = midpoints[rng.NextBounded(midpoints.size())];
     }
-    bwd.Add(p);
+    bwd.Add(RandomSimplePath(rng, spec.t, len, universe, tail));
   }
   spec.forward = &fwd;
   spec.backward = &bwd;
@@ -165,21 +184,35 @@ void RunOneJoinConfig(uint64_t seed) {
                " |bwd|=" + std::to_string(nb) +
                " cap=" + std::to_string(spec.max_paths));
 
-  RecordingSink naive_sink, stamped_sink;
-  BatchStats naive_stats, stamped_stats;
+  RecordingSink naive_sink;
+  BatchStats naive_stats;
   auto naive = NaiveJoinAndEmit(spec, 7, &naive_sink, &naive_stats);
-  auto stamped = JoinAndEmit(spec, 7, &stamped_sink, &stamped_stats);
 
-  EXPECT_EQ(stamped.status().code(), naive.status().code());
-  EXPECT_EQ(stamped.status().message(), naive.status().message());
-  if (naive.ok() && stamped.ok()) {
-    EXPECT_EQ(*stamped, *naive);
+  // Every kernel mode must reproduce the naive reference byte for byte:
+  // kAuto flips between nested scans and the stamped probe on forward-path
+  // length (both sides of the cutover appear in the fuzzed lengths),
+  // kStamped forces the incremental-restamp TestAny probe even for short
+  // paths, kNaive forces nested scans everywhere.
+  for (KernelMode mode :
+       {KernelMode::kAuto, KernelMode::kStamped, KernelMode::kNaive}) {
+    SCOPED_TRACE(std::string("kernel=") + KernelModeName(mode));
+    JoinSpec kspec = spec;
+    kspec.kernel = mode;
+    RecordingSink sink;
+    BatchStats stats;
+    auto got = JoinAndEmit(kspec, 7, &sink, &stats);
+
+    EXPECT_EQ(got.status().code(), naive.status().code());
+    EXPECT_EQ(got.status().message(), naive.status().message());
+    if (naive.ok() && got.ok()) {
+      EXPECT_EQ(*got, *naive);
+    }
+    EXPECT_EQ(sink.events(), naive_sink.events())
+        << "emission streams diverge";
+    EXPECT_EQ(stats.paths_emitted, naive_stats.paths_emitted);
+    EXPECT_EQ(stats.join_probes, naive_stats.join_probes);
+    EXPECT_EQ(stats.join_rejected, naive_stats.join_rejected);
   }
-  EXPECT_EQ(stamped_sink.events(), naive_sink.events())
-      << "emission streams diverge";
-  EXPECT_EQ(stamped_stats.paths_emitted, naive_stats.paths_emitted);
-  EXPECT_EQ(stamped_stats.join_probes, naive_stats.join_probes);
-  EXPECT_EQ(stamped_stats.join_rejected, naive_stats.join_rejected);
 }
 
 TEST(KernelEquivalence, JoinEquivalence) {
@@ -288,22 +321,33 @@ void RunOneSearchConfig(uint64_t seed) {
                " budget=" + std::to_string(spec.budget) +
                " cap=" + std::to_string(spec.max_paths));
 
-  PathSet naive_out, stamped_out;
-  BatchStats naive_stats, stamped_stats;
+  PathSet naive_out;
+  BatchStats naive_stats;
   NaiveCtx naive{g, spec, &naive_out, &naive_stats, {}, Status::OK()};
   naive.path.push_back(spec.start);
   NaiveDfs(naive);
-  Status stamped = RunHalfSearch(g, spec, &stamped_out, &stamped_stats);
 
-  EXPECT_EQ(stamped.code(), naive.status.code());
-  EXPECT_EQ(stamped.message(), naive.status.message());
-  ASSERT_EQ(stamped_out.size(), naive_out.size());
-  for (size_t i = 0; i < naive_out.size(); ++i) {
-    ASSERT_TRUE(std::ranges::equal(stamped_out[i], naive_out[i]))
-        << "path " << i << " diverges (order matters)";
+  // kAuto and kStamped both take the TestBatch cycle-check path in the
+  // DFS; kNaive linear-scans like the reference. All three must match it.
+  for (KernelMode mode :
+       {KernelMode::kAuto, KernelMode::kStamped, KernelMode::kNaive}) {
+    SCOPED_TRACE(std::string("kernel=") + KernelModeName(mode));
+    HalfSearchSpec kspec = spec;
+    kspec.kernel = mode;
+    PathSet out;
+    BatchStats stats;
+    Status st = RunHalfSearch(g, kspec, &out, &stats);
+
+    EXPECT_EQ(st.code(), naive.status.code());
+    EXPECT_EQ(st.message(), naive.status.message());
+    ASSERT_EQ(out.size(), naive_out.size());
+    for (size_t i = 0; i < naive_out.size(); ++i) {
+      ASSERT_TRUE(std::ranges::equal(out[i], naive_out[i]))
+          << "path " << i << " diverges (order matters)";
+    }
+    EXPECT_EQ(stats.edges_expanded, naive_stats.edges_expanded);
+    EXPECT_EQ(stats.edges_pruned, naive_stats.edges_pruned);
   }
-  EXPECT_EQ(stamped_stats.edges_expanded, naive_stats.edges_expanded);
-  EXPECT_EQ(stamped_stats.edges_pruned, naive_stats.edges_pruned);
 }
 
 TEST(KernelEquivalence, SearchEquivalence) {
@@ -312,6 +356,100 @@ TEST(KernelEquivalence, SearchEquivalence) {
     SCOPED_TRACE("search config #" + std::to_string(c));
     RunOneSearchConfig(kBaseSeed + static_cast<uint64_t>(c));
     if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stamp-probe differential: TestAny / TestBatch against a per-vertex
+// Contains() loop on the same table — the ground truth both the AVX2
+// gather and the unrolled scalar kernel must reproduce. Covers span
+// lengths 0..40 (straddling the 8-lane SIMD entry and the join's adaptive
+// cutover), unaligned sub-spans, vertex ids past the table's capacity
+// (masked gather lanes), Unmark'ed slots, and an epoch wraparound
+// mid-sequence. The whole sweep runs twice, once per dispatch target.
+// ---------------------------------------------------------------------------
+void CheckProbesMatchContains(const EpochStampTable& table,
+                              std::span<const uint32_t> vs) {
+  bool want_any = false;
+  std::vector<uint8_t> want(vs.size(), 0);
+  for (size_t i = 0; i < vs.size(); ++i) {
+    want[i] = table.Contains(vs[i]) ? 1 : 0;
+    want_any = want_any || want[i] != 0;
+  }
+  EXPECT_EQ(table.TestAny(vs), want_any);
+
+  std::vector<uint8_t> hits(vs.size() + 1, 0xCD);
+  table.TestBatch(vs, hits.data());
+  for (size_t i = 0; i < vs.size(); ++i) {
+    ASSERT_EQ(hits[i], want[i]) << "lane " << i << " of " << vs.size();
+  }
+  EXPECT_EQ(hits[vs.size()], 0xCD) << "TestBatch wrote past the span";
+}
+
+void RunStampProbeSweep() {
+  // 97 is not a multiple of the lane width, so every length hits a scalar
+  // tail; the table only grows to the highest Mark'ed id, so pool entries
+  // above it exercise the masked out-of-bounds gather lanes.
+  constexpr uint32_t kUniverse = 97;
+  Rng rng(0x51A3B007C4F5ull);
+  EpochStampTable table;
+  std::vector<uint32_t> marked;
+  for (uint32_t v = 0; v < kUniverse; ++v) {
+    if (rng.NextBounded(3) == 0) {
+      table.Mark(v);
+      marked.push_back(v);
+    }
+  }
+  std::vector<uint32_t> pool;
+  for (int i = 0; i < 64; ++i) {
+    pool.push_back(rng.NextBounded(kUniverse));
+  }
+  const std::span<const uint32_t> all(pool);
+  for (size_t len = 0; len <= 40; ++len) {
+    for (size_t off = 0; off < 4; ++off) {
+      SCOPED_TRACE("len=" + std::to_string(len) +
+                   " off=" + std::to_string(off));
+      CheckProbesMatchContains(table, all.subspan(off, len));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
+  // Unmark'ed slots hold stamp 0, which no live epoch equals.
+  for (size_t i = 0; i < marked.size(); i += 2) table.Unmark(marked[i]);
+  CheckProbesMatchContains(table, all);
+
+  // Epoch wraparound mid-sequence: marks stamped UINT32_MAX must read as
+  // present, then Clear() wraps to epoch 1 — stale UINT32_MAX stamps must
+  // not resurface as hits.
+  table.TestOnlySetEpoch(UINT32_MAX - 1);
+  table.Clear();  // epoch UINT32_MAX
+  for (uint32_t v = 0; v < kUniverse; v += 2) table.Mark(v);
+  CheckProbesMatchContains(table, all);
+  table.Clear();  // wraps: storage re-zeroed, epoch restarts at 1
+  EXPECT_EQ(table.epoch(), 1u);
+  EXPECT_FALSE(table.TestAny(all));
+  CheckProbesMatchContains(table, all);
+  for (uint32_t v = 1; v < kUniverse; v += 3) table.Mark(v);
+  CheckProbesMatchContains(table, all);
+}
+
+TEST(KernelEquivalence, StampProbeDifferential) {
+  struct DispatchGuard {  // restore default dispatch even on early failure
+    ~DispatchGuard() { EpochStampTable::TestOnlyForceScalar(-1); }
+  } guard;
+  // Forced scalar first (the oracle), then whatever the host dispatches
+  // to — AVX2 where supported. Identical seed, identical expectations:
+  // any SIMD-vs-scalar divergence fails one leg and not the other.
+  EpochStampTable::TestOnlyForceScalar(1);
+  {
+    SCOPED_TRACE("dispatch=forced-scalar");
+    RunStampProbeSweep();
+  }
+  EpochStampTable::TestOnlyForceScalar(0);
+  {
+    SCOPED_TRACE(EpochStampTable::UsingSimd() ? "dispatch=avx2"
+                                              : "dispatch=scalar-host");
+    RunStampProbeSweep();
   }
 }
 
