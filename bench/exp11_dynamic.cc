@@ -1,0 +1,411 @@
+// Exp-11: dynamic-graph serving replay (docs/DYNAMIC.md). A Zipf-skewed
+// query stream over a HOT endpoint pool runs through a store-backed
+// PathEngine while edge-update batches land between micro-batches, once
+// per invalidation policy:
+//
+//   * immutable:       no updates — the endpoint-cache hit-rate ceiling.
+//   * cone_disjoint:   updates confined to a component the hot cones never
+//                      reach; cone-precise invalidation revalidates every
+//                      entry, so the hit rate must stay within 5% of the
+//                      immutable baseline.
+//   * blanket_flush:   same update schedule, but the cache is fully
+//                      flushed per batch (the pre-PR behavior, emulated
+//                      via InvalidateDistanceCache) — demonstrably loses
+//                      the retention the cone test preserves.
+//   * hot_overlap:     updates toggle edges inside the hot component;
+//                      reports invalidation precision
+//                      (revalidated / (revalidated + invalidated)) with
+//                      correctness still pinned by the parity check.
+//
+// Besides the JSON metrics the driver *verifies* the PR's acceptance
+// criteria live and exits non-zero on violation (CI bench-smoke runs
+// `exp11_dynamic --quick`):
+//   1. parity: a sample of completed queries re-run as fresh one-shot
+//      calls on exactly the snapshot stamped into their result must
+//      report identical path counts (full byte-identity is asserted by
+//      the update-interleaved differential fuzz suite),
+//   2. retention: cone_disjoint hit rate >= 0.95 x immutable baseline,
+//      with zero entries invalidated,
+//   3. blanket_flush's hit rate is strictly below cone_disjoint's (the
+//      precise test is actually buying retention).
+//
+//   ./build/exp11_dynamic --hot_vertices=2000 --stream=2400 \
+//       --update_batches=8 --json=BENCH_dynamic.json
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/batch_enum.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_store.h"
+#include "service/path_engine.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/query_gen.h"
+
+using namespace hcpath;
+using namespace hcpath::bench;
+
+namespace {
+
+/// Zipf-ish sampler over ranks [0, n): P(r) ~ 1 / (r + 1)^alpha.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double alpha) : cdf_(n) {
+    double acc = 0;
+    for (size_t r = 0; r < n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+      cdf_[r] = acc;
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+  size_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+enum class Policy { kImmutable, kConeDisjoint, kBlanketFlush, kHotOverlap };
+
+const char* PolicyName(Policy p) {
+  switch (p) {
+    case Policy::kImmutable: return "immutable";
+    case Policy::kConeDisjoint: return "cone_disjoint";
+    case Policy::kBlanketFlush: return "blanket_flush";
+    case Policy::kHotOverlap: return "hot_overlap";
+  }
+  return "?";
+}
+
+struct PolicyOutcome {
+  double seconds = 0;
+  uint64_t completed = 0;
+  uint64_t total_paths = 0;
+  uint64_t epochs = 0;
+  /// Hit rate of the measured (post-warmup) phase.
+  double hit_rate = 0;
+  uint64_t invalidated = 0, revalidated = 0;
+  double precision = 1.0;  ///< revalidated / (revalidated + invalidated)
+  bool parity_ok = true;
+  size_t parity_checked = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommonFlags cf;
+  int64_t* hot_vertices = cf.flags.AddInt64(
+      "hot_vertices", 2000, "size of the queried (hot) component");
+  int64_t* cold_vertices = cf.flags.AddInt64(
+      "cold_vertices", 2000, "size of the updated (cold) component");
+  int64_t* endpoints = cf.flags.AddInt64(
+      "endpoints", 48, "distinct query templates in the hot pool");
+  int64_t* stream_size =
+      cf.flags.AddInt64("stream", 2400, "queries in the measured stream");
+  int64_t* k = cf.flags.AddInt64("k", 4, "hop constraint");
+  int64_t* update_batches = cf.flags.AddInt64(
+      "update_batches", 8, "edge-update batches interleaved with the stream");
+  int64_t* updates_per_batch =
+      cf.flags.AddInt64("updates_per_batch", 6, "edge toggles per batch");
+  int64_t* verify = cf.flags.AddInt64(
+      "verify", 32, "completed queries to re-run one-shot for parity");
+  std::string* json = cf.flags.AddString("json", "", "also append JSON here");
+  ParseOrDie(cf, argc, argv);
+
+  VertexId n_hot = static_cast<VertexId>(*hot_vertices);
+  VertexId n_cold = static_cast<VertexId>(*cold_vertices);
+  size_t n_stream = static_cast<size_t>(*stream_size);
+  size_t n_verify = static_cast<size_t>(*verify);
+  if (*cf.quick) {
+    n_hot = std::min<VertexId>(n_hot, 800);
+    n_cold = std::min<VertexId>(n_cold, 800);
+    n_stream = std::min<size_t>(n_stream, 600);
+    n_verify = std::min<size_t>(n_verify, 16);
+  }
+  const size_t n_updates = static_cast<size_t>(*update_batches);
+
+  // Seed graph: hot component on [0, n_hot), cold component on
+  // [n_hot, n_hot + n_cold), no edges between them — so updates inside the
+  // cold component are provably outside every hot entry's BFS cone.
+  Rng grng(static_cast<uint64_t>(*cf.seed));
+  auto hot_g = GenerateSmallWorld(n_hot, 6, 0.05, grng);
+  auto cold_g = GenerateSmallWorld(n_cold, 6, 0.05, grng);
+  if (!hot_g.ok() || !cold_g.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  GraphBuilder builder(n_hot + n_cold);
+  for (const auto& [u, v] : hot_g->Edges()) builder.AddEdge(u, v);
+  for (const auto& [u, v] : cold_g->Edges()) {
+    builder.AddEdge(u + n_hot, v + n_hot);
+  }
+  auto seed_graph = builder.Build();
+  if (!seed_graph.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 seed_graph.status().ToString().c_str());
+    return 1;
+  }
+
+  // Zipf-hot endpoint pool, drawn from the hot component only.
+  Rng qrng(static_cast<uint64_t>(*cf.seed) + 1);
+  QueryGenOptions qopt;
+  qopt.k_min = static_cast<int>(*k);
+  qopt.k_max = static_cast<int>(*k);
+  qopt.min_distance = 2;
+  auto pool = GenerateRandomQueries(*hot_g, static_cast<size_t>(*endpoints),
+                                    qopt, qrng);
+  if (!pool.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 pool.status().ToString().c_str());
+    return 1;
+  }
+  ZipfSampler endpoint_sampler(pool->size(), 1.1);
+  std::vector<PathQuery> stream;
+  stream.reserve(n_stream);
+  for (size_t i = 0; i < n_stream; ++i) {
+    stream.push_back((*pool)[endpoint_sampler.Sample(qrng)]);
+  }
+  std::fprintf(stderr,
+               "[exp11] |V|=%lld (+%lld cold) stream=%zu updates=%zux%lld "
+               "threads=%lld\n",
+               static_cast<long long>(n_hot), static_cast<long long>(n_cold),
+               stream.size(), n_updates,
+               static_cast<long long>(*updates_per_batch),
+               static_cast<long long>(*cf.threads));
+
+  std::FILE* jf = nullptr;
+  if (!json->empty()) {
+    jf = std::fopen(json->c_str(), "a");
+    if (jf == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json->c_str());
+      return 2;
+    }
+  }
+
+  auto run_policy = [&](Policy policy) -> PolicyOutcome {
+    PolicyOutcome out;
+    GraphStore store(*seed_graph);
+    PathEngineOptions opt;
+    opt.batch = MakeBatchOptions(cf);
+    opt.batch.max_paths_per_query = 5'000'000;
+    opt.max_wait_seconds = 0;  // explicit Flush boundaries only
+    opt.max_batch_size = 1 << 20;
+    opt.collect_paths = false;  // serving-style: count, don't materialize
+    PathEngine engine(&store, opt);
+    if (!engine.status().ok()) {
+      std::fprintf(stderr, "engine construction failed: %s\n",
+                   engine.status().ToString().c_str());
+      std::exit(1);
+    }
+
+    std::map<uint64_t, Graph> at_epoch;
+    at_epoch.emplace(0, store.Current()->graph);
+
+    // Warmup pass fills the cache; it is not measured.
+    {
+      std::vector<std::future<QueryResult>> warm;
+      warm.reserve(stream.size());
+      for (const PathQuery& q : stream) warm.push_back(engine.Submit(q));
+      engine.Flush();
+      engine.Drain();
+      for (auto& f : warm) {
+        if (!f.get().status.ok()) {
+          std::fprintf(stderr, "warmup query failed\n");
+          std::exit(1);
+        }
+      }
+    }
+    const PathEngineStats warm_stats = engine.GetStats();
+    const EndpointDistanceCache* cache = engine.distance_cache();
+    const uint64_t inval_before =
+        cache != nullptr ? cache->entries_invalidated() : 0;
+    const uint64_t reval_before =
+        cache != nullptr ? cache->entries_revalidated() : 0;
+
+    // Measured pass: the same Zipf stream cut into one segment per update
+    // batch, each segment flushed before the next update lands.
+    Rng urng(static_cast<uint64_t>(*cf.seed) + 2);
+    const size_t segments = policy == Policy::kImmutable ? 1 : n_updates;
+    const size_t seg_len = (stream.size() + segments - 1) / segments;
+    std::vector<std::pair<PathQuery, std::future<QueryResult>>> results;
+    results.reserve(stream.size());
+    WallTimer timer;
+    for (size_t seg = 0; seg < segments; ++seg) {
+      const size_t begin = seg * seg_len;
+      const size_t end = std::min(stream.size(), begin + seg_len);
+      for (size_t i = begin; i < end; ++i) {
+        results.emplace_back(stream[i], engine.Submit(stream[i]));
+      }
+      engine.Flush();
+      engine.Drain();
+
+      if (policy == Policy::kImmutable || seg + 1 == segments) continue;
+      // Toggle random edges inside the updated region: the cold component
+      // for the disjoint policies, the hot component for hot_overlap.
+      const VertexId lo = policy == Policy::kHotOverlap ? 0 : n_hot;
+      const VertexId extent = policy == Policy::kHotOverlap ? n_hot : n_cold;
+      const Graph& current = store.Current()->graph;
+      std::vector<EdgeUpdate> batch;
+      for (int64_t i = 0; i < *updates_per_batch; ++i) {
+        const VertexId u = lo + static_cast<VertexId>(urng.NextBounded(extent));
+        const VertexId v = lo + static_cast<VertexId>(urng.NextBounded(extent));
+        if (u == v) continue;
+        batch.push_back(current.HasEdge(u, v) ? EdgeUpdate::Remove(u, v)
+                                              : EdgeUpdate::Add(u, v));
+      }
+      auto applied = engine.ApplyUpdates(batch);
+      if (!applied.status().ok()) {
+        std::fprintf(stderr, "ApplyUpdates failed: %s\n",
+                     applied.status().ToString().c_str());
+        std::exit(1);
+      }
+      at_epoch.emplace(applied->snapshot->epoch, applied->snapshot->graph);
+      if (policy == Policy::kBlanketFlush) {
+        // Emulate the pre-PR behavior: every update batch drops the whole
+        // cache instead of the cone-precise invalidation ApplyUpdates did.
+        engine.InvalidateDistanceCache();
+      }
+    }
+    engine.Drain();
+    out.seconds = timer.ElapsedSeconds();
+
+    const PathEngineStats stats = engine.GetStats();
+    const uint64_t hits =
+        stats.distance_cache_hits - warm_stats.distance_cache_hits;
+    const uint64_t misses =
+        stats.distance_cache_misses - warm_stats.distance_cache_misses;
+    out.hit_rate = hits + misses > 0
+                       ? static_cast<double>(hits) /
+                             static_cast<double>(hits + misses)
+                       : 0;
+    out.epochs = stats.graph_updates;
+    if (cache != nullptr) {
+      out.invalidated = cache->entries_invalidated() - inval_before;
+      out.revalidated = cache->entries_revalidated() - reval_before;
+      const uint64_t classified = out.invalidated + out.revalidated;
+      out.precision = classified > 0 ? static_cast<double>(out.revalidated) /
+                                           static_cast<double>(classified)
+                                     : 1.0;
+    }
+
+    // Parity self-check: an evenly spaced sample of completed queries must
+    // report the same count as a fresh one-shot run on exactly the
+    // snapshot stamped into the result.
+    const size_t step =
+        std::max<size_t>(1, results.size() / std::max<size_t>(1, n_verify));
+    for (size_t i = 0; i < results.size(); ++i) {
+      QueryResult r = results[i].second.get();
+      if (!r.status.ok()) {
+        std::fprintf(stderr, "[exp11] query failed: %s\n",
+                     r.status.ToString().c_str());
+        std::exit(1);
+      }
+      ++out.completed;
+      out.total_paths += r.path_count;
+      if (i % step != 0 || out.parity_checked >= n_verify) continue;
+      auto it = at_epoch.find(r.graph_epoch);
+      if (it == at_epoch.end()) {
+        out.parity_ok = false;
+        continue;
+      }
+      CountingSink counter(1);
+      Status st = RunBatchEnum(it->second, {results[i].first}, opt.batch,
+                               /*optimized_order=*/true, &counter, nullptr);
+      if (!st.ok() || counter.Total() != r.path_count) {
+        out.parity_ok = false;
+        std::fprintf(
+            stderr,
+            "[exp11] PARITY VIOLATION %s epoch=%llu: engine=%llu "
+            "oneshot=%llu (%s)\n",
+            results[i].first.ToString().c_str(),
+            static_cast<unsigned long long>(r.graph_epoch),
+            static_cast<unsigned long long>(r.path_count),
+            static_cast<unsigned long long>(counter.Total()),
+            st.ToString().c_str());
+      }
+      ++out.parity_checked;
+    }
+    return out;
+  };
+
+  bool all_ok = true;
+  std::map<Policy, PolicyOutcome> outcomes;
+  for (Policy policy : {Policy::kImmutable, Policy::kConeDisjoint,
+                        Policy::kBlanketFlush, Policy::kHotOverlap}) {
+    PolicyOutcome out = run_policy(policy);
+    outcomes[policy] = out;
+    const double qps =
+        out.seconds > 0 ? static_cast<double>(out.completed) / out.seconds : 0;
+    char line[768];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"bench\":\"exp11_dynamic\",\"policy\":\"%s\",\"stream\":%zu,"
+        "\"update_batches\":%llu,\"threads\":%d,\"seconds\":%.6f,"
+        "\"qps\":%.1f,\"paths\":%llu,\"hit_rate\":%.4f,"
+        "\"entries_invalidated\":%llu,\"entries_revalidated\":%llu,"
+        "\"invalidation_precision\":%.4f,\"parity_checked\":%zu,"
+        "\"parity_ok\":%s}\n",
+        PolicyName(policy), stream.size(),
+        static_cast<unsigned long long>(out.epochs),
+        MakeBatchOptions(cf).num_threads, out.seconds, qps,
+        static_cast<unsigned long long>(out.total_paths), out.hit_rate,
+        static_cast<unsigned long long>(out.invalidated),
+        static_cast<unsigned long long>(out.revalidated), out.precision,
+        out.parity_checked, out.parity_ok ? "true" : "false");
+    std::fputs(line, stdout);
+    if (jf != nullptr) std::fputs(line, jf);
+    if (!out.parity_ok) {
+      std::fprintf(stderr, "[exp11] FAIL: %s parity violated\n",
+                   PolicyName(policy));
+      all_ok = false;
+    }
+  }
+  if (jf != nullptr) std::fclose(jf);
+
+  // Acceptance: cone-precise invalidation retains the immutable hit rate
+  // (within 5%) under disjoint updates, with nothing invalidated; the
+  // blanket flush demonstrably does not.
+  const PolicyOutcome& base = outcomes[Policy::kImmutable];
+  const PolicyOutcome& precise = outcomes[Policy::kConeDisjoint];
+  const PolicyOutcome& blanket = outcomes[Policy::kBlanketFlush];
+  if (precise.hit_rate < 0.95 * base.hit_rate) {
+    std::fprintf(stderr,
+                 "[exp11] FAIL: cone_disjoint hit rate %.4f below 95%% of "
+                 "immutable baseline %.4f\n",
+                 precise.hit_rate, base.hit_rate);
+    all_ok = false;
+  }
+  if (precise.invalidated != 0) {
+    std::fprintf(stderr,
+                 "[exp11] FAIL: disjoint updates invalidated %llu entries "
+                 "(expected 0)\n",
+                 static_cast<unsigned long long>(precise.invalidated));
+    all_ok = false;
+  }
+  if (blanket.hit_rate >= precise.hit_rate) {
+    std::fprintf(stderr,
+                 "[exp11] FAIL: blanket flush hit rate %.4f not below "
+                 "cone-precise %.4f — the precise test buys nothing here\n",
+                 blanket.hit_rate, precise.hit_rate);
+    all_ok = false;
+  }
+  std::fprintf(stderr,
+               "[exp11] hit rates: immutable=%.4f cone_disjoint=%.4f "
+               "blanket_flush=%.4f | hot_overlap precision=%.4f | %s\n",
+               base.hit_rate, precise.hit_rate, blanket.hit_rate,
+               outcomes[Policy::kHotOverlap].precision,
+               all_ok ? "OK" : "FAIL");
+  return all_ok ? 0 : 3;
+}

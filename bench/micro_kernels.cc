@@ -128,6 +128,31 @@ void BM_HalfSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_HalfSearch);
 
+/// BM_HalfSearch with the kernel dispatch resolved ONCE outside the loop —
+/// the hoist every production entry point (enumerator facade, batch
+/// engines, PathEngine views) now performs per graph instead of per
+/// search. The delta against BM_HalfSearch is the per-search resolution
+/// setup BENCH_PR6.json's micro_kernels_note flagged.
+void BM_HalfSearchPreResolved(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  VertexDistMap to_t = HopCappedBfs(g, 12345, 6, Direction::kBackward);
+  TargetSlack slack[] = {{&to_t, 6}};
+  const ResolvedKernel rk = ResolveKernel(KernelMode::kAuto, g);
+  for (auto _ : state) {
+    HalfSearchSpec spec;
+    spec.start = 777;
+    spec.budget = 3;
+    spec.dir = Direction::kForward;
+    spec.slacks = slack;
+    spec.resolved = rk;
+    PathSet out;
+    Status st = RunHalfSearch(g, spec, &out, nullptr);
+    benchmark::DoNotOptimize(out.size());
+    benchmark::DoNotOptimize(st.ok());
+  }
+}
+BENCHMARK(BM_HalfSearchPreResolved);
+
 void BM_CanonicalJoin(benchmark::State& state) {
   const Graph& g = BenchGraph();
   PathSet fwd, bwd;

@@ -25,7 +25,8 @@ void BuildBatchIndex(const Graph& g, const std::vector<PathQuery>& queries,
   index->Build(g, sources, targets, hops, pool,
                ctx != nullptr ? ctx->distance_cache : nullptr,
                ctx != nullptr ? &ctx->fwd_bfs_scratch : nullptr,
-               ctx != nullptr ? &ctx->bwd_bfs_scratch : nullptr);
+               ctx != nullptr ? &ctx->bwd_bfs_scratch : nullptr,
+               ctx != nullptr ? ctx->graph_epoch : 0);
   if (stats != nullptr) {
     stats->build_index_seconds += index->build_seconds();
     stats->distance_cache_hits += index->cache_hits();
@@ -53,6 +54,7 @@ Status RunBasicEnum(const Graph& g, const std::vector<PathQuery>& queries,
   sq.optimized_order = optimized_order;
   sq.max_paths = options.max_paths_per_query;
   sq.kernel = options.kernel_mode;
+  sq.resolved = ResolveKernel(options.kernel_mode, g);  // once per batch
 
   double enum_seconds = 0;
   if (pool == nullptr) {

@@ -50,6 +50,12 @@ class BatchContext {
   EpochStampPool stamps;
   JoinScratchPool join_scratch;
   EndpointDistanceCache* distance_cache = nullptr;
+  /// Snapshot epoch of the graph the current batch runs on (GraphStore /
+  /// docs/DYNAMIC.md). The batch owner (PathEngine) sets it per batch from
+  /// the batch's pinned snapshot before executing; index builds probe and
+  /// fill the distance cache under this epoch. Static-graph callers leave
+  /// the 0 default, which matches a cache that never sees an update.
+  uint64_t graph_epoch = 0;
 
   /// The engine pool for `num_threads` compute threads, pinned in this
   /// context so repeated batches reuse one pool (ThreadPool::ForNumThreads

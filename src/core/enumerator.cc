@@ -59,11 +59,30 @@ StatusOr<Algorithm> ParseAlgorithm(const std::string& name) {
 }
 
 const GraphRemap& BatchPathEnumerator::RemapFor(RemapMode mode) {
-  if (remap_cache_ == nullptr || cached_mode_ != mode) {
+  // Keyed on the graph's content version, not just the mode: the reference
+  // g_ is stable but the Graph object behind it may be assigned a rebuilt
+  // graph between Run calls, and a remap of the dead content would
+  // silently translate queries and paths through the wrong renumbering.
+  const uint64_t graph_version = g_.version();
+  if (remap_cache_ == nullptr || cached_mode_ != mode ||
+      cached_graph_version_ != graph_version) {
     remap_cache_ = std::make_unique<GraphRemap>(GraphRemap::Build(g_, mode));
     cached_mode_ = mode;
+    cached_graph_version_ = graph_version;
   }
   return *remap_cache_;
+}
+
+const ResolvedKernel& BatchPathEnumerator::KernelFor(KernelMode mode,
+                                                     const Graph& run_g) {
+  const uint64_t graph_version = run_g.version();
+  if (kernel_cache_graph_version_ != graph_version ||
+      kernel_cache_mode_ != mode) {
+    kernel_cache_ = ResolveKernel(mode, run_g);
+    kernel_cache_mode_ = mode;
+    kernel_cache_graph_version_ = graph_version;
+  }
+  return kernel_cache_;
 }
 
 StatusOr<BatchResult> BatchPathEnumerator::Run(
@@ -103,6 +122,7 @@ StatusOr<BatchResult> BatchPathEnumerator::Run(
       SingleQueryOptions sq;
       sq.max_paths = options.max_paths_per_query;
       sq.kernel = options.kernel_mode;
+      sq.resolved = KernelFor(options.kernel_mode, run_g);
       // Per-query validation, matching the sequencing of PathEnumQuery
       // itself: queries before an invalid one still emit.
       for (size_t i = 0; i < queries.size() && st.ok(); ++i) {

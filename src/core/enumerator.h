@@ -7,6 +7,7 @@
 #include "core/options.h"
 #include "core/path.h"
 #include "core/query.h"
+#include "core/search.h"
 #include "core/stats.h"
 #include "graph/graph.h"
 #include "util/status.h"
@@ -54,12 +55,24 @@ class BatchPathEnumerator {
   /// it across Run calls. The renumbering is a per-graph index build
   /// (like loading), not a per-batch cost: a driver that holds one
   /// enumerator per graph pays it once, the same amortization PathEngine
-  /// gets by building its remap at engine construction.
+  /// gets by building its remap at engine construction. Keyed on
+  /// (mode, Graph::version()): a driver that assigns a rebuilt graph into
+  /// the referenced object between Run calls gets a fresh remap instead of
+  /// a silently stale renumbering of the dead graph.
   const GraphRemap& RemapFor(RemapMode mode);
+
+  /// Kernel dispatch for (mode, run graph), resolved once and reused
+  /// across Run calls — the same hoist as the remap cache, keyed the same
+  /// way so a graph swap re-resolves the prefetch gate.
+  const ResolvedKernel& KernelFor(KernelMode mode, const Graph& run_g);
 
   const Graph& g_;
   std::unique_ptr<GraphRemap> remap_cache_;
   RemapMode cached_mode_ = RemapMode::kNone;
+  uint64_t cached_graph_version_ = 0;  ///< 0 = cache empty (versions are >= 1)
+  ResolvedKernel kernel_cache_;
+  KernelMode kernel_cache_mode_ = KernelMode::kAuto;
+  uint64_t kernel_cache_graph_version_ = 0;  ///< 0 = cache empty
 };
 
 /// Sink adapter that translates every emitted path from a renumbered id

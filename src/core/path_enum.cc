@@ -76,6 +76,10 @@ Status EnumerateWithMaps(const Graph& g, const PathQuery& q,
   const TargetSlack fwd_slack[] = {{&to_target, q.k}};
   const TargetSlack bwd_slack[] = {{&from_source, q.k}};
 
+  const ResolvedKernel rk = options.resolved.resolved()
+                                ? options.resolved
+                                : ResolveKernel(options.kernel, g);
+
   PathSet fwd_paths;
   HalfSearchSpec fwd;
   fwd.start = q.s;
@@ -87,6 +91,7 @@ Status EnumerateWithMaps(const Graph& g, const PathQuery& q,
   fwd.max_paths = options.max_paths;
   fwd.stamps = stamps;
   fwd.kernel = options.kernel;
+  fwd.resolved = rk;
   HCPATH_RETURN_NOT_OK(RunHalfSearch(g, fwd, &fwd_paths, stats));
 
   PathSet bwd_paths;
@@ -99,6 +104,7 @@ Status EnumerateWithMaps(const Graph& g, const PathQuery& q,
     bwd.max_paths = options.max_paths;
     bwd.stamps = stamps;
     bwd.kernel = options.kernel;
+    bwd.resolved = rk;
     HCPATH_RETURN_NOT_OK(RunHalfSearch(g, bwd, &bwd_paths, stats));
   }
 

@@ -5,6 +5,7 @@
 #include "core/join.h"
 #include "core/path.h"
 #include "core/query.h"
+#include "core/search.h"
 #include "core/stats.h"
 #include "graph/graph.h"
 #include "util/epoch_stamp.h"
@@ -23,6 +24,10 @@ struct SingleQueryOptions {
   /// Probe-kernel selection forwarded to the half searches and the join;
   /// every mode emits byte-identical output (see KernelMode).
   KernelMode kernel = KernelMode::kAuto;
+  /// Pre-resolved dispatch for `kernel` (ResolveKernel). Batch callers set
+  /// it once per batch/enumerator so EnumerateWithMaps skips the
+  /// per-query resolution; the default (unresolved) resolves lazily.
+  ResolvedKernel resolved;
 };
 
 /// Chooses the forward hop budget hf in [1, k] minimizing the estimated

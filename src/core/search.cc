@@ -27,10 +27,11 @@ struct SearchCtx {
   /// buffers stay valid across outer-vector growth (vector move steals the
   /// heap block), so the raw pointer Dfs holds survives deeper resizes.
   std::vector<std::vector<uint8_t>> probe_masks = {};
-  /// Kernel decisions resolved once per search (InitSearch), not per node:
-  /// the recursive frame tests one precomputed threshold / bool instead of
-  /// re-deriving the mode logic at every vertex visit.
+  /// Kernel decisions copied from the pre-resolved dispatch (InitSearch),
+  /// so the recursive frame tests one precomputed threshold / bool instead
+  /// of re-deriving the mode logic at every vertex visit.
   size_t batch_cutover = 0;  ///< nbrs.size() >= this => batched TestBatch
+  size_t splice_cutover = 0;
   bool naive_kernel = false;
   bool prefetch = false;
 };
@@ -112,9 +113,10 @@ bool StoreCurrent(SearchCtx& c) {
 /// `prefix_mark` holds exactly the vertices of `prefix`, so each cached
 /// suffix is tested in O(|suffix|) stamp lookups. Shared by the recursion
 /// and the frontier-split sub-merge so the filter and cap semantics cannot
-/// diverge. Returns false + sets `status` at the max_paths cap.
-bool SpliceCached(const HalfSearchSpec& spec,
-                  const std::vector<VertexId>& prefix,
+/// diverge. `naive` / `splice_cutover` come from the pre-resolved kernel
+/// dispatch. Returns false + sets `status` at the max_paths cap.
+bool SpliceCached(const HalfSearchSpec& spec, bool naive,
+                  size_t splice_cutover, const std::vector<VertexId>& prefix,
                   const EpochStampTable& prefix_mark, const PathSet& cached,
                   Hop remaining, PathSet* out, BatchStats* stats,
                   Status* status) {
@@ -127,7 +129,7 @@ bool SpliceCached(const HalfSearchSpec& spec,
   // early-exit Contains() loads, long ones with one batched TestAny
   // through a handle resolved once for the whole candidate sweep (the
   // mark table is immutable here).
-  if (spec.kernel == KernelMode::kNaive) {
+  if (naive) {
     for (size_t i = 0; i < cached.size(); ++i) {
       PathView cp = cached[i];
       if (cp.size() > max_vertices) continue;
@@ -145,8 +147,7 @@ bool SpliceCached(const HalfSearchSpec& spec,
     }
     return true;
   }
-  const size_t batch_min =
-      spec.kernel == KernelMode::kStamped ? 0 : kSpliceBatchCutover;
+  const size_t batch_min = splice_cutover;
   const EpochStampTable::Prober prober = prefix_mark.prober();
   for (size_t i = 0; i < cached.size(); ++i) {
     PathView cp = cached[i];
@@ -204,8 +205,8 @@ __attribute__((always_inline)) inline bool ExpandNeighbor(SearchCtx& c,
   const SearchDep* dep =
       c.spec.deps.empty() ? nullptr : FindDep(c.spec.deps, u);
   if (dep != nullptr && dep->budget >= remaining) {
-    return SpliceCached(c.spec, c.path, *c.on_path, *dep->paths, remaining,
-                        c.out, c.stats, &c.status);
+    return SpliceCached(c.spec, kNaive, c.splice_cutover, c.path, *c.on_path,
+                        *dep->paths, remaining, c.out, c.stats, &c.status);
   }
   // Pull u's adjacency block toward cache while this frame finishes its
   // bookkeeping; the recursion reads it a few dozen instructions later.
@@ -278,25 +279,17 @@ bool RunDfs(SearchCtx& c) {
 }
 
 /// Seeds the mark table with the initial path vertices before the
-/// recursion takes over the incremental maintenance, and resolves the
-/// per-search kernel decisions the recursive frame reads (batch threshold,
-/// naive fallback, prefetch gate).
-void InitSearch(SearchCtx& c) {
+/// recursion takes over the incremental maintenance, and copies the
+/// pre-resolved kernel decisions into the fields the recursive frame
+/// reads. The mode switch and prefetch gate themselves live in
+/// ResolveKernel, hoisted out of per-search setup.
+void InitSearch(SearchCtx& c, const ResolvedKernel& rk) {
   c.on_path->Clear();
   for (VertexId v : c.path) c.on_path->Mark(v);
-  switch (c.spec.kernel) {
-    case KernelMode::kStamped:
-      c.batch_cutover = 1;  // every non-empty block probes batched
-      break;
-    case KernelMode::kNaive:
-      c.batch_cutover = SIZE_MAX;  // never
-      break;
-    case KernelMode::kAuto:
-      c.batch_cutover = kDfsBatchCutover;
-      break;
-  }
-  c.naive_kernel = c.spec.kernel == KernelMode::kNaive;
-  c.prefetch = c.g.NumVertices() >= kPrefetchMinVertices;
+  c.batch_cutover = rk.dfs_batch_cutover;
+  c.splice_cutover = rk.splice_batch_cutover;
+  c.naive_kernel = rk.naive;
+  c.prefetch = rk.prefetch;
 }
 
 /// Splitting a 1- or 2-hop search buys nothing: the subtrees are a handful
@@ -312,7 +305,8 @@ constexpr Hop kMinSplitBudget = 3;
 /// paths, their order, and (on success) every counter are byte-identical
 /// to the sequential search.
 Status RunHalfSearchSplit(const Graph& g, const HalfSearchSpec& spec,
-                          PathSet* out, BatchStats* stats) {
+                          const ResolvedKernel& rk, PathSet* out,
+                          BatchStats* stats) {
   struct SubSearch {
     VertexId first = kInvalidVertex;  // first-hop neighbor of this subtree
     PathSet out;
@@ -357,7 +351,7 @@ Status RunHalfSearchSplit(const Graph& g, const HalfSearchSpec& spec,
     SearchCtx ctx{g, spec, out, stats, mark.get()};
     ctx.path.reserve(static_cast<size_t>(spec.budget) + 1);
     ctx.path.push_back(spec.start);
-    InitSearch(ctx);
+    InitSearch(ctx, rk);
     RunDfs(ctx);
     return ctx.status;
   }
@@ -375,7 +369,7 @@ Status RunHalfSearchSplit(const Graph& g, const HalfSearchSpec& spec,
     c.path.reserve(static_cast<size_t>(spec.budget) + 1);
     c.path.push_back(spec.start);
     c.path.push_back(subs[i].first);
-    InitSearch(c);
+    InitSearch(c, rk);
     RunDfs(c);
     subs[i].status = c.status;
   });
@@ -385,13 +379,14 @@ Status RunHalfSearchSplit(const Graph& g, const HalfSearchSpec& spec,
   ScratchLease<EpochStampTable> root_mark(spec.stamps);
   SearchCtx root{g, spec, out, stats, root_mark.get()};
   root.path.push_back(spec.start);
-  InitSearch(root);
+  InitSearch(root, rk);
   if (!StoreCurrent(root)) return root.status;
   for (const Action& a : actions) {
     if (a.dep != nullptr) {
       Status st;
-      if (!SpliceCached(spec, root.path, *root_mark, *a.dep->paths,
-                        remaining, out, stats, &st)) {
+      if (!SpliceCached(spec, rk.naive, rk.splice_batch_cutover, root.path,
+                        *root_mark, *a.dep->paths, remaining, out, stats,
+                        &st)) {
         return st;
       }
       continue;
@@ -419,19 +414,45 @@ Status RunHalfSearchSplit(const Graph& g, const HalfSearchSpec& spec,
 
 }  // namespace
 
+ResolvedKernel ResolveKernel(KernelMode mode, const Graph& g) {
+  ResolvedKernel rk;
+  switch (mode) {
+    case KernelMode::kStamped:
+      rk.dfs_batch_cutover = 1;     // every non-empty block probes batched
+      rk.splice_batch_cutover = 0;  // every cached suffix probes batched
+      break;
+    case KernelMode::kNaive:
+      rk.dfs_batch_cutover = SIZE_MAX;  // never
+      rk.splice_batch_cutover = SIZE_MAX;
+      rk.naive = true;
+      break;
+    case KernelMode::kAuto:
+      rk.dfs_batch_cutover = kDfsBatchCutover;
+      rk.splice_batch_cutover = kSpliceBatchCutover;
+      break;
+  }
+  rk.prefetch = g.NumVertices() >= kPrefetchMinVertices;
+  return rk;
+}
+
 Status RunHalfSearch(const Graph& g, const HalfSearchSpec& spec,
                      PathSet* out, BatchStats* stats) {
   HCPATH_CHECK(spec.start < g.NumVertices());
   HCPATH_CHECK(out != nullptr);
+  // One-shot callers leave spec.resolved defaulted and pay the (cheap)
+  // resolution here; enumerators and engines pre-resolve it so sustained
+  // workloads skip this per search.
+  const ResolvedKernel rk =
+      spec.resolved.resolved() ? spec.resolved : ResolveKernel(spec.kernel, g);
   if (spec.pool != nullptr && spec.pool->num_workers() > 0 &&
       spec.budget >= kMinSplitBudget) {
-    return RunHalfSearchSplit(g, spec, out, stats);
+    return RunHalfSearchSplit(g, spec, rk, out, stats);
   }
   ScratchLease<EpochStampTable> mark(spec.stamps);
   SearchCtx ctx{g, spec, out, stats, mark.get()};
   ctx.path.reserve(static_cast<size_t>(spec.budget) + 1);
   ctx.path.push_back(spec.start);
-  InitSearch(ctx);
+  InitSearch(ctx, rk);
   RunDfs(ctx);
   return ctx.status;
 }

@@ -1,15 +1,22 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace hcpath {
+
+uint64_t Graph::NextVersion() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 Graph::Graph(std::vector<uint64_t> out_offsets, std::vector<VertexId> out_adj,
              std::vector<uint64_t> in_offsets, std::vector<VertexId> in_adj)
     : out_offsets_(std::move(out_offsets)),
       out_adj_(std::move(out_adj)),
       in_offsets_(std::move(in_offsets)),
-      in_adj_(std::move(in_adj)) {
+      in_adj_(std::move(in_adj)),
+      version_(NextVersion()) {
   HCPATH_CHECK_EQ(out_offsets_.size(), in_offsets_.size());
   HCPATH_CHECK(!out_offsets_.empty());
   HCPATH_CHECK_EQ(out_offsets_.back(), out_adj_.size());

@@ -29,10 +29,14 @@ inline Direction Reverse(Direction d) {
 /// out-adjacency (G) and in-adjacency (Gr). Neighbor lists are sorted by
 /// vertex id, enabling O(log d) HasEdge and deterministic iteration.
 ///
-/// Construct via GraphBuilder or one of the generators.
+/// Construct via GraphBuilder or one of the generators. A graph object is
+/// immutable once built, but the *variable* holding it may be reassigned;
+/// consumers that cache state derived from a graph (GraphRemap in
+/// BatchPathEnumerator, the endpoint-distance cache) key on version() to
+/// detect that the object they were built against has been replaced.
 class Graph {
  public:
-  Graph() = default;
+  Graph() : version_(NextVersion()) {}
 
   /// Takes ownership of prebuilt CSR arrays. `out_offsets`/`in_offsets`
   /// have n+1 entries; adjacency arrays are sorted per vertex.
@@ -118,12 +122,23 @@ class Graph {
            (out_adj_.size() + in_adj_.size()) * sizeof(VertexId);
   }
 
+  /// Process-unique identity of this graph's content, assigned at
+  /// construction from a global counter and carried along by copy/move
+  /// (copies have identical CSR content, so sharing the version is
+  /// correct). Reassigning a Graph variable from a freshly built graph
+  /// changes its version, which is how derived-state caches detect that
+  /// the object they were built against has been replaced.
+  uint64_t version() const { return version_; }
+
  private:
+  static uint64_t NextVersion();
+
   std::vector<uint64_t> out_offsets_;
   std::vector<VertexId> out_adj_;
   std::vector<uint64_t> in_offsets_;
   std::vector<VertexId> in_adj_;
   std::vector<VertexId> original_ids_;  ///< empty on non-renumbered graphs
+  uint64_t version_ = 0;
 };
 
 }  // namespace hcpath

@@ -1,6 +1,8 @@
 #include "graph/graph_builder.h"
 
 #include <algorithm>
+#include <tuple>
+#include <unordered_map>
 
 namespace hcpath {
 
@@ -66,6 +68,147 @@ StatusOr<Graph> GraphBuilder::Build() {
 
   edges_.clear();
   edges_.shrink_to_fit();
+  return Graph(std::move(out_offsets), std::move(out_adj),
+               std::move(in_offsets), std::move(in_adj));
+}
+
+namespace {
+
+/// Merges one adjacency direction: for every vertex `w` in [0, n), base
+/// neighbors minus `removes` plus `adds`, all three sorted in (w, nbr)
+/// order, emitted in ascending neighbor order. `get_base` returns the base
+/// adjacency of w (only called for w < base_n).
+template <typename GetBase>
+void MergeAdjacency(VertexId n, VertexId base_n, GetBase get_base,
+                    const std::vector<std::pair<VertexId, VertexId>>& adds,
+                    const std::vector<std::pair<VertexId, VertexId>>& removes,
+                    std::vector<uint64_t>& offsets,
+                    std::vector<VertexId>& adj) {
+  size_t ai = 0, ri = 0;
+  offsets.assign(n + 1, 0);
+  for (VertexId w = 0; w < n; ++w) {
+    std::span<const VertexId> base_nbrs =
+        w < base_n ? get_base(w) : std::span<const VertexId>();
+    size_t bi = 0;
+    while (true) {
+      VertexId from_base =
+          bi < base_nbrs.size() ? base_nbrs[bi] : kInvalidVertex;
+      // Every remove names a present base edge, and both streams are
+      // sorted, so the remove cursor advances in lockstep with the base
+      // scan of w.
+      if (from_base != kInvalidVertex && ri < removes.size() &&
+          removes[ri].first == w && removes[ri].second == from_base) {
+        ++bi;
+        ++ri;
+        continue;
+      }
+      const VertexId from_add =
+          (ai < adds.size() && adds[ai].first == w) ? adds[ai].second
+                                                    : kInvalidVertex;
+      if (from_base == kInvalidVertex && from_add == kInvalidVertex) break;
+      // Added edges are absent from base, so the two heads never tie;
+      // kInvalidVertex sorts last, making this a plain two-way merge.
+      if (from_add < from_base) {
+        adj.push_back(from_add);
+        ++ai;
+      } else {
+        adj.push_back(from_base);
+        ++bi;
+      }
+    }
+    offsets[w + 1] = adj.size();
+  }
+}
+
+}  // namespace
+
+StatusOr<Graph> GraphBuilder::ApplyUpdates(const Graph& base,
+                                           std::span<const EdgeUpdate> updates,
+                                           UpdateApplyStats* stats) {
+  UpdateApplyStats local;
+  UpdateApplyStats& s = stats != nullptr ? *stats : local;
+  s = UpdateApplyStats();
+
+  // Pass 1: validate and record, per edge, the index of its LAST update in
+  // the batch — the one that decides the outcome.
+  std::unordered_map<uint64_t, size_t> last;
+  last.reserve(updates.size() * 2);
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const EdgeUpdate& up = updates[i];
+    if (up.u == kInvalidVertex || up.v == kInvalidVertex) {
+      return Status::InvalidArgument("edge update " + std::to_string(i) +
+                                     " has an invalid endpoint");
+    }
+    if (up.u == up.v) continue;  // never lands in the CSR; classified below
+    last[(static_cast<uint64_t>(up.u) << 32) | up.v] = i;
+  }
+
+  // Pass 2: classify each deciding update against the base graph.
+  const VertexId base_n = base.NumVertices();
+  std::vector<std::pair<VertexId, VertexId>> adds, removes;
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const EdgeUpdate& up = updates[i];
+    if (up.u == up.v) {
+      // Simple paths never use self-loops, and Build drops them, so none
+      // can be present.
+      if (up.op == EdgeUpdate::Op::kAddEdge) {
+        ++s.self_loops_dropped;
+      } else {
+        ++s.remove_noops;
+      }
+      continue;
+    }
+    if (last[(static_cast<uint64_t>(up.u) << 32) | up.v] != i) {
+      continue;  // superseded by a later update of the same edge
+    }
+    const bool present =
+        up.u < base_n && up.v < base_n && base.HasEdge(up.u, up.v);
+    if (up.op == EdgeUpdate::Op::kAddEdge) {
+      if (present) {
+        ++s.add_noops;
+      } else {
+        adds.emplace_back(up.u, up.v);
+      }
+    } else {
+      if (present) {
+        removes.emplace_back(up.u, up.v);
+      } else {
+        ++s.remove_noops;
+      }
+    }
+  }
+  std::sort(adds.begin(), adds.end());
+  std::sort(removes.begin(), removes.end());
+
+  // Only effective adds can introduce vertices; an isolated base graph
+  // keeps its (possibly inferred) vertex count.
+  VertexId n = std::max<VertexId>(base_n, 1);
+  for (const auto& [u, v] : adds) n = std::max(n, std::max(u, v) + 1);
+
+  const uint64_t m = base.NumEdges() + adds.size() - removes.size();
+  std::vector<uint64_t> out_offsets, in_offsets;
+  std::vector<VertexId> out_adj, in_adj;
+  out_adj.reserve(m);
+  in_adj.reserve(m);
+  MergeAdjacency(
+      n, base_n, [&](VertexId w) { return base.OutNeighbors(w); }, adds,
+      removes, out_offsets, out_adj);
+
+  // The in-direction consumes the same deltas keyed by head: (v, u) pairs
+  // sorted by (v, u), matching in-adjacency's source-ascending order.
+  auto by_head = [](std::vector<std::pair<VertexId, VertexId>> kv) {
+    for (auto& [u, v] : kv) std::swap(u, v);
+    std::sort(kv.begin(), kv.end());
+    return kv;
+  };
+  MergeAdjacency(
+      n, base_n, [&](VertexId w) { return base.InNeighbors(w); },
+      by_head(adds), by_head(removes), in_offsets, in_adj);
+
+  HCPATH_CHECK_EQ(out_adj.size(), m);
+  HCPATH_CHECK_EQ(in_adj.size(), m);
+  s.added = std::move(adds);
+  s.removed = std::move(removes);
   return Graph(std::move(out_offsets), std::move(out_adj),
                std::move(in_offsets), std::move(in_adj));
 }

@@ -2,12 +2,41 @@
 #define HCPATH_GRAPH_GRAPH_BUILDER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
 #include "util/status.h"
 
 namespace hcpath {
+
+/// One element of a graph-update batch (dynamic graphs, docs/DYNAMIC.md).
+struct EdgeUpdate {
+  enum class Op : uint8_t { kAddEdge, kRemoveEdge };
+
+  Op op = Op::kAddEdge;
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  static EdgeUpdate Add(VertexId u, VertexId v) {
+    return {Op::kAddEdge, u, v};
+  }
+  static EdgeUpdate Remove(VertexId u, VertexId v) {
+    return {Op::kRemoveEdge, u, v};
+  }
+};
+
+/// What one ApplyUpdates batch actually did to the graph. The effective
+/// edge lists drive cone-precise cache invalidation (docs/DYNAMIC.md):
+/// no-op updates (adding a present edge, removing an absent one) touch
+/// nothing and so appear in neither list.
+struct UpdateApplyStats {
+  std::vector<std::pair<VertexId, VertexId>> added;    ///< edges now present
+  std::vector<std::pair<VertexId, VertexId>> removed;  ///< edges now absent
+  uint64_t add_noops = 0;     ///< adds of already-present edges
+  uint64_t remove_noops = 0;  ///< removes of absent edges
+  uint64_t self_loops_dropped = 0;
+};
 
 /// Accumulates directed edges and finalizes them into a CSR Graph.
 ///
@@ -35,6 +64,25 @@ class GraphBuilder {
 
   /// Sorts, dedups and builds the CSR graph. The builder is left empty.
   StatusOr<Graph> Build();
+
+  /// Applies a batch of edge updates to `base` and returns the resulting
+  /// graph as a fresh CSR (base is untouched — snapshot semantics; see
+  /// GraphStore for the epoch-stamped lifecycle around this).
+  ///
+  /// Semantics, chosen so a batch always has one deterministic outcome:
+  ///  * several updates to the same (u, v) collapse to the LAST one in
+  ///    batch order;
+  ///  * adding a present edge / removing an absent one is a counted no-op;
+  ///  * self-loop adds are dropped (as in Build);
+  ///  * ids beyond base's vertex count grow the graph (isolated vertices
+  ///    stay); kInvalidVertex endpoints fail with InvalidArgument.
+  ///
+  /// The result is structurally identical — same CSR content as a
+  /// from-scratch Build over the surviving edge set — which the
+  /// update-interleaved differential fuzz suite cross-checks.
+  static StatusOr<Graph> ApplyUpdates(const Graph& base,
+                                      std::span<const EdgeUpdate> updates,
+                                      UpdateApplyStats* stats = nullptr);
 
  private:
   VertexId num_vertices_ = 0;

@@ -1,0 +1,95 @@
+#include "graph/graph_store.h"
+
+#include <utility>
+
+namespace hcpath {
+
+GraphStore::GraphStore(Graph seed) {
+  auto snap = std::make_shared<GraphSnapshot>();
+  snap->graph = std::move(seed);
+  snap->epoch = 0;
+  current_ = std::move(snap);
+  stats_.snapshots_created = 1;
+  stats_.snapshots_live = 1;
+}
+
+std::shared_ptr<const GraphSnapshot> GraphStore::Current() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return current_;
+}
+
+uint64_t GraphStore::epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return current_->epoch;
+}
+
+StatusOr<GraphUpdateResult> GraphStore::ApplyUpdates(
+    std::span<const EdgeUpdate> updates) {
+  // Writers serialize here; the base snapshot cannot change underneath the
+  // rebuild because only this function installs new ones.
+  std::lock_guard<std::mutex> update_lk(update_mu_);
+  std::shared_ptr<const GraphSnapshot> base;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    base = current_;
+  }
+
+  GraphUpdateResult result;
+  StatusOr<Graph> next =
+      GraphBuilder::ApplyUpdates(base->graph, updates, &result.applied);
+  HCPATH_RETURN_NOT_OK(next.status());
+
+  auto snap = std::make_shared<GraphSnapshot>();
+  snap->graph = std::move(next).value();
+  snap->epoch = base->epoch + 1;
+  result.snapshot = snap;
+  // Drop the writer's own pin before the GC scan below, or the snapshot
+  // this batch retires would always look pinned and linger one batch.
+  base.reset();
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    retired_.push_back(std::move(current_));
+    current_ = std::move(snap);
+    ++stats_.snapshots_created;
+    ++stats_.snapshots_retired;
+    ++stats_.snapshots_live;
+    ++stats_.update_batches;
+    stats_.edges_added += result.applied.added.size();
+    stats_.edges_removed += result.applied.removed.size();
+    CollectGarbageLocked();
+  }
+  return result;
+}
+
+size_t GraphStore::CollectGarbage() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return CollectGarbageLocked();
+}
+
+size_t GraphStore::CollectGarbageLocked() {
+  size_t freed = 0;
+  for (size_t i = 0; i < retired_.size();) {
+    // use_count() == 1 means the retired list holds the only reference:
+    // every reader pin has been released. New pins of this snapshot are
+    // impossible (Current() only hands out current_), so the count cannot
+    // rise again and freeing is safe.
+    if (retired_[i].use_count() == 1) {
+      retired_[i] = std::move(retired_.back());
+      retired_.pop_back();
+      ++freed;
+    } else {
+      ++i;
+    }
+  }
+  stats_.snapshots_collected += freed;
+  stats_.snapshots_live -= freed;
+  return freed;
+}
+
+GraphStoreStats GraphStore::GetStats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace hcpath

@@ -1,0 +1,102 @@
+#ifndef HCPATH_GRAPH_GRAPH_STORE_H_
+#define HCPATH_GRAPH_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/status.h"
+
+namespace hcpath {
+
+/// One immutable, epoch-stamped version of a dynamic graph. Readers pin a
+/// snapshot by holding the shared_ptr handed out by GraphStore::Current()
+/// and keep enumerating their pinned view while later updates land; the
+/// snapshot (and the CSR inside it) stays alive until every pin is
+/// released and the store's deferred GC collects it (docs/DYNAMIC.md).
+struct GraphSnapshot {
+  Graph graph;
+  /// 0 for the seed graph; +1 per applied update batch.
+  uint64_t epoch = 0;
+};
+
+/// Observable lifecycle counters of a GraphStore.
+struct GraphStoreStats {
+  uint64_t snapshots_created = 0;    ///< including the seed
+  uint64_t snapshots_retired = 0;    ///< superseded by an update batch
+  uint64_t snapshots_collected = 0;  ///< retired and freed (pin count zero)
+  uint64_t snapshots_live = 0;       ///< current + retired-but-still-pinned
+  uint64_t update_batches = 0;
+  uint64_t edges_added = 0;
+  uint64_t edges_removed = 0;
+};
+
+/// Outcome of one ApplyUpdates batch.
+struct GraphUpdateResult {
+  /// The new current snapshot (already installed when this returns).
+  std::shared_ptr<const GraphSnapshot> snapshot;
+  /// Effective adds/removes and no-op counts; the edge lists drive
+  /// cone-precise endpoint-cache invalidation.
+  UpdateApplyStats applied;
+};
+
+/// Holder of the current snapshot of a dynamic graph, modeled on the
+/// deferred-GC shape of memgraph's skiplist_gc: writers install a new
+/// epoch-stamped snapshot per update batch, readers pin whatever was
+/// current at admission, and superseded snapshots sit on a retired list
+/// until their pin count drains to zero — CollectGarbage() then frees
+/// them. No reader ever blocks a writer or vice versa; the only mutual
+/// exclusion is between concurrent writers (update batches serialize).
+///
+/// Thread-safe: Current/ApplyUpdates/CollectGarbage/GetStats may be called
+/// from any thread.
+class GraphStore {
+ public:
+  /// Adopts `seed` as the epoch-0 snapshot.
+  explicit GraphStore(Graph seed);
+
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  /// The current snapshot; holding the returned pointer pins it.
+  std::shared_ptr<const GraphSnapshot> Current() const;
+
+  /// Epoch of the current snapshot.
+  uint64_t epoch() const;
+
+  /// Applies one update batch (GraphBuilder::ApplyUpdates semantics),
+  /// installs the result as the current snapshot with the next epoch, and
+  /// retires the previous one. Concurrent calls serialize; readers keep
+  /// using their pinned snapshots throughout. Opportunistically collects
+  /// unpinned retired snapshots before returning.
+  StatusOr<GraphUpdateResult> ApplyUpdates(std::span<const EdgeUpdate> updates);
+
+  /// Frees every retired snapshot whose pin count has drained to zero and
+  /// returns how many were freed. Called internally by ApplyUpdates; a
+  /// long-lived owner (PathEngine) also calls it as batches finish so a
+  /// quiet store does not hold dead snapshots until the next write.
+  size_t CollectGarbage();
+
+  GraphStoreStats GetStats() const;
+
+ private:
+  size_t CollectGarbageLocked();
+
+  /// Serializes writers across the (potentially long) CSR rebuild, held
+  /// around mu_ — never acquired while mu_ is held.
+  std::mutex update_mu_;
+  /// Guards the snapshot pointers and stats; held only for pointer swaps
+  /// and scans, so readers see at most a brief critical section.
+  mutable std::mutex mu_;
+  std::shared_ptr<const GraphSnapshot> current_;
+  /// Superseded snapshots still (possibly) pinned by in-flight readers.
+  std::vector<std::shared_ptr<const GraphSnapshot>> retired_;
+  GraphStoreStats stats_;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_GRAPH_GRAPH_STORE_H_

@@ -36,7 +36,7 @@ struct DistanceIndex::DirectionPlan {
 
 void DistanceIndex::ProbeAndPlan(const Graph& g, EndpointDistanceCache* cache,
                                  const std::vector<Hop>& hops,
-                                 DirectionPlan& plan) {
+                                 uint64_t graph_epoch, DirectionPlan& plan) {
   const size_t n = plan.endpoints->size();
   MsBfsResult& out = *plan.out;
   for (VertexDistMap& m : out.per_source) m.ClearKeepCapacity();
@@ -53,10 +53,10 @@ void DistanceIndex::ProbeAndPlan(const Graph& g, EndpointDistanceCache* cache,
     const uint64_t key = (static_cast<uint64_t>(v) << 8) | cap;
     auto [it, first] = seen.try_emplace(key, 0);
     if (first) {
-      if (const VertexDistMap* hit = cache->Lookup(v, plan.dir, cap)) {
-        // Copy immediately: the cache pointer is only stable until the
-        // next Insert, and copy-assignment reuses the slot's storage.
-        out.per_source[i] = *hit;
+      // A hit is copied straight into the slot under the cache's lock
+      // (copy-assignment reuses the slot's storage); only entries valid at
+      // this batch's pinned snapshot epoch are served.
+      if (cache->Lookup(v, plan.dir, cap, graph_epoch, &out.per_source[i])) {
         FoldMin(out.per_source[i], out.min_dist);
         ++cache_hits_;
         it->second = i;
@@ -81,7 +81,7 @@ void DistanceIndex::ProbeAndPlan(const Graph& g, EndpointDistanceCache* cache,
 }
 
 void DistanceIndex::CommitMisses(EndpointDistanceCache* cache,
-                                 DirectionPlan& plan) {
+                                 uint64_t graph_epoch, DirectionPlan& plan) {
   MsBfsResult& out = *plan.out;
   MsBfsResult& built = *plan.miss_out;
   for (size_t k = 0; k < plan.miss_sources.size(); ++k) {
@@ -89,7 +89,7 @@ void DistanceIndex::CommitMisses(EndpointDistanceCache* cache,
       out.per_source[slot] = built.per_source[k];
     }
     cache->Insert(plan.miss_sources[k], plan.dir, plan.miss_caps[k],
-                  std::move(built.per_source[k]));
+                  graph_epoch, std::move(built.per_source[k]));
   }
   // The miss BFS only saw the missing endpoints; cache-served maps were
   // folded in during the probe, so the elementwise min completes the array.
@@ -105,7 +105,7 @@ void DistanceIndex::Build(const Graph& g,
                           const std::vector<Hop>& hops, ThreadPool* pool,
                           EndpointDistanceCache* cache,
                           MsBfsScratch* fwd_scratch,
-                          MsBfsScratch* bwd_scratch) {
+                          MsBfsScratch* bwd_scratch, uint64_t graph_epoch) {
   HCPATH_CHECK_EQ(sources.size(), targets.size());
   HCPATH_CHECK_EQ(sources.size(), hops.size());
   WallTimer timer;
@@ -137,16 +137,18 @@ void DistanceIndex::Build(const Graph& g,
     return;
   }
 
-  // Cache-aware build. The cache is not thread-safe, so probes (phase 1)
-  // and fills (phase 3) run on the calling thread; only the miss BFSs
-  // (phase 2) go parallel. Served maps replicate to every requesting slot,
-  // and misses deduplicate to one BFS per unique (endpoint, cap) key.
+  // Cache-aware build. Probes (phase 1) and fills (phase 3) run on the
+  // calling thread; only the miss BFSs (phase 2) go parallel. Served maps
+  // replicate to every requesting slot, and misses deduplicate to one BFS
+  // per unique (endpoint, cap) key.
   DirectionPlan plans[2];
   plans[0] = {Direction::kForward, &sources, &fwd_, &miss_build_[0],
               fwd_scratch,         {},       {},    {}};
   plans[1] = {Direction::kBackward, &targets, &bwd_, &miss_build_[1],
               bwd_scratch,          {},       {},    {}};
-  for (DirectionPlan& plan : plans) ProbeAndPlan(g, cache, hops, plan);
+  for (DirectionPlan& plan : plans) {
+    ProbeAndPlan(g, cache, hops, graph_epoch, plan);
+  }
 
   auto run_misses = [&](DirectionPlan& plan) {
     MultiSourceBfs(g, plan.miss_sources, plan.miss_caps, plan.dir, pool,
@@ -159,7 +161,7 @@ void DistanceIndex::Build(const Graph& g,
     run_misses(plans[1]);
   }
 
-  for (DirectionPlan& plan : plans) CommitMisses(cache, plan);
+  for (DirectionPlan& plan : plans) CommitMisses(cache, graph_epoch, plan);
   build_seconds_ = timer.ElapsedSeconds();
 }
 

@@ -45,8 +45,13 @@ class DistanceIndex {
   /// built for misses are inserted for future batches. Served maps are
   /// content-identical to a fresh build, so batch output is unchanged
   /// (docs/SERVICE.md has the coherence argument); hit/miss totals for the
-  /// last Build are exposed below. The cache is probed and filled strictly
-  /// outside the parallel BFS section, so it needs no internal locking.
+  /// last Build are exposed below. Probes and fills run strictly outside
+  /// the parallel BFS section, on the calling thread.
+  ///
+  /// `graph_epoch` is the snapshot epoch `g` corresponds to on a dynamic
+  /// graph (GraphStore / docs/DYNAMIC.md): probes only hit entries valid
+  /// at that epoch and misses are inserted under it. Static callers leave
+  /// the default 0.
   ///
   /// `fwd_scratch` / `bwd_scratch` optionally recycle the BFS working
   /// memory across builds (they must be distinct: the two directions run
@@ -56,7 +61,7 @@ class DistanceIndex {
              const std::vector<Hop>& hops, ThreadPool* pool = nullptr,
              EndpointDistanceCache* cache = nullptr,
              MsBfsScratch* fwd_scratch = nullptr,
-             MsBfsScratch* bwd_scratch = nullptr);
+             MsBfsScratch* bwd_scratch = nullptr, uint64_t graph_epoch = 0);
 
   size_t num_queries() const { return fwd_.per_source.size(); }
 
@@ -121,8 +126,10 @@ class DistanceIndex {
  private:
   struct DirectionPlan;
   void ProbeAndPlan(const Graph& g, EndpointDistanceCache* cache,
-                    const std::vector<Hop>& hops, DirectionPlan& plan);
-  void CommitMisses(EndpointDistanceCache* cache, DirectionPlan& plan);
+                    const std::vector<Hop>& hops, uint64_t graph_epoch,
+                    DirectionPlan& plan);
+  void CommitMisses(EndpointDistanceCache* cache, uint64_t graph_epoch,
+                    DirectionPlan& plan);
 
   MsBfsResult fwd_;  // per-source maps on G + min-dist to any source
   MsBfsResult bwd_;  // per-target maps on Gr + min-dist to any target

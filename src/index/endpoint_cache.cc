@@ -1,46 +1,212 @@
 #include "index/endpoint_cache.h"
 
+#include <algorithm>
+
 namespace hcpath {
 
-const VertexDistMap* EndpointDistanceCache::Lookup(VertexId vertex,
-                                                   Direction dir, Hop cap) {
+namespace {
+
+/// Plain hop-capped multi-source BFS into a dense distance array (sized by
+/// the caller, pre-filled with kUnreachable). Small and allocation-light on
+/// purpose: it runs under the cache lock, capped at the largest cached hop
+/// cap minus one, from only the update batch's touched endpoints.
+void CappedMultiSourceDist(const Graph& g, Direction dir,
+                           const std::vector<VertexId>& sources, Hop cap,
+                           std::vector<Hop>& dist) {
+  std::vector<VertexId> frontier, next;
+  frontier.reserve(sources.size());
+  for (VertexId s : sources) {
+    if (dist[s] != 0) {
+      dist[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  for (Hop h = 1; h <= cap && !frontier.empty(); ++h) {
+    next.clear();
+    for (VertexId u : frontier) {
+      for (VertexId w : g.Neighbors(u, dir)) {
+        if (dist[w] == kUnreachable) {
+          dist[w] = h;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+}  // namespace
+
+bool EndpointDistanceCache::Lookup(VertexId vertex, Direction dir, Hop cap,
+                                   uint64_t epoch, VertexDistMap* out) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = by_key_.find(Key{vertex, dir, cap});
   if (it == by_key_.end()) {
     ++misses_;
-    return nullptr;
+    return false;
+  }
+  const Entry& e = *it->second;
+  if (epoch < e.built_epoch || epoch > e.valid_through) {
+    ++misses_;
+    ++stale_misses_;
+    return false;
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return &it->second->map;
+  *out = e.map;
+  return true;
 }
 
 void EndpointDistanceCache::Insert(VertexId vertex, Direction dir, Hop cap,
-                                   VertexDistMap map) {
+                                   uint64_t epoch, VertexDistMap map) {
   if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
   const Key key{vertex, dir, cap};
   auto it = by_key_.find(key);
   if (it != by_key_.end()) {
-    // Same key means same graph-determined content; just refresh recency.
+    Entry& e = *it->second;
+    if (epoch >= e.built_epoch && epoch <= e.valid_through) {
+      // Same snapshot interval means same graph-determined content; just
+      // refresh recency.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (epoch < e.built_epoch) {
+      // A batch pinned to an older snapshot rebuilt a key the cache has
+      // since re-learned for a newer epoch; keep the newer content.
+      return;
+    }
+    // Replace: the entry predates `epoch` and was not revalidated across
+    // the intervening update(s), so its content is for a dead snapshot.
+    // Charge the byte budget for exactly the delta.
+    bytes_ -= e.bytes;
+    e.map = std::move(map);
+    e.bytes = e.map.MemoryBytes() + sizeof(Entry);
+    e.built_epoch = epoch;
+    e.valid_through = epoch;
+    bytes_ += e.bytes;
     lru_.splice(lru_.begin(), lru_, it->second);
+    EvictToBudgetLocked();
     return;
   }
   Entry e;
   e.key = key;
   e.map = std::move(map);
   e.bytes = e.map.MemoryBytes() + sizeof(Entry);
+  e.built_epoch = epoch;
+  e.valid_through = epoch;
   bytes_ += e.bytes;
   lru_.push_front(std::move(e));
   by_key_.emplace(key, lru_.begin());
-  EvictToBudget();
+  EvictToBudgetLocked();
+}
+
+EndpointDistanceCache::InvalidationResult
+EndpointDistanceCache::InvalidateUpdated(
+    const Graph& old_g, const Graph& new_g,
+    const std::vector<std::pair<VertexId, VertexId>>& added,
+    const std::vector<std::pair<VertexId, VertexId>>& removed,
+    uint64_t old_epoch, uint64_t new_epoch) {
+  InvalidationResult result;
+  std::lock_guard<std::mutex> lk(mu_);
+
+  // Only entries valid at old_epoch can possibly carry forward; find the
+  // deepest cone among them to cap the classification BFSs.
+  Hop max_cap = 0;
+  for (const Entry& e : lru_) {
+    if (e.valid_through == old_epoch && e.key.cap > max_cap) {
+      max_cap = e.key.cap;
+    }
+  }
+  if (max_cap == 0) return result;
+  if (added.empty() && removed.empty()) {
+    // Pure no-op batch: every snapshot-identical entry carries forward.
+    for (Entry& e : lru_) {
+      if (e.valid_through == old_epoch) {
+        e.valid_through = new_epoch;
+        ++result.revalidated;
+      }
+    }
+    entries_revalidated_ += result.revalidated;
+    return result;
+  }
+
+  // A forward entry (v, cap) changes only if its BFS can reach a touched
+  // edge's TAIL within cap-1 hops — removed edges on the old graph, added
+  // edges on the new one (docs/DYNAMIC.md has the two-sided argument).
+  // dist(v -> tail) for all v at once is one backward multi-source BFS
+  // from the tails; backward entries are the mirror image via edge HEADS
+  // and forward BFSs.
+  std::vector<VertexId> removed_tails, added_tails, removed_heads,
+      added_heads;
+  for (const auto& [u, v] : removed) {
+    removed_tails.push_back(u);
+    removed_heads.push_back(v);
+  }
+  for (const auto& [u, v] : added) {
+    added_tails.push_back(u);
+    added_heads.push_back(v);
+  }
+  const size_t max_n =
+      std::max<size_t>(old_g.NumVertices(), new_g.NumVertices());
+  const Hop cone_cap = static_cast<Hop>(max_cap - 1);
+  // Four independent distance fields — one per (delta kind, graph side) —
+  // NOT folded into two: sharing an array would stop the second BFS's
+  // propagation at vertices the first already labeled with a smaller
+  // distance, under-counting reach and letting stale entries survive.
+  // to_tail_*[v] = hops from v to the nearest touched tail (fwd-entry
+  // test); from_head_*[v] = hops from the nearest touched head to v
+  // (bwd-entry test).
+  std::vector<Hop> to_tail_removed(max_n, kUnreachable);
+  std::vector<Hop> to_tail_added(max_n, kUnreachable);
+  std::vector<Hop> from_head_removed(max_n, kUnreachable);
+  std::vector<Hop> from_head_added(max_n, kUnreachable);
+  CappedMultiSourceDist(old_g, Direction::kBackward, removed_tails, cone_cap,
+                        to_tail_removed);
+  CappedMultiSourceDist(new_g, Direction::kBackward, added_tails, cone_cap,
+                        to_tail_added);
+  CappedMultiSourceDist(old_g, Direction::kForward, removed_heads, cone_cap,
+                        from_head_removed);
+  CappedMultiSourceDist(new_g, Direction::kForward, added_heads, cone_cap,
+                        from_head_added);
+
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    Entry& e = *it;
+    if (e.valid_through != old_epoch) {
+      ++it;
+      continue;
+    }
+    // Cached keys come from queries validated against their snapshot, and
+    // vertex counts only grow, so e.key.vertex always indexes the arrays.
+    const VertexId v = e.key.vertex;
+    const Hop d = e.key.dir == Direction::kForward
+                      ? std::min(to_tail_removed[v], to_tail_added[v])
+                      : std::min(from_head_removed[v], from_head_added[v]);
+    if (d != kUnreachable && d + 1 <= e.key.cap) {
+      bytes_ -= e.bytes;
+      by_key_.erase(e.key);
+      it = lru_.erase(it);
+      ++result.invalidated;
+    } else {
+      e.valid_through = new_epoch;
+      ++result.revalidated;
+      ++it;
+    }
+  }
+  entries_invalidated_ += result.invalidated;
+  entries_revalidated_ += result.revalidated;
+  return result;
 }
 
 void EndpointDistanceCache::Invalidate() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_invalidated_ += lru_.size();
   lru_.clear();
   by_key_.clear();
   bytes_ = 0;
 }
 
-void EndpointDistanceCache::EvictToBudget() {
+void EndpointDistanceCache::EvictToBudgetLocked() {
   while (lru_.size() > max_entries_ ||
          (max_bytes_ != 0 && bytes_ > max_bytes_ && lru_.size() > 1)) {
     const Entry& victim = lru_.back();
@@ -49,6 +215,52 @@ void EndpointDistanceCache::EvictToBudget() {
     lru_.pop_back();
     ++evictions_;
   }
+}
+
+size_t EndpointDistanceCache::entries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lru_.size();
+}
+uint64_t EndpointDistanceCache::bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_;
+}
+uint64_t EndpointDistanceCache::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+uint64_t EndpointDistanceCache::misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+uint64_t EndpointDistanceCache::evictions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evictions_;
+}
+uint64_t EndpointDistanceCache::stale_misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stale_misses_;
+}
+uint64_t EndpointDistanceCache::entries_invalidated() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_invalidated_;
+}
+uint64_t EndpointDistanceCache::entries_revalidated() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_revalidated_;
+}
+
+void EndpointDistanceCache::ResetCounters() {
+  std::lock_guard<std::mutex> lk(mu_);
+  hits_ = misses_ = evictions_ = stale_misses_ = 0;
+  entries_invalidated_ = entries_revalidated_ = 0;
+}
+
+uint64_t EndpointDistanceCache::DebugSumEntryBytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t total = 0;
+  for (const Entry& e : lru_) total += e.map.MemoryBytes() + sizeof(Entry);
+  return total;
 }
 
 }  // namespace hcpath

@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "bfs/distance_map.h"
 #include "graph/graph.h"
@@ -16,18 +19,23 @@ namespace hcpath {
 /// skew that motivates the paper's intra-batch sharing) skips its BFS in
 /// the next batch's index build entirely.
 ///
-/// Coherence: the graph is immutable for the cache's lifetime, and a BFS
-/// from a fixed (vertex, direction) capped at a fixed hop count is a pure
-/// function of the graph, so an entry never goes stale. A served map holds
-/// exactly the entry set {(v, d) : d = dist(vertex, v) <= cap} a fresh
-/// build would produce; since every index consumer is insensitive to map
-/// layout (lookups and order-insensitive folds only — docs/SERVICE.md),
-/// batch output on cache hits is bit-identical to cold runs. Invalidate()
-/// is the escape hatch if a caller ever mutates or swaps the graph.
+/// Coherence on a dynamic graph (docs/DYNAMIC.md): every entry carries the
+/// graph-epoch interval [built_epoch, valid_through] over which its content
+/// is known to equal a fresh BFS. A hop-capped BFS from a fixed
+/// (vertex, direction) is a pure function of the graph within the entry's
+/// cone, so when an update batch lands, InvalidateUpdated() extends
+/// valid_through for exactly the entries whose cone provably misses every
+/// touched edge and erases the rest — cone-precise invalidation, not a
+/// blanket flush. Lookups pass the epoch of the snapshot their batch
+/// admitted against and only hit inside the entry's validity interval, so
+/// pinned in-flight batches and post-update batches each see maps
+/// bit-identical to a from-scratch build on their own snapshot. A static
+/// graph degenerates to epoch 0 everywhere and behaves exactly as before.
 ///
-/// Not thread-safe: callers (DistanceIndex::Build probes and fills it
-/// strictly outside the parallel BFS section; PathEngine runs one batch at
-/// a time) must serialize access externally.
+/// Thread-safe: all public methods lock an internal mutex, so an update
+/// thread may invalidate while a pinned batch probes/fills concurrently
+/// (PathEngine::ApplyUpdates runs outside the batch-execution lock).
+/// Served maps are copied out under the lock; no internal pointer escapes.
 class EndpointDistanceCache {
  public:
   /// `max_entries` = 0 disables the cache (every probe misses, inserts are
@@ -36,26 +44,76 @@ class EndpointDistanceCache {
                                  uint64_t max_bytes = 0)
       : max_entries_(max_entries), max_bytes_(max_bytes) {}
 
-  /// Returns the cached map for (vertex, dir, cap) and refreshes its LRU
-  /// position, or nullptr. The pointer is stable until the next Insert /
-  /// Invalidate call. Counts one hit or miss.
-  const VertexDistMap* Lookup(VertexId vertex, Direction dir, Hop cap);
+  /// Probes (vertex, dir, cap) at graph epoch `epoch`. On a hit — the
+  /// entry exists and `epoch` lies in its validity interval — copies the
+  /// map into `*out` (copy-assignment recycles out's storage), refreshes
+  /// the entry's LRU position, counts a hit, and returns true. An entry
+  /// whose interval misses `epoch` counts as a miss (plus stale_misses).
+  bool Lookup(VertexId vertex, Direction dir, Hop cap, uint64_t epoch,
+              VertexDistMap* out);
 
-  /// Inserts (or replaces) the map for (vertex, dir, cap) as most recently
-  /// used, then evicts least-recently-used entries until both budgets hold.
-  void Insert(VertexId vertex, Direction dir, Hop cap, VertexDistMap map);
+  /// Inserts the map built at graph epoch `epoch` for (vertex, dir, cap)
+  /// as most recently used, then evicts least-recently-used entries until
+  /// both budgets hold. Over an existing key:
+  ///  * interval covers `epoch` — same graph-determined content; only the
+  ///    recency is refreshed;
+  ///  * entry is older (valid_through < epoch) — replaced, with the byte
+  ///    budget charged for exactly the delta (the overwrite path must not
+  ///    double-count or leak; asserted by endpoint_cache_test's
+  ///    bytes_accounted == sum(entries) invariant);
+  ///  * entry is newer (built_epoch > epoch) — the insert is dropped: a
+  ///    batch pinned to an old snapshot must not clobber current state.
+  void Insert(VertexId vertex, Direction dir, Hop cap, uint64_t epoch,
+              VertexDistMap map);
+
+  /// Per-call outcome of InvalidateUpdated.
+  struct InvalidationResult {
+    uint64_t invalidated = 0;  ///< entries whose cone intersects the update
+    uint64_t revalidated = 0;  ///< entries carried forward to new_epoch
+  };
+
+  /// Graph transition old_epoch -> new_epoch = old_epoch + 1 with the
+  /// given effective edge deltas (GraphBuilder::ApplyUpdates's stats):
+  /// revalidates every entry whose hop-capped BFS cone provably avoids all
+  /// touched edges — forward entry (v, cap) is kept iff no removed-edge
+  /// tail is within cap-1 of v in `old_g` and no added-edge tail is within
+  /// cap-1 of v in `new_g` (symmetrically via edge heads for backward
+  /// entries) — and erases the rest. Kept entries get
+  /// valid_through = new_epoch; only entries currently valid at old_epoch
+  /// participate (anything older can already never serve new_epoch).
+  ///
+  /// Cost: at most four hop-capped multi-source BFSs from the touched
+  /// endpoints, capped at (max cached hop cap) - 1 — independent of entry
+  /// count beyond a linear classification scan.
+  InvalidationResult InvalidateUpdated(
+      const Graph& old_g, const Graph& new_g,
+      const std::vector<std::pair<VertexId, VertexId>>& added,
+      const std::vector<std::pair<VertexId, VertexId>>& removed,
+      uint64_t old_epoch, uint64_t new_epoch);
 
   /// Drops every entry (budgets and counters are kept).
   void Invalidate();
 
-  size_t entries() const { return lru_.size(); }
-  uint64_t bytes() const { return bytes_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  size_t entries() const;
+  uint64_t bytes() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+  /// Misses caused by an entry that exists but whose validity interval
+  /// does not contain the probed epoch.
+  uint64_t stale_misses() const;
+  /// Cumulative InvalidateUpdated outcomes (plus full Invalidate() drops
+  /// under `entries_invalidated`).
+  uint64_t entries_invalidated() const;
+  uint64_t entries_revalidated() const;
 
-  /// Zeroes the hit/miss/eviction counters (entries stay).
-  void ResetCounters() { hits_ = misses_ = evictions_ = 0; }
+  /// Zeroes the hit/miss/eviction/invalidation counters (entries stay).
+  void ResetCounters();
+
+  /// Recomputes sum over live entries of their accounted size — the
+  /// invariant bytes() must equal after any operation sequence. Test-only
+  /// (linear walk).
+  uint64_t DebugSumEntryBytes() const;
 
  private:
   struct Key {
@@ -79,18 +137,26 @@ class EndpointDistanceCache {
     Key key;
     VertexDistMap map;
     uint64_t bytes = 0;
+    /// Content == fresh BFS on every snapshot in [built_epoch,
+    /// valid_through] (inclusive).
+    uint64_t built_epoch = 0;
+    uint64_t valid_through = 0;
   };
 
-  void EvictToBudget();
+  void EvictToBudgetLocked();
 
   size_t max_entries_;
   uint64_t max_bytes_;
+  mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> by_key_;
   uint64_t bytes_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t stale_misses_ = 0;
+  uint64_t entries_invalidated_ = 0;
+  uint64_t entries_revalidated_ = 0;
 };
 
 }  // namespace hcpath

@@ -64,7 +64,7 @@ class DiscardSink : public PathSink {
 }  // namespace
 
 PathEngine::PathEngine(const Graph& g, const PathEngineOptions& options)
-    : g_(g),
+    : fixed_graph_(&g),
       options_(options),
       init_status_(options.batch.Validate()),
       clock_(options.clock != nullptr ? options.clock : &WallClock::Default()),
@@ -75,13 +75,40 @@ PathEngine::PathEngine(const Graph& g, const PathEngineOptions& options)
       queue_(options.admission.default_tenant_weight > 0
                  ? options.admission.default_tenant_weight
                  : 1.0) {
+  Init();
+}
+
+PathEngine::PathEngine(GraphStore* store, const PathEngineOptions& options)
+    : store_(store),
+      options_(options),
+      init_status_(store != nullptr
+                       ? options.batch.Validate()
+                       : Status::InvalidArgument(
+                             "PathEngine requires a non-null GraphStore")),
+      clock_(options.clock != nullptr ? options.clock : &WallClock::Default()),
+      cache_(options.enable_distance_cache
+                 ? options.distance_cache_max_entries
+                 : 0,
+             options.distance_cache_max_bytes),
+      queue_(options.admission.default_tenant_weight > 0
+                 ? options.admission.default_tenant_weight
+                 : 1.0) {
+  Init();
+}
+
+void PathEngine::Init() {
   if (init_status_.ok()) init_status_ = options_.admission.Validate();
   if (!init_status_.ok()) return;
-  // One-time layout pass: every micro-batch this engine ever runs reuses
-  // the same renumbered graph (and a distance cache coherent with it).
-  remap_ = GraphRemap::Build(g_, options_.batch.remap_mode);
   batch_options_ = options_.batch;
   batch_options_.remap_mode = RemapMode::kNone;
+  // Bootstrap the serving view: one-time layout pass in fixed mode (every
+  // micro-batch reuses the renumbered graph and a distance cache coherent
+  // with it); in store mode the same pass re-runs per snapshot.
+  if (store_ != nullptr) {
+    view_ = MakeView(store_->Current(), nullptr, 0);
+  } else {
+    view_ = MakeView(nullptr, fixed_graph_, 0);
+  }
   for (const auto& [tenant, weight] : options_.admission.tenant_weights) {
     queue_.SetWeight(tenant, weight);
   }
@@ -92,6 +119,36 @@ PathEngine::PathEngine(const Graph& g, const PathEngineOptions& options)
   if (!options_.manual_dispatch) {
     dispatcher_ = std::thread([this] { DispatchLoop(); });
   }
+}
+
+std::shared_ptr<const PathEngine::EngineView> PathEngine::MakeView(
+    std::shared_ptr<const GraphSnapshot> snapshot, const Graph* graph,
+    uint64_t epoch) const {
+  auto view = std::make_shared<EngineView>();
+  if (snapshot != nullptr) {
+    view->graph = &snapshot->graph;
+    view->epoch = snapshot->epoch;
+    view->snapshot = std::move(snapshot);
+  } else {
+    view->graph = graph;
+    view->epoch = epoch;
+  }
+  view->remap = std::make_shared<GraphRemap>(
+      GraphRemap::Build(*view->graph, options_.batch.remap_mode));
+  view->kernel =
+      ResolveKernel(options_.batch.kernel_mode, view->run_graph());
+  return view;
+}
+
+std::shared_ptr<const PathEngine::EngineView> PathEngine::CurrentView()
+    const {
+  std::lock_guard<std::mutex> lk(view_mu_);
+  return view_;
+}
+
+uint64_t PathEngine::current_epoch() const {
+  if (!init_status_.ok()) return 0;
+  return CurrentView()->epoch;
 }
 
 PathEngine::~PathEngine() {
@@ -233,9 +290,13 @@ std::future<QueryResult> PathEngine::Submit(const std::string& tenant_id,
     promise.set_value(MakeErrorResult(init_status_, tenant_id));
     return future;
   }
+  // Pin the serving view current at admission: this query will validate
+  // against, and enumerate, exactly this snapshot, however many updates
+  // land before its micro-batch runs (docs/DYNAMIC.md).
+  std::shared_ptr<const EngineView> view = CurrentView();
   // Admission-time validation: a bad query is rejected here, alone, so it
   // can never fail the whole micro-batch it would have been cut into.
-  Status st = ValidateQueries(g_, {query});
+  Status st = ValidateQueries(*view->graph, {query});
   if (!st.ok()) {
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -331,6 +392,7 @@ std::future<QueryResult> PathEngine::Submit(const std::string& tenant_id,
   p.query = query;
   p.sink = sink;
   p.promise = std::move(promise);
+  p.view = std::move(view);
   p.submitted_seconds = submitted_seconds;
   queue_.Push(tenant_id, clock_->Now(), cost, std::move(p));
   ++stats_.queries_submitted;
@@ -419,12 +481,15 @@ size_t PathEngine::StepDispatchLocked(std::unique_lock<std::mutex>& lk) {
 Status PathEngine::RunBatch(const std::vector<PathQuery>& queries,
                             PathSink* sink, BatchStats* stats) {
   if (!init_status_.ok()) return init_status_;
+  // Synchronous batches pin the current view exactly like Submit does.
+  std::shared_ptr<const EngineView> view = CurrentView();
   DiscardSink discard;
   BatchStats local_stats;
   Status st;
   {
     std::lock_guard<std::mutex> lk(run_mu_);
-    st = ExecuteBatch(queries, sink != nullptr ? sink : &discard,
+    ctx_.graph_epoch = view->epoch;
+    st = ExecuteBatch(*view, queries, sink != nullptr ? sink : &discard,
                       &local_stats);
   }
   {
@@ -435,27 +500,77 @@ Status PathEngine::RunBatch(const std::vector<PathQuery>& queries,
     stats_.distance_cache_misses += local_stats.distance_cache_misses;
   }
   if (stats != nullptr) stats->Accumulate(local_stats);
+  view.reset();  // drop the pin before GC so this snapshot can collect
+  if (store_ != nullptr) store_->CollectGarbage();
   return st;
 }
 
-Status PathEngine::ExecuteBatch(const std::vector<PathQuery>& queries,
+StatusOr<GraphUpdateResult> PathEngine::ApplyUpdates(
+    std::span<const EdgeUpdate> updates) {
+  if (!init_status_.ok()) return init_status_;
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ApplyUpdates requires a store-backed PathEngine");
+  }
+  // Serializes updaters only: admitted batches keep enumerating their
+  // pinned snapshots while the new one is built and installed, so updates
+  // never stall serving (docs/DYNAMIC.md has the lifecycle).
+  std::lock_guard<std::mutex> lk(update_mu_);
+  std::shared_ptr<const EngineView> old_view = CurrentView();
+  StatusOr<GraphUpdateResult> applied = store_->ApplyUpdates(updates);
+  HCPATH_RETURN_NOT_OK(applied.status());
+  std::shared_ptr<const EngineView> next =
+      MakeView(applied->snapshot, nullptr, 0);
+  if (options_.enable_distance_cache) {
+    if (next->remap->is_identity()) {
+      // Cone-precise reconciliation: only entries whose capped BFS can
+      // cross a touched edge are dropped; everything else is revalidated
+      // for the new epoch and keeps serving (the tentpole's correctness
+      // core — EndpointDistanceCache::InvalidateUpdated has the argument).
+      cache_.InvalidateUpdated(*old_view->graph, *next->graph,
+                               applied->applied.added,
+                               applied->applied.removed, old_view->epoch,
+                               next->epoch);
+    } else {
+      // A non-identity remap was rebuilt for the new snapshot: cache keys
+      // live in the renumbered id space, and the renumbering itself just
+      // changed, so no old entry's key is meaningful anymore.
+      cache_.Invalidate();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> vlk(view_mu_);
+    view_ = next;
+  }
+  {
+    std::lock_guard<std::mutex> slk(mu_);
+    ++stats_.graph_updates;
+  }
+  old_view.reset();  // drop our pin on the retired snapshot before GC
+  store_->CollectGarbage();
+  return applied;
+}
+
+Status PathEngine::ExecuteBatch(const EngineView& view,
+                                const std::vector<PathQuery>& queries,
                                 PathSink* sink, BatchStats* stats) {
-  if (remap_.is_identity()) {
-    return ExecuteBatchOn(g_, queries, sink, stats);
+  if (view.remap->is_identity()) {
+    return ExecuteBatchOn(view, queries, sink, stats);
   }
   // Validate against the ORIGINAL graph before translating, exactly where
   // an un-remapped batch validates: whole-batch, up front. Messages embed
   // the caller's ids; after this passes, translation (a bijection) cannot
   // introduce a validation failure downstream.
-  HCPATH_RETURN_NOT_OK(ValidateQueries(g_, queries));
-  TranslatingSink translating(remap_, sink);
-  return ExecuteBatchOn(remap_.remapped(), remap_.TranslateQueries(queries),
+  HCPATH_RETURN_NOT_OK(ValidateQueries(*view.graph, queries));
+  TranslatingSink translating(*view.remap, sink);
+  return ExecuteBatchOn(view, view.remap->TranslateQueries(queries),
                         &translating, stats);
 }
 
-Status PathEngine::ExecuteBatchOn(const Graph& g,
+Status PathEngine::ExecuteBatchOn(const EngineView& view,
                                   const std::vector<PathQuery>& queries,
                                   PathSink* sink, BatchStats* stats) {
+  const Graph& g = view.run_graph();
   switch (batch_options_.algorithm) {
     case Algorithm::kPathEnum: {
       // Per-query baseline: no shared index, so the context and distance
@@ -465,6 +580,7 @@ Status PathEngine::ExecuteBatchOn(const Graph& g,
       SingleQueryOptions sq;
       sq.max_paths = batch_options_.max_paths_per_query;
       sq.kernel = batch_options_.kernel_mode;
+      sq.resolved = view.kernel;  // dispatch resolved once per view
       for (size_t i = 0; i < queries.size(); ++i) {
         HCPATH_RETURN_NOT_OK(
             PathEnumQuery(g, queries[i], sq, i, sink, stats));
@@ -568,30 +684,79 @@ void PathEngine::RunMicroBatch(std::vector<QueueItem> batch,
                                CutReason reason) {
   const size_t n = batch.size();
   const double dispatched = clock_->Now();
-  std::vector<PathQuery> queries;
-  std::vector<PathSink*> sinks;
-  queries.reserve(n);
-  sinks.reserve(n);
-  for (const QueueItem& item : batch) {
-    queries.push_back(item.value.query);
-    sinks.push_back(item.value.sink);
+
+  // Group the cut's queries by pinned snapshot, preserving WFQ drain order
+  // within each group. Splitting is sound because admission never alters
+  // results: a query's paths, count, and Status are independent of which
+  // queries share its pipeline invocation (the determinism contract), so
+  // executing per-epoch sub-batches changes no individual result. A
+  // fixed-mode cut — and any cut with no update in between — is exactly
+  // one group, i.e. the pre-dynamic behavior.
+  struct Group {
+    const EngineView* view = nullptr;
+    std::vector<size_t> items;  // indices into `batch`
+  };
+  std::vector<Group> groups;
+  for (size_t i = 0; i < n; ++i) {
+    const EngineView* v = batch[i].value.view.get();
+    Group* group = nullptr;
+    for (Group& cand : groups) {
+      if (cand.view->epoch == v->epoch) {
+        group = &cand;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back({v, {}});
+      group = &groups.back();
+    }
+    group->items.push_back(i);
   }
 
-  DemuxSink demux(n, sinks, options_.collect_paths);
-  BatchStats batch_stats;
-  WallTimer timer;
-  Status st;
+  std::vector<Status> item_status(n);
+  std::vector<uint64_t> item_count(n);
+  std::vector<PathSet> item_paths(n);
+  std::vector<double> item_seconds(n, 0.0);
+  std::vector<uint64_t> item_epoch(n, 0);
+  BatchStats cut_stats;
   {
+    // One run_mu_ hold for the whole cut: the BatchContext (and its
+    // graph_epoch) admit one pipeline invocation at a time.
     std::lock_guard<std::mutex> lk(run_mu_);
-    st = ExecuteBatch(queries, &demux, &batch_stats);
+    for (const Group& group : groups) {
+      std::vector<PathQuery> queries;
+      std::vector<PathSink*> sinks;
+      queries.reserve(group.items.size());
+      sinks.reserve(group.items.size());
+      for (size_t i : group.items) {
+        queries.push_back(batch[i].value.query);
+        sinks.push_back(batch[i].value.sink);
+      }
+      DemuxSink demux(group.items.size(), sinks, options_.collect_paths);
+      BatchStats group_stats;
+      WallTimer timer;
+      ctx_.graph_epoch = group.view->epoch;
+      const Status st =
+          ExecuteBatch(*group.view, queries, &demux, &group_stats);
+      const double group_seconds = timer.ElapsedSeconds();
+      for (size_t k = 0; k < group.items.size(); ++k) {
+        const size_t i = group.items[k];
+        // The whole sub-batch shares its pipeline invocation's outcome.
+        item_status[i] = st;
+        item_count[i] = demux.count(k);
+        item_paths[i] = demux.TakePaths(k);
+        item_seconds[i] = group_seconds;
+        item_epoch[i] = group.view->epoch;
+      }
+      cut_stats.Accumulate(group_stats);
+    }
   }
-  const double batch_seconds = timer.ElapsedSeconds();
 
   // Account the batch before resolving any future: a caller that wakes on
   // future.get() must observe the engine stats already covering its batch.
   {
     std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.batches_run;
+    stats_.batches_run += groups.size();
     switch (reason) {
       case CutReason::kSize: ++stats_.size_cuts; break;
       case CutReason::kWait: ++stats_.wait_cuts; break;
@@ -601,21 +766,26 @@ void PathEngine::RunMicroBatch(std::vector<QueueItem> batch,
     for (const QueueItem& item : batch) {
       ++stats_.tenants[item.tenant].completed;
     }
-    stats_.batch_stats.Accumulate(batch_stats);
-    stats_.distance_cache_hits += batch_stats.distance_cache_hits;
-    stats_.distance_cache_misses += batch_stats.distance_cache_misses;
+    stats_.batch_stats.Accumulate(cut_stats);
+    stats_.distance_cache_hits += cut_stats.distance_cache_hits;
+    stats_.distance_cache_misses += cut_stats.distance_cache_misses;
   }
 
   for (size_t i = 0; i < n; ++i) {
     QueryResult r;
-    r.status = st;  // the whole micro-batch shares the pipeline's outcome
+    r.status = std::move(item_status[i]);
     r.tenant = batch[i].tenant;
-    r.path_count = demux.count(i);
-    r.paths = demux.TakePaths(i);
+    r.path_count = item_count[i];
+    r.paths = std::move(item_paths[i]);
+    r.graph_epoch = item_epoch[i];
     r.wait_seconds = dispatched - batch[i].value.submitted_seconds;
-    r.batch_seconds = batch_seconds;
+    r.batch_seconds = item_seconds[i];
     batch[i].value.promise.set_value(std::move(r));
   }
+  // Drop this cut's snapshot pins before collecting, so a snapshot whose
+  // last reader was this cut reclaims now instead of at the next update.
+  batch.clear();
+  if (store_ != nullptr) store_->CollectGarbage();
 }
 
 PathEngineStats PathEngine::GetStats() const {

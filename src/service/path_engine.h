@@ -6,8 +6,10 @@
 #include <deque>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,8 +19,10 @@
 #include "core/options.h"
 #include "core/path.h"
 #include "core/query.h"
+#include "core/search.h"
 #include "core/stats.h"
 #include "graph/graph.h"
+#include "graph/graph_store.h"
 #include "index/endpoint_cache.h"
 #include "service/clock.h"
 #include "service/tenant_queue.h"
@@ -82,6 +86,12 @@ struct QueryResult {
   /// Tenant the query was submitted under (kDefaultTenant when none).
   std::string tenant;
   uint64_t path_count = 0;
+  /// Epoch of the graph snapshot this query was admitted against and ran
+  /// on (GraphStore / docs/DYNAMIC.md). Always 0 on a fixed-graph engine;
+  /// on a store-backed engine the result is byte-identical to a
+  /// from-scratch run on exactly this snapshot, regardless of updates
+  /// applied while the query was queued or running.
+  uint64_t graph_epoch = 0;
   /// The query's paths, when the engine collects (collect_paths and no
   /// per-query sink); empty otherwise.
   PathSet paths;
@@ -104,12 +114,17 @@ struct PathEngineStats {
   uint64_t shed_rounds = 0;         ///< shedding episodes
   uint64_t peak_queued_queries = 0; ///< admission-queue entry high-water mark
   uint64_t peak_queued_bytes = 0;   ///< admission-queue byte high-water mark
+  /// Pipeline invocations. Equals the number of micro-batch cuts on a
+  /// fixed-graph engine; on a store-backed engine a cut whose queries pin
+  /// different snapshots executes once per distinct pinned epoch.
   uint64_t batches_run = 0;
   uint64_t size_cuts = 0;   ///< micro-batches cut on max_batch_size
   uint64_t wait_cuts = 0;   ///< micro-batches cut on max_wait_seconds
   uint64_t flush_cuts = 0;  ///< micro-batches cut by Flush() or shutdown
   uint64_t distance_cache_hits = 0;
   uint64_t distance_cache_misses = 0;
+  /// Successful ApplyUpdates calls on a store-backed engine.
+  uint64_t graph_updates = 0;
   /// Pipeline counters accumulated across all micro-batches.
   BatchStats batch_stats;
   /// Per-tenant admission counters, keyed by tenant id (kDefaultTenant for
@@ -156,12 +171,31 @@ struct PathEngineStats {
 /// that micro-batch with the batch's Status, exactly as the one-shot call
 /// would.
 ///
-/// Thread-safety: Submit/Flush/Drain/RunBatch/GetStats/StepDispatch may be
-/// called from any thread. The graph must outlive the engine and stay
-/// immutable (the distance cache depends on it; see EndpointDistanceCache).
+/// Dynamic graphs (docs/DYNAMIC.md): a PathEngine constructed over a
+/// GraphStore serves queries against epoch-stamped snapshots. Submit pins
+/// the snapshot current at admission into the query; ApplyUpdates installs
+/// a new snapshot without touching in-flight or queued work — each query
+/// enumerates exactly the graph it was admitted against, so its result is
+/// byte-identical to a from-scratch run on that snapshot. Endpoint-cache
+/// entries are invalidated cone-precisely (only keys whose capped BFS can
+/// reach a touched edge; EndpointDistanceCache::InvalidateUpdated), and
+/// retired snapshots are reclaimed by the store's deferred GC once no
+/// pinned query or caller reference remains.
+///
+/// Thread-safety: Submit/Flush/Drain/RunBatch/GetStats/StepDispatch and
+/// (store mode) ApplyUpdates may be called from any thread. In fixed mode
+/// the graph must outlive the engine and stay immutable; in store mode the
+/// store must outlive the engine and all mutation must go through
+/// ApplyUpdates on this engine (mutating the store directly would bypass
+/// cache invalidation).
 class PathEngine {
  public:
+  /// Fixed-graph engine: every query runs on `g`, epoch 0.
   PathEngine(const Graph& g, const PathEngineOptions& options);
+
+  /// Store-backed (dynamic) engine: queries pin the store's current
+  /// snapshot at admission; ApplyUpdates advances it.
+  PathEngine(GraphStore* store, const PathEngineOptions& options);
 
   /// Drains every pending query (shutdown acts as a final Flush — in
   /// manual mode the destructor steps the dispatcher itself), wakes blocked
@@ -221,6 +255,21 @@ class PathEngine {
   Status RunBatch(const std::vector<PathQuery>& queries, PathSink* sink,
                   BatchStats* stats = nullptr);
 
+  /// Store mode only: applies one batch of edge updates, producing the
+  /// store's next snapshot, and reconciles the engine's caches with it —
+  /// endpoint-distance entries are invalidated cone-precisely against the
+  /// batch's effective delta (blanket-flushed only when a non-identity
+  /// remap forces a renumbering rebuild), and the per-snapshot remap /
+  /// kernel dispatch are rebuilt. Queries already admitted keep their
+  /// pinned snapshot; queries submitted after return see the new one.
+  /// Concurrent ApplyUpdates calls serialize; batches need not pause.
+  /// Returns FailedPrecondition on a fixed-graph engine, otherwise the
+  /// store's result (new snapshot + effective delta).
+  StatusOr<GraphUpdateResult> ApplyUpdates(std::span<const EdgeUpdate> updates);
+
+  /// The epoch queries submitted now would pin (always 0 in fixed mode).
+  uint64_t current_epoch() const;
+
   PathEngineStats GetStats() const;
 
   /// Drops every cached distance map (counters and budgets stay).
@@ -238,10 +287,37 @@ class PathEngine {
   const PathEngineOptions& options() const { return options_; }
 
  private:
+  /// One immutable serving view: a graph snapshot plus everything the
+  /// pipeline derives from its content — the remap (and with it the
+  /// renumbered run graph) and the resolved kernel dispatch. Built once
+  /// per snapshot (at construction, then per ApplyUpdates) and shared
+  /// read-only by every query pinned to it; the shared_ptr keeps the
+  /// snapshot alive until its last pinned query resolves, which is what
+  /// the store's deferred GC keys on.
+  struct EngineView {
+    std::shared_ptr<const GraphSnapshot> snapshot;  ///< null in fixed mode
+    std::shared_ptr<const GraphRemap> remap;
+    uint64_t epoch = 0;
+    /// The snapshot's graph in original ids (admission-time validation,
+    /// remap translation); outlives the view via `snapshot` / the fixed
+    /// graph's engine-outliving contract.
+    const Graph* graph = nullptr;
+    /// Kernel dispatch resolved once per view (satellite of the same
+    /// hoist the enumerator does), against the run graph.
+    ResolvedKernel kernel;
+
+    const Graph& run_graph() const {
+      return remap->is_identity() ? *graph : remap->remapped();
+    }
+  };
+
   struct Pending {
     PathQuery query;
     PathSink* sink = nullptr;
     std::promise<QueryResult> promise;
+    /// The serving view pinned at admission: this query enumerates this
+    /// snapshot no matter how many updates land before it runs.
+    std::shared_ptr<const EngineView> view;
     /// When the Submit call entered the engine — BEFORE any backpressure
     /// blocking, unlike the queue item's enqueue stamp (which drives the
     /// wait cut) — so QueryResult.wait_seconds covers the full
@@ -254,19 +330,34 @@ class PathEngine {
   /// Bookkeeping bytes one queued query charges against the byte budget.
   static uint64_t QueryCostBytes(const std::string& tenant_id);
 
+  /// Shared construction tail (view bootstrap, tenant weights, pool,
+  /// dispatcher start).
+  void Init();
+  /// Derives a serving view from a snapshot's graph (remap build, kernel
+  /// resolution). `snapshot` is null in fixed mode.
+  std::shared_ptr<const EngineView> MakeView(
+      std::shared_ptr<const GraphSnapshot> snapshot, const Graph* graph,
+      uint64_t epoch) const;
+  /// The view a query submitted now pins.
+  std::shared_ptr<const EngineView> CurrentView() const;
+
   void DispatchLoop();
   size_t StepDispatchLocked(std::unique_lock<std::mutex>& lk);
   void RunMicroBatch(std::vector<QueueItem> batch, CutReason reason);
-  /// Remap boundary: validates against the original graph (error-message
-  /// parity), translates queries, and interposes a TranslatingSink so the
-  /// pipeline below always runs in the engine's (possibly renumbered) id
-  /// space while callers only ever see original ids.
-  Status ExecuteBatch(const std::vector<PathQuery>& queries, PathSink* sink,
+  /// Remap boundary: validates against the view's original graph
+  /// (error-message parity), translates queries, and interposes a
+  /// TranslatingSink so the pipeline below always runs in the view's
+  /// (possibly renumbered) id space while callers only ever see original
+  /// ids. Caller holds run_mu_ and has set ctx_.graph_epoch to the view's
+  /// epoch.
+  Status ExecuteBatch(const EngineView& view,
+                      const std::vector<PathQuery>& queries, PathSink* sink,
                       BatchStats* stats);
-  /// The algorithm switch proper, running on `g` (the original graph or
-  /// remap_.remapped()) with batch_options_ (remap_mode already cleared).
-  Status ExecuteBatchOn(const Graph& g, const std::vector<PathQuery>& queries,
-                        PathSink* sink, BatchStats* stats);
+  /// The algorithm switch proper, running on the view's run graph with
+  /// batch_options_ (remap_mode already cleared).
+  Status ExecuteBatchOn(const EngineView& view,
+                        const std::vector<PathQuery>& queries, PathSink* sink,
+                        BatchStats* stats);
 
   /// True when a query of `cost` bytes fits the queue budgets (an empty
   /// queue always admits).
@@ -298,15 +389,24 @@ class PathEngine {
   /// submitters.
   std::vector<QueueItem> CutBatchLocked(size_t take);
 
-  const Graph& g_;
+  /// Exactly one of these is set: the immutable fixed-mode graph, or the
+  /// dynamic-mode snapshot store.
+  const Graph* fixed_graph_ = nullptr;
+  GraphStore* store_ = nullptr;
   const PathEngineOptions options_;
   Status init_status_;
   Clock* clock_;
-  /// Built once at construction from options_.batch.remap_mode (identity
-  /// when kNone): a long-lived engine renumbers the graph once and amortizes
-  /// the pass over every micro-batch it ever serves. The distance cache and
-  /// BatchContext then live entirely in the renumbered id space.
-  GraphRemap remap_;
+  /// The serving view queries pin at admission. Swapped atomically (under
+  /// view_mu_) by ApplyUpdates; each view is immutable once published, so
+  /// readers only need the pointer load. In fixed mode this is built once
+  /// at construction and never changes — a long-lived engine renumbers the
+  /// graph once and amortizes the pass over every micro-batch it serves.
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const EngineView> view_;
+  /// Serializes ApplyUpdates callers (store writes, cache reconciliation,
+  /// view swap). Ordered before run_mu_/mu_ is never needed: updates touch
+  /// neither; batches keep running on their pinned views throughout.
+  std::mutex update_mu_;
   /// options_.batch with remap_mode cleared to kNone — the pipeline calls
   /// below must never re-apply the remap the engine already performed.
   BatchOptions batch_options_;

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <future>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,6 +28,8 @@
 #include "core/brute_force.h"
 #include "core/enumerator.h"
 #include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_store.h"
 #include "service/path_engine.h"
 #include "util/rng.h"
 
@@ -793,6 +796,169 @@ TEST(DifferentialFuzz, RemapParity) {
                  " — reproduce with HCPATH_FUZZ_SEED=" +
                  std::to_string(seed));
     RunOneRemapConfig(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+/// Update-interleaved differential (docs/DYNAMIC.md): a store-backed
+/// engine serves random micro-batches interleaved with randomized
+/// Add/Remove update batches. Each phase randomly updates BEFORE or AFTER
+/// flushing the queued queries, so queries regularly run on snapshots that
+/// are no longer current. Checks, per seeded config and at threads
+/// {1, 4}:
+///   * every query's sorted path set equals the brute-force oracle on
+///     exactly the snapshot stamped into its result (admitted-snapshot
+///     parity: updates landing while a query is queued or running never
+///     leak into it),
+///   * each ApplyUpdates result is structurally identical to a
+///     from-scratch Build over a shadow edge set replaying the same batch
+///     (CSR merge vs rebuild equivalence),
+///   * the endpoint cache never serves a stale map (implied by parity, at
+///     full cache warmth across phases).
+void RunOneUpdateInterleavedConfig(uint64_t seed) {
+  Rng rng(seed);
+  std::string graph_desc;
+  const Graph seed_graph = RandomGraph(rng, &graph_desc);
+  bool capped = false;
+  BatchOptions opt = RandomOptions(rng, &capped);
+  opt.max_paths_per_query = 0;  // caps fail whole micro-batches; not here
+  const Algorithm algos[] = {Algorithm::kPathEnum, Algorithm::kBasicEnum,
+                             Algorithm::kBasicEnumPlus, Algorithm::kBatchEnum,
+                             Algorithm::kBatchEnumPlus};
+  opt.algorithm = algos[rng.NextBounded(5)];
+  const size_t num_phases = 2 + rng.NextBounded(4);
+
+  for (int threads : {1, 4}) {
+    opt.num_threads = threads;
+    SCOPED_TRACE(graph_desc + " algo=" + AlgorithmName(opt.algorithm) +
+                 " phases=" + std::to_string(num_phases) +
+                 " threads=" + std::to_string(threads));
+
+    GraphStore store(seed_graph);
+    PathEngineOptions engine_opt;
+    engine_opt.batch = opt;
+    engine_opt.max_wait_seconds = 0;  // cuts on Flush only: queries queue
+    engine_opt.max_batch_size = 1024;
+    PathEngine engine(&store, engine_opt);
+    ASSERT_TRUE(engine.status().ok()) << engine.status();
+
+    // Shadow state: the edge set the store must be equivalent to, and a
+    // from-scratch graph per epoch for the parity oracle.
+    std::vector<std::pair<VertexId, VertexId>> shadow = seed_graph.Edges();
+    VertexId shadow_n = seed_graph.NumVertices();
+    std::map<uint64_t, Graph> at_epoch;
+    at_epoch.emplace(0, seed_graph);
+
+    std::vector<std::pair<PathQuery, std::future<QueryResult>>> pending;
+    // Deterministic per-thread-count replay: reseed the phase stream so
+    // both thread counts see identical phases.
+    Rng phase_rng(seed ^ 0xABCDEF12345ull);
+    for (size_t phase = 0; phase < num_phases; ++phase) {
+      // Queries against the current shadow graph's id space.
+      const Graph& current = at_epoch.rbegin()->second;
+      const size_t nq = phase_rng.NextBounded(6);
+      for (size_t i = 0; i < nq; ++i) {
+        const VertexId n = current.NumVertices();
+        const VertexId s = static_cast<VertexId>(phase_rng.NextBounded(n));
+        const VertexId t = static_cast<VertexId>(phase_rng.NextBounded(n));
+        if (s == t) continue;
+        const PathQuery q{s, t, 1 + static_cast<int>(phase_rng.NextBounded(5))};
+        pending.emplace_back(q, engine.Submit(q));
+      }
+
+      // Half the phases flush before updating (queries run on the epoch
+      // they pinned, trivially current); half update first, so queued
+      // queries run on a superseded snapshot and would expose any
+      // pin/invalidation bug.
+      const bool update_first = phase_rng.NextBounded(2) == 0;
+      if (!update_first) {
+        engine.Flush();
+        engine.Drain();
+      }
+
+      // Random update batch, sometimes growing the id space.
+      std::vector<EdgeUpdate> batch;
+      const size_t nu = 1 + phase_rng.NextBounded(8);
+      for (size_t i = 0; i < nu; ++i) {
+        const VertexId u =
+            static_cast<VertexId>(phase_rng.NextBounded(shadow_n + 2));
+        const VertexId v =
+            static_cast<VertexId>(phase_rng.NextBounded(shadow_n + 2));
+        batch.push_back(phase_rng.NextBounded(2) == 0
+                            ? EdgeUpdate::Add(u, v)
+                            : EdgeUpdate::Remove(u, v));
+      }
+      auto applied = engine.ApplyUpdates(batch);
+      ASSERT_TRUE(applied.status().ok()) << applied.status();
+
+      // Replay onto the shadow edge set, modeling the documented
+      // semantics: collapse to the LAST op per (u, v) first, then apply —
+      // an add netted out by a later remove must not grow the id space.
+      std::map<std::pair<VertexId, VertexId>, EdgeUpdate::Op> last;
+      for (const EdgeUpdate& u : batch) last[{u.u, u.v}] = u.op;
+      for (const auto& [e, op] : last) {
+        shadow.erase(std::remove(shadow.begin(), shadow.end(), e),
+                     shadow.end());
+        if (op == EdgeUpdate::Op::kAddEdge && e.first != e.second) {
+          shadow.push_back(e);
+          shadow_n = std::max(shadow_n, static_cast<VertexId>(
+                                            std::max(e.first, e.second) + 1));
+        }
+      }
+      const Graph& updated = applied->snapshot->graph;
+      GraphBuilder rebuild(shadow_n);
+      for (const auto& e : shadow) rebuild.AddEdge(e.first, e.second);
+      const Graph rebuilt = *rebuild.Build();
+      ASSERT_EQ(updated.NumVertices(), rebuilt.NumVertices())
+          << "phase " << phase;
+      ASSERT_EQ(updated.Edges(), rebuilt.Edges())
+          << "ApplyUpdates CSR diverges from from-scratch Build, phase "
+          << phase;
+      at_epoch.emplace(applied->snapshot->epoch, updated);
+
+      if (update_first) {
+        engine.Flush();
+        engine.Drain();
+      }
+    }
+    engine.Flush();
+    engine.Drain();
+
+    for (auto& [q, f] : pending) {
+      QueryResult r = f.get();
+      SCOPED_TRACE("query " + q.ToString() + " epoch " +
+                   std::to_string(r.graph_epoch));
+      ASSERT_TRUE(r.status.ok()) << r.status;
+      auto it = at_epoch.find(r.graph_epoch);
+      ASSERT_NE(it, at_epoch.end());
+      auto oracle = BruteForcePaths(it->second, q);
+      ASSERT_TRUE(oracle.ok()) << oracle.status();
+      EXPECT_EQ(r.path_count, oracle->size());
+      EXPECT_EQ(r.paths.ToSortedVectors(), oracle->ToSortedVectors());
+    }
+    pending.clear();
+  }
+}
+
+TEST(DifferentialFuzz, UpdateInterleavedParity) {
+  // Separate seed base so the dynamic-graph sweep explores configurations
+  // independent of the other suites.
+  constexpr uint64_t kBaseSeed = 0xDECADE0FCAB1E5ull;
+  if (const char* one = std::getenv("HCPATH_FUZZ_SEED")) {
+    const uint64_t seed = std::strtoull(one, nullptr, 0);
+    SCOPED_TRACE("HCPATH_FUZZ_SEED=" + std::to_string(seed));
+    RunOneUpdateInterleavedConfig(seed);
+    return;
+  }
+  // Each config replays its phase stream at two thread counts; half the
+  // budget (>= 100 configs at the default 200) keeps wall-clock in line.
+  const int configs = std::max(1, ConfigCount() / 2);
+  for (int c = 0; c < configs; ++c) {
+    const uint64_t seed = kBaseSeed + static_cast<uint64_t>(c);
+    SCOPED_TRACE("update-interleaved config #" + std::to_string(c) +
+                 " — reproduce with HCPATH_FUZZ_SEED=" +
+                 std::to_string(seed));
+    RunOneUpdateInterleavedConfig(seed);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

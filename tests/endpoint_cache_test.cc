@@ -1,15 +1,19 @@
-// EndpointDistanceCache: LRU behavior, budgets, counters, and the
+// EndpointDistanceCache: LRU behavior, budgets, counters, byte-accounting
+// invariants, epoch versioning with cone-precise invalidation, and the
 // bit-identity of served maps — plus the DistanceIndex cache integration
 // (hits skip BFS but produce the exact same index).
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "bfs/msbfs.h"
 #include "core/basic_enum.h"
 #include "core/batch_context.h"
 #include "graph/generators.h"
+#include "graph/graph_builder.h"
 #include "index/distance_index.h"
 #include "index/endpoint_cache.h"
 #include "test_graphs.h"
@@ -24,6 +28,14 @@ VertexDistMap MakeMap(const Graph& g, VertexId source, Hop cap,
   return std::move(r.per_source[0]);
 }
 
+/// Lookup convenience: the served map, or nullopt on a miss.
+std::optional<VertexDistMap> Get(EndpointDistanceCache& cache, VertexId v,
+                                 Direction dir, Hop cap, uint64_t epoch = 0) {
+  VertexDistMap out;
+  if (!cache.Lookup(v, dir, cap, epoch, &out)) return std::nullopt;
+  return out;
+}
+
 /// Content equality over the whole universe (the property the coherence
 /// argument needs: same Lookup result for every vertex).
 void ExpectSameContent(const Graph& g, const VertexDistMap& a,
@@ -35,16 +47,22 @@ void ExpectSameContent(const Graph& g, const VertexDistMap& a,
   EXPECT_EQ(a.SortedKeys(), b.SortedKeys());
 }
 
+/// The byte ledger must equal the sum over live entries at all times —
+/// the satellite regression for the overwrite double-count.
+void ExpectBytesConsistent(const EndpointDistanceCache& cache) {
+  EXPECT_EQ(cache.bytes(), cache.DebugSumEntryBytes());
+}
+
 TEST(EndpointCache, MissThenHit) {
   const Graph g = PaperFigure1Graph();
   EndpointDistanceCache cache(/*max_entries=*/8);
-  EXPECT_EQ(cache.Lookup(0, Direction::kForward, 5), nullptr);
+  EXPECT_FALSE(Get(cache, 0, Direction::kForward, 5).has_value());
   EXPECT_EQ(cache.misses(), 1u);
 
-  cache.Insert(0, Direction::kForward, 5,
+  cache.Insert(0, Direction::kForward, 5, /*epoch=*/0,
                MakeMap(g, 0, 5, Direction::kForward));
-  const VertexDistMap* served = cache.Lookup(0, Direction::kForward, 5);
-  ASSERT_NE(served, nullptr);
+  std::optional<VertexDistMap> served = Get(cache, 0, Direction::kForward, 5);
+  ASSERT_TRUE(served.has_value());
   EXPECT_EQ(cache.hits(), 1u);
   ExpectSameContent(g, *served, MakeMap(g, 0, 5, Direction::kForward));
 }
@@ -52,58 +70,298 @@ TEST(EndpointCache, MissThenHit) {
 TEST(EndpointCache, KeyIsVertexDirectionAndCap) {
   const Graph g = PaperFigure1Graph();
   EndpointDistanceCache cache(8);
-  cache.Insert(0, Direction::kForward, 5,
+  cache.Insert(0, Direction::kForward, 5, 0,
                MakeMap(g, 0, 5, Direction::kForward));
   // Different direction or different cap must not alias.
-  EXPECT_EQ(cache.Lookup(0, Direction::kBackward, 5), nullptr);
-  EXPECT_EQ(cache.Lookup(0, Direction::kForward, 4), nullptr);
-  EXPECT_NE(cache.Lookup(0, Direction::kForward, 5), nullptr);
+  EXPECT_FALSE(Get(cache, 0, Direction::kBackward, 5).has_value());
+  EXPECT_FALSE(Get(cache, 0, Direction::kForward, 4).has_value());
+  EXPECT_TRUE(Get(cache, 0, Direction::kForward, 5).has_value());
 }
 
 TEST(EndpointCache, LruEvictionOrder) {
   const Graph g = PaperFigure1Graph();
   EndpointDistanceCache cache(/*max_entries=*/2);
-  cache.Insert(0, Direction::kForward, 3, MakeMap(g, 0, 3, Direction::kForward));
-  cache.Insert(1, Direction::kForward, 3, MakeMap(g, 1, 3, Direction::kForward));
+  cache.Insert(0, Direction::kForward, 3, 0,
+               MakeMap(g, 0, 3, Direction::kForward));
+  cache.Insert(1, Direction::kForward, 3, 0,
+               MakeMap(g, 1, 3, Direction::kForward));
   // Touch vertex 0 so vertex 1 becomes the LRU victim.
-  EXPECT_NE(cache.Lookup(0, Direction::kForward, 3), nullptr);
-  cache.Insert(2, Direction::kForward, 3, MakeMap(g, 2, 3, Direction::kForward));
+  EXPECT_TRUE(Get(cache, 0, Direction::kForward, 3).has_value());
+  cache.Insert(2, Direction::kForward, 3, 0,
+               MakeMap(g, 2, 3, Direction::kForward));
   EXPECT_EQ(cache.entries(), 2u);
   EXPECT_EQ(cache.evictions(), 1u);
-  EXPECT_NE(cache.Lookup(0, Direction::kForward, 3), nullptr);
-  EXPECT_EQ(cache.Lookup(1, Direction::kForward, 3), nullptr);  // evicted
-  EXPECT_NE(cache.Lookup(2, Direction::kForward, 3), nullptr);
+  EXPECT_TRUE(Get(cache, 0, Direction::kForward, 3).has_value());
+  EXPECT_FALSE(Get(cache, 1, Direction::kForward, 3).has_value());  // evicted
+  EXPECT_TRUE(Get(cache, 2, Direction::kForward, 3).has_value());
+  ExpectBytesConsistent(cache);
 }
 
 TEST(EndpointCache, ByteBudgetEvicts) {
   const Graph g = PaperFigure1Graph();
   // A tiny byte budget still keeps at least one entry (the newest).
   EndpointDistanceCache cache(/*max_entries=*/64, /*max_bytes=*/1);
-  cache.Insert(0, Direction::kForward, 5, MakeMap(g, 0, 5, Direction::kForward));
-  cache.Insert(1, Direction::kForward, 5, MakeMap(g, 1, 5, Direction::kForward));
+  cache.Insert(0, Direction::kForward, 5, 0,
+               MakeMap(g, 0, 5, Direction::kForward));
+  cache.Insert(1, Direction::kForward, 5, 0,
+               MakeMap(g, 1, 5, Direction::kForward));
   EXPECT_EQ(cache.entries(), 1u);
   EXPECT_GE(cache.evictions(), 1u);
-  EXPECT_NE(cache.Lookup(1, Direction::kForward, 5), nullptr);
+  EXPECT_TRUE(Get(cache, 1, Direction::kForward, 5).has_value());
+  ExpectBytesConsistent(cache);
 }
 
 TEST(EndpointCache, ZeroEntriesDisables) {
   const Graph g = PaperFigure1Graph();
   EndpointDistanceCache cache(/*max_entries=*/0);
-  cache.Insert(0, Direction::kForward, 5, MakeMap(g, 0, 5, Direction::kForward));
+  cache.Insert(0, Direction::kForward, 5, 0,
+               MakeMap(g, 0, 5, Direction::kForward));
   EXPECT_EQ(cache.entries(), 0u);
-  EXPECT_EQ(cache.Lookup(0, Direction::kForward, 5), nullptr);
+  EXPECT_FALSE(Get(cache, 0, Direction::kForward, 5).has_value());
 }
 
 TEST(EndpointCache, InvalidateDropsEntries) {
   const Graph g = PaperFigure1Graph();
   EndpointDistanceCache cache(8);
-  cache.Insert(0, Direction::kForward, 5, MakeMap(g, 0, 5, Direction::kForward));
+  cache.Insert(0, Direction::kForward, 5, 0,
+               MakeMap(g, 0, 5, Direction::kForward));
   EXPECT_EQ(cache.entries(), 1u);
   EXPECT_GT(cache.bytes(), 0u);
   cache.Invalidate();
   EXPECT_EQ(cache.entries(), 0u);
   EXPECT_EQ(cache.bytes(), 0u);
-  EXPECT_EQ(cache.Lookup(0, Direction::kForward, 5), nullptr);
+  EXPECT_EQ(cache.entries_invalidated(), 1u);
+  EXPECT_FALSE(Get(cache, 0, Direction::kForward, 5).has_value());
+  ExpectBytesConsistent(cache);
+}
+
+/// Satellite regression: replacing an entry's content (same key, newer
+/// epoch) must charge the byte ledger for exactly the delta — the old
+/// accounting double-counted the key on overwrite, so bytes() crept up
+/// until the budget evicted live entries early.
+TEST(EndpointCache, ReplaceDoesNotDoubleCountBytes) {
+  const Graph g = PaperFigure1Graph();
+  EndpointDistanceCache cache(/*max_entries=*/8);
+  cache.Insert(0, Direction::kForward, 5, /*epoch=*/0,
+               MakeMap(g, 0, 5, Direction::kForward));
+  const uint64_t one_entry_bytes = cache.bytes();
+  ExpectBytesConsistent(cache);
+
+  // Same key at a newer epoch: content replaced in place, one entry.
+  for (uint64_t epoch = 1; epoch <= 5; ++epoch) {
+    cache.Insert(0, Direction::kForward, 5, epoch,
+                 MakeMap(g, 0, 5, Direction::kForward));
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.bytes(), one_entry_bytes) << "epoch " << epoch;
+    ExpectBytesConsistent(cache);
+  }
+
+  // Re-inserting at the entry's current epoch is a pure recency refresh.
+  cache.Insert(0, Direction::kForward, 5, 5,
+               MakeMap(g, 0, 5, Direction::kForward));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), one_entry_bytes);
+  ExpectBytesConsistent(cache);
+}
+
+/// The full ledger invariant under a mixed workload: inserts, overwrites,
+/// evictions, epoch invalidations — bytes() == sum over entries, always.
+TEST(EndpointCache, ByteAccountingInvariantUnderChurn) {
+  Rng rng(11);
+  const Graph g = *GenerateSmallWorld(200, 4, 0.1, rng);
+  EndpointDistanceCache cache(/*max_entries=*/16, /*max_bytes=*/1 << 16);
+  for (int round = 0; round < 300; ++round) {
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(40));
+    const Hop cap = static_cast<Hop>(2 + rng.NextBounded(4));
+    const Direction dir =
+        rng.NextBounded(2) == 0 ? Direction::kForward : Direction::kBackward;
+    const uint64_t epoch = rng.NextBounded(3);
+    cache.Insert(v, dir, cap, epoch, MakeMap(g, v, cap, dir));
+    ExpectBytesConsistent(cache);
+    if (round % 7 == 0) {
+      Get(cache, v, dir, cap, epoch);
+      ExpectBytesConsistent(cache);
+    }
+    if (round % 97 == 0) {
+      cache.Invalidate();
+      ExpectBytesConsistent(cache);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch versioning (dynamic graphs, docs/DYNAMIC.md)
+// ---------------------------------------------------------------------------
+
+TEST(EndpointCache, StaleEpochMisses) {
+  const Graph g = PaperFigure1Graph();
+  EndpointDistanceCache cache(8);
+  cache.Insert(0, Direction::kForward, 5, /*epoch=*/3,
+               MakeMap(g, 0, 5, Direction::kForward));
+  // Valid exactly at its build epoch until revalidated.
+  EXPECT_TRUE(Get(cache, 0, Direction::kForward, 5, 3).has_value());
+  EXPECT_FALSE(Get(cache, 0, Direction::kForward, 5, 2).has_value());
+  EXPECT_FALSE(Get(cache, 0, Direction::kForward, 5, 4).has_value());
+  EXPECT_EQ(cache.stale_misses(), 2u);
+}
+
+TEST(EndpointCache, OlderEpochInsertDoesNotClobberNewer) {
+  const Graph g = PaperFigure1Graph();
+  EndpointDistanceCache cache(8);
+  cache.Insert(0, Direction::kForward, 5, /*epoch=*/4,
+               MakeMap(g, 0, 5, Direction::kForward));
+  // A batch pinned to an older snapshot re-learns the same key: the newer
+  // content must survive.
+  cache.Insert(0, Direction::kForward, 5, /*epoch=*/2,
+               MakeMap(g, 0, 5, Direction::kForward));
+  EXPECT_TRUE(Get(cache, 0, Direction::kForward, 5, 4).has_value());
+  EXPECT_FALSE(Get(cache, 0, Direction::kForward, 5, 2).has_value());
+  ExpectBytesConsistent(cache);
+}
+
+/// A line graph makes cone distances exact: 0 -> 1 -> 2 -> ... -> 9.
+Graph LineGraph(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1);
+  return *b.Build();
+}
+
+/// Cone precision, forward entries: removing edge (7, 8) can only change
+/// forward maps of vertices within cap-1 hops of the TAIL 7. On the line,
+/// dist(v -> 7) = 7 - v, so entry (v, cap) dies iff 7 - v <= cap - 1.
+TEST(EndpointCache, InvalidateUpdatedIsConePreciseForward) {
+  const Graph old_g = LineGraph(10);
+  std::vector<EdgeUpdate> batch = {EdgeUpdate::Remove(7, 8)};
+  UpdateApplyStats applied;
+  const Graph new_g = *GraphBuilder::ApplyUpdates(old_g, batch, &applied);
+
+  EndpointDistanceCache cache(64);
+  // Forward entries with cap 3 at every vertex: stale iff v in [5, 7]
+  // (7 - v <= 2); v = 8, 9 can't reach the tail, v <= 4 is too far.
+  for (VertexId v = 0; v < 10; ++v) {
+    cache.Insert(v, Direction::kForward, 3, 0,
+                 MakeMap(old_g, v, 3, Direction::kForward));
+  }
+  const auto result = cache.InvalidateUpdated(
+      old_g, new_g, applied.added, applied.removed, /*old_epoch=*/0,
+      /*new_epoch=*/1);
+  EXPECT_EQ(result.invalidated, 3u);
+  EXPECT_EQ(result.revalidated, 7u);
+  for (VertexId v = 0; v < 10; ++v) {
+    const bool stale = v >= 5 && v <= 7;
+    EXPECT_EQ(Get(cache, v, Direction::kForward, 3, 1).has_value(), !stale)
+        << "vertex " << v;
+  }
+  // Survivors serve the new epoch with content identical to a fresh BFS on
+  // the new graph (the soundness half of the cone argument).
+  for (VertexId v = 0; v < 5; ++v) {
+    std::optional<VertexDistMap> served =
+        Get(cache, v, Direction::kForward, 3, 1);
+    ASSERT_TRUE(served.has_value());
+    ExpectSameContent(new_g, *served,
+                      MakeMap(new_g, v, 3, Direction::kForward));
+  }
+  ExpectBytesConsistent(cache);
+}
+
+/// Cone precision, backward entries: adding edge (2, 8) to the line can
+/// only change backward (to-target) maps of vertices within cap-1 hops
+/// FROM the HEAD 8 on the new graph.
+TEST(EndpointCache, InvalidateUpdatedIsConePreciseBackward) {
+  const Graph old_g = LineGraph(10);
+  std::vector<EdgeUpdate> batch = {EdgeUpdate::Add(2, 8)};
+  UpdateApplyStats applied;
+  const Graph new_g = *GraphBuilder::ApplyUpdates(old_g, batch, &applied);
+
+  EndpointDistanceCache cache(64);
+  // Backward entries with cap 2: stale iff dist_new(8 -> v) <= 1, i.e.
+  // v in {8, 9}.
+  for (VertexId v = 0; v < 10; ++v) {
+    cache.Insert(v, Direction::kBackward, 2, 0,
+                 MakeMap(old_g, v, 2, Direction::kBackward));
+  }
+  const auto result = cache.InvalidateUpdated(
+      old_g, new_g, applied.added, applied.removed, 0, 1);
+  EXPECT_EQ(result.invalidated, 2u);
+  EXPECT_EQ(result.revalidated, 8u);
+  for (VertexId v = 0; v < 10; ++v) {
+    const bool stale = v == 8 || v == 9;
+    EXPECT_EQ(Get(cache, v, Direction::kBackward, 2, 1).has_value(), !stale)
+        << "vertex " << v;
+  }
+  for (VertexId v = 0; v < 8; ++v) {
+    std::optional<VertexDistMap> served =
+        Get(cache, v, Direction::kBackward, 2, 1);
+    ASSERT_TRUE(served.has_value());
+    ExpectSameContent(new_g, *served,
+                      MakeMap(new_g, v, 2, Direction::kBackward));
+  }
+  ExpectBytesConsistent(cache);
+}
+
+/// A batch that nets out to nothing (counted no-ops only) revalidates
+/// every entry — zero invalidations, full retention.
+TEST(EndpointCache, NoopBatchRevalidatesEverything) {
+  const Graph g = LineGraph(6);
+  EndpointDistanceCache cache(64);
+  for (VertexId v = 0; v < 6; ++v) {
+    cache.Insert(v, Direction::kForward, 3, 0,
+                 MakeMap(g, v, 3, Direction::kForward));
+  }
+  const auto result = cache.InvalidateUpdated(g, g, /*added=*/{},
+                                              /*removed=*/{}, 0, 1);
+  EXPECT_EQ(result.invalidated, 0u);
+  EXPECT_EQ(result.revalidated, 6u);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_TRUE(Get(cache, v, Direction::kForward, 3, 0).has_value());
+    EXPECT_TRUE(Get(cache, v, Direction::kForward, 3, 1).has_value());
+  }
+}
+
+/// Fuzz the precision claim itself: after any update batch, EVERY entry the
+/// cone test retains must serve content identical to a fresh BFS on the
+/// new graph. (The converse — invalidated entries actually changed — need
+/// not hold and is not claimed: the cone is an over-approximation.)
+TEST(EndpointCache, InvalidationSoundnessFuzz) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const VertexId n = 30 + static_cast<VertexId>(rng.NextBounded(30));
+    const Graph old_g = *GenerateSmallWorld(n, 3, 0.2, rng);
+
+    EndpointDistanceCache cache(1024);
+    for (VertexId v = 0; v < n; ++v) {
+      const Hop cap = static_cast<Hop>(1 + rng.NextBounded(5));
+      const Direction dir =
+          rng.NextBounded(2) == 0 ? Direction::kForward : Direction::kBackward;
+      cache.Insert(v, dir, cap, 0, MakeMap(old_g, v, cap, dir));
+    }
+
+    std::vector<EdgeUpdate> batch;
+    const size_t num_updates = 1 + rng.NextBounded(8);
+    for (size_t i = 0; i < num_updates; ++i) {
+      const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      const VertexId w = static_cast<VertexId>(rng.NextBounded(n));
+      batch.push_back(rng.NextBounded(2) == 0 ? EdgeUpdate::Add(u, w)
+                                          : EdgeUpdate::Remove(u, w));
+    }
+    UpdateApplyStats applied;
+    const Graph new_g = *GraphBuilder::ApplyUpdates(old_g, batch, &applied);
+
+    cache.InvalidateUpdated(old_g, new_g, applied.added, applied.removed, 0,
+                            1);
+    ExpectBytesConsistent(cache);
+    for (VertexId v = 0; v < n; ++v) {
+      for (Hop cap = 1; cap <= 5; ++cap) {
+        for (Direction dir : {Direction::kForward, Direction::kBackward}) {
+          std::optional<VertexDistMap> served = Get(cache, v, dir, cap, 1);
+          if (!served.has_value()) continue;
+          SCOPED_TRACE("seed " + std::to_string(seed) + " v " +
+                       std::to_string(v) + " cap " + std::to_string(cap));
+          ExpectSameContent(new_g, *served, MakeMap(new_g, v, cap, dir));
+        }
+      }
+    }
+  }
 }
 
 /// The integration property behind the whole feature: an index built with
