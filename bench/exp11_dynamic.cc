@@ -16,10 +16,19 @@
 //                      reports invalidation precision
 //                      (revalidated / (revalidated + invalidated)) with
 //                      correctness still pinned by the parity check.
+//   * hot_no_repair:   hot_overlap with incremental cache repair disabled
+//                      (cache_repair_max_keys = 0) — the efficacy
+//                      baseline: the hit-rate gap to hot_overlap and its
+//                      invalidated_misses are what repair buys.
+//
+// A second phase sweeps ApplyUpdates latency over --sweep_batch_sizes at
+// compaction thresholds {0 (always rebuild), --compaction_threshold}
+// (one "exp11_dynamic_sweep" JSON line each), self-verifying that the
+// final store content equals a from-scratch rebuild of a shadow edge set.
 //
 // Besides the JSON metrics the driver *verifies* the PR's acceptance
 // criteria live and exits non-zero on violation (CI bench-smoke runs
-// `exp11_dynamic --quick`):
+// `exp11_dynamic --quick`, which includes one small sweep):
 //   1. parity: a sample of completed queries re-run as fresh one-shot
 //      calls on exactly the snapshot stamped into their result must
 //      report identical path counts (full byte-identity is asserted by
@@ -27,7 +36,12 @@
 //   2. retention: cone_disjoint hit rate >= 0.95 x immutable baseline,
 //      with zero entries invalidated,
 //   3. blanket_flush's hit rate is strictly below cone_disjoint's (the
-//      precise test is actually buying retention).
+//      precise test is actually buying retention),
+//   4. repair: hot_overlap's hit rate is at least hot_no_repair's
+//      whenever the updates invalidated anything,
+//   5. sweep parity: the post-sweep store equals the shadow rebuild
+//      (latency numbers are reported, never gated — perf acceptance is
+//      judged offline from BENCH_PR8.json).
 //
 //   ./build/exp11_dynamic --hot_vertices=2000 --stream=2400 \
 //       --update_batches=8 --json=BENCH_dynamic.json
@@ -37,6 +51,7 @@
 #include <cstdio>
 #include <future>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -77,7 +92,13 @@ class ZipfSampler {
   std::vector<double> cdf_;
 };
 
-enum class Policy { kImmutable, kConeDisjoint, kBlanketFlush, kHotOverlap };
+enum class Policy {
+  kImmutable,
+  kConeDisjoint,
+  kBlanketFlush,
+  kHotOverlap,
+  kHotOverlapNoRepair,
+};
 
 const char* PolicyName(Policy p) {
   switch (p) {
@@ -85,6 +106,7 @@ const char* PolicyName(Policy p) {
     case Policy::kConeDisjoint: return "cone_disjoint";
     case Policy::kBlanketFlush: return "blanket_flush";
     case Policy::kHotOverlap: return "hot_overlap";
+    case Policy::kHotOverlapNoRepair: return "hot_no_repair";
   }
   return "?";
 }
@@ -98,9 +120,29 @@ struct PolicyOutcome {
   double hit_rate = 0;
   uint64_t invalidated = 0, revalidated = 0;
   double precision = 1.0;  ///< revalidated / (revalidated + invalidated)
+  /// Miss-attribution split and repair outcomes of the measured phase.
+  uint64_t invalidated_misses = 0;  ///< misses on invalidated-then-unrepaired keys
+  uint64_t repaired = 0;            ///< cache entries rebuilt by repair
+  uint64_t repair_skipped = 0;      ///< dead keys past the repair budget
+  uint64_t overlay_extends = 0;     ///< update batches on the O(touched) path
+  double update_seconds = 0;        ///< total ApplyUpdates wall time
   bool parity_ok = true;
   size_t parity_checked = 0;
 };
+
+/// Parses "1,16,256" into sizes (empty string = empty list).
+std::vector<size_t> ParseSizeList(const std::string& spec) {
+  std::vector<size_t> out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const long long v = std::atoll(spec.substr(pos, end - pos).c_str());
+    if (v > 0) out.push_back(static_cast<size_t>(v));
+    pos = end + 1;
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -121,6 +163,14 @@ int main(int argc, char** argv) {
       cf.flags.AddInt64("updates_per_batch", 6, "edge toggles per batch");
   int64_t* verify = cf.flags.AddInt64(
       "verify", 32, "completed queries to re-run one-shot for parity");
+  double* compaction_threshold = cf.flags.AddDouble(
+      "compaction_threshold", 0.25,
+      "GraphStore overlay compaction threshold (0 = always rebuild)");
+  std::string* sweep_batch_sizes = cf.flags.AddString(
+      "sweep_batch_sizes", "1,16,256",
+      "update-batch sizes for the ApplyUpdates latency sweep ('' = skip)");
+  int64_t* sweep_batches = cf.flags.AddInt64(
+      "sweep_batches", 6, "update batches per sweep configuration");
   std::string* json = cf.flags.AddString("json", "", "also append JSON here");
   ParseOrDie(cf, argc, argv);
 
@@ -196,13 +246,15 @@ int main(int argc, char** argv) {
 
   auto run_policy = [&](Policy policy) -> PolicyOutcome {
     PolicyOutcome out;
-    GraphStore store(*seed_graph);
+    GraphStore store(*seed_graph, GraphStoreOptions{.compaction_threshold =
+                                                        *compaction_threshold});
     PathEngineOptions opt;
     opt.batch = MakeBatchOptions(cf);
     opt.batch.max_paths_per_query = 5'000'000;
     opt.max_wait_seconds = 0;  // explicit Flush boundaries only
     opt.max_batch_size = 1 << 20;
     opt.collect_paths = false;  // serving-style: count, don't materialize
+    if (policy == Policy::kHotOverlapNoRepair) opt.cache_repair_max_keys = 0;
     PathEngine engine(&store, opt);
     if (!engine.status().ok()) {
       std::fprintf(stderr, "engine construction failed: %s\n",
@@ -233,11 +285,14 @@ int main(int argc, char** argv) {
         cache != nullptr ? cache->entries_invalidated() : 0;
     const uint64_t reval_before =
         cache != nullptr ? cache->entries_revalidated() : 0;
+    const uint64_t inval_miss_before =
+        cache != nullptr ? cache->invalidated_misses() : 0;
 
     // Measured pass: the same Zipf stream cut into one segment per update
     // batch, each segment flushed before the next update lands.
     Rng urng(static_cast<uint64_t>(*cf.seed) + 2);
-    const size_t segments = policy == Policy::kImmutable ? 1 : n_updates;
+    const size_t segments =
+        policy == Policy::kImmutable ? 1 : std::max<size_t>(n_updates, 1);
     const size_t seg_len = (stream.size() + segments - 1) / segments;
     std::vector<std::pair<PathQuery, std::future<QueryResult>>> results;
     results.reserve(stream.size());
@@ -253,9 +308,11 @@ int main(int argc, char** argv) {
 
       if (policy == Policy::kImmutable || seg + 1 == segments) continue;
       // Toggle random edges inside the updated region: the cold component
-      // for the disjoint policies, the hot component for hot_overlap.
-      const VertexId lo = policy == Policy::kHotOverlap ? 0 : n_hot;
-      const VertexId extent = policy == Policy::kHotOverlap ? n_hot : n_cold;
+      // for the disjoint policies, the hot component for the overlap ones.
+      const bool hot = policy == Policy::kHotOverlap ||
+                       policy == Policy::kHotOverlapNoRepair;
+      const VertexId lo = hot ? 0 : n_hot;
+      const VertexId extent = hot ? n_hot : n_cold;
       const Graph& current = store.Current()->graph;
       std::vector<EdgeUpdate> batch;
       for (int64_t i = 0; i < *updates_per_batch; ++i) {
@@ -265,7 +322,9 @@ int main(int argc, char** argv) {
         batch.push_back(current.HasEdge(u, v) ? EdgeUpdate::Remove(u, v)
                                               : EdgeUpdate::Add(u, v));
       }
+      WallTimer update_timer;
       auto applied = engine.ApplyUpdates(batch);
+      out.update_seconds += update_timer.ElapsedSeconds();
       if (!applied.status().ok()) {
         std::fprintf(stderr, "ApplyUpdates failed: %s\n",
                      applied.status().ToString().c_str());
@@ -291,9 +350,14 @@ int main(int argc, char** argv) {
                              static_cast<double>(hits + misses)
                        : 0;
     out.epochs = stats.graph_updates;
+    out.repaired = stats.cache_entries_repaired;
+    out.repair_skipped = stats.cache_repair_skipped;
+    out.overlay_extends = store.GetStats().overlay_extends;
     if (cache != nullptr) {
       out.invalidated = cache->entries_invalidated() - inval_before;
       out.revalidated = cache->entries_revalidated() - reval_before;
+      out.invalidated_misses =
+          cache->invalidated_misses() - inval_miss_before;
       const uint64_t classified = out.invalidated + out.revalidated;
       out.precision = classified > 0 ? static_cast<double>(out.revalidated) /
                                            static_cast<double>(classified)
@@ -342,20 +406,24 @@ int main(int argc, char** argv) {
 
   bool all_ok = true;
   std::map<Policy, PolicyOutcome> outcomes;
-  for (Policy policy : {Policy::kImmutable, Policy::kConeDisjoint,
-                        Policy::kBlanketFlush, Policy::kHotOverlap}) {
+  for (Policy policy :
+       {Policy::kImmutable, Policy::kConeDisjoint, Policy::kBlanketFlush,
+        Policy::kHotOverlap, Policy::kHotOverlapNoRepair}) {
     PolicyOutcome out = run_policy(policy);
     outcomes[policy] = out;
     const double qps =
         out.seconds > 0 ? static_cast<double>(out.completed) / out.seconds : 0;
-    char line[768];
+    char line[1024];
     std::snprintf(
         line, sizeof(line),
         "{\"bench\":\"exp11_dynamic\",\"policy\":\"%s\",\"stream\":%zu,"
         "\"update_batches\":%llu,\"threads\":%d,\"seconds\":%.6f,"
         "\"qps\":%.1f,\"paths\":%llu,\"hit_rate\":%.4f,"
         "\"entries_invalidated\":%llu,\"entries_revalidated\":%llu,"
-        "\"invalidation_precision\":%.4f,\"parity_checked\":%zu,"
+        "\"invalidation_precision\":%.4f,\"invalidated_misses\":%llu,"
+        "\"entries_repaired\":%llu,\"repair_skipped\":%llu,"
+        "\"overlay_extends\":%llu,\"update_seconds\":%.6f,"
+        "\"compaction_threshold\":%.4f,\"parity_checked\":%zu,"
         "\"parity_ok\":%s}\n",
         PolicyName(policy), stream.size(),
         static_cast<unsigned long long>(out.epochs),
@@ -363,7 +431,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(out.total_paths), out.hit_rate,
         static_cast<unsigned long long>(out.invalidated),
         static_cast<unsigned long long>(out.revalidated), out.precision,
-        out.parity_checked, out.parity_ok ? "true" : "false");
+        static_cast<unsigned long long>(out.invalidated_misses),
+        static_cast<unsigned long long>(out.repaired),
+        static_cast<unsigned long long>(out.repair_skipped),
+        static_cast<unsigned long long>(out.overlay_extends),
+        out.update_seconds, *compaction_threshold, out.parity_checked,
+        out.parity_ok ? "true" : "false");
     std::fputs(line, stdout);
     if (jf != nullptr) std::fputs(line, jf);
     if (!out.parity_ok) {
@@ -372,7 +445,6 @@ int main(int argc, char** argv) {
       all_ok = false;
     }
   }
-  if (jf != nullptr) std::fclose(jf);
 
   // Acceptance: cone-precise invalidation retains the immutable hit rate
   // (within 5%) under disjoint updates, with nothing invalidated; the
@@ -401,11 +473,113 @@ int main(int argc, char** argv) {
                  blanket.hit_rate, precise.hit_rate);
     all_ok = false;
   }
+  const PolicyOutcome& repaired = outcomes[Policy::kHotOverlap];
+  const PolicyOutcome& norepair = outcomes[Policy::kHotOverlapNoRepair];
+  if (norepair.invalidated > 0 && repaired.hit_rate < norepair.hit_rate) {
+    std::fprintf(stderr,
+                 "[exp11] FAIL: hot_overlap hit rate %.4f below the "
+                 "repair-disabled baseline %.4f despite %llu invalidations\n",
+                 repaired.hit_rate, norepair.hit_rate,
+                 static_cast<unsigned long long>(norepair.invalidated));
+    all_ok = false;
+  }
   std::fprintf(stderr,
                "[exp11] hit rates: immutable=%.4f cone_disjoint=%.4f "
-               "blanket_flush=%.4f | hot_overlap precision=%.4f | %s\n",
+               "blanket_flush=%.4f hot_overlap=%.4f hot_no_repair=%.4f | "
+               "precision=%.4f repaired=%llu | %s\n",
                base.hit_rate, precise.hit_rate, blanket.hit_rate,
-               outcomes[Policy::kHotOverlap].precision,
+               repaired.hit_rate, norepair.hit_rate, repaired.precision,
+               static_cast<unsigned long long>(repaired.repaired),
                all_ok ? "OK" : "FAIL");
+
+  // ---- Phase 2: ApplyUpdates latency sweep over batch sizes x thresholds.
+  // No perf gate — only the parity self-check can fail the run; the
+  // latency numbers feed BENCH_PR8.json for offline acceptance.
+  std::vector<size_t> sweep_sizes = ParseSizeList(*sweep_batch_sizes);
+  size_t n_sweep_batches = static_cast<size_t>(*sweep_batches);
+  if (*cf.quick) {
+    std::vector<size_t> capped;
+    for (size_t b : sweep_sizes) {
+      if (b <= 16) capped.push_back(b);
+    }
+    if (capped.empty() && !sweep_sizes.empty()) capped.push_back(1);
+    sweep_sizes.swap(capped);
+    n_sweep_batches = std::min<size_t>(n_sweep_batches, 3);
+  }
+  std::vector<double> thresholds = {0.0};
+  if (*compaction_threshold > 0) thresholds.push_back(*compaction_threshold);
+  const VertexId n_total = n_hot + n_cold;
+  for (const size_t batch_size : sweep_sizes) {
+    for (const double threshold : thresholds) {
+      GraphStore store(*seed_graph,
+                       GraphStoreOptions{.compaction_threshold = threshold});
+      // Shadow edge set: the ground truth the final store must equal.
+      std::set<std::pair<VertexId, VertexId>> shadow;
+      for (const auto& e : seed_graph->Edges()) shadow.insert(e);
+      Rng srng(static_cast<uint64_t>(*cf.seed) + 7);
+      double total_s = 0, max_s = 0;
+      for (size_t b = 0; b < n_sweep_batches; ++b) {
+        std::vector<EdgeUpdate> batch;
+        std::set<std::pair<VertexId, VertexId>> touched;
+        while (batch.size() < batch_size) {
+          const VertexId u = static_cast<VertexId>(srng.NextBounded(n_total));
+          const VertexId v = static_cast<VertexId>(srng.NextBounded(n_total));
+          if (u == v || !touched.insert({u, v}).second) continue;
+          if (shadow.erase({u, v}) > 0) {
+            batch.push_back(EdgeUpdate::Remove(u, v));
+          } else {
+            shadow.insert({u, v});
+            batch.push_back(EdgeUpdate::Add(u, v));
+          }
+        }
+        WallTimer t;
+        auto applied = store.ApplyUpdates(batch);
+        const double s = t.ElapsedSeconds();
+        total_s += s;
+        max_s = std::max(max_s, s);
+        if (!applied.ok()) {
+          std::fprintf(stderr, "[exp11] sweep ApplyUpdates failed: %s\n",
+                       applied.status().ToString().c_str());
+          return 3;
+        }
+      }
+      const std::vector<std::pair<VertexId, VertexId>> got =
+          store.Current()->graph.Edges();
+      const std::vector<std::pair<VertexId, VertexId>> want(shadow.begin(),
+                                                            shadow.end());
+      const bool sweep_parity = got == want;
+      if (!sweep_parity) {
+        std::fprintf(stderr,
+                     "[exp11] FAIL: sweep parity violated at batch_size=%zu "
+                     "threshold=%.4f (store %zu edges, shadow %zu)\n",
+                     batch_size, threshold, got.size(), want.size());
+        all_ok = false;
+      }
+      const GraphStoreStats ss = store.GetStats();
+      char line[1024];
+      std::snprintf(
+          line, sizeof(line),
+          "{\"bench\":\"exp11_dynamic_sweep\",\"batch_size\":%zu,"
+          "\"compaction_threshold\":%.4f,\"batches\":%zu,"
+          "\"seed_edges\":%llu,\"mean_update_seconds\":%.6f,"
+          "\"max_update_seconds\":%.6f,\"overlay_extends\":%llu,"
+          "\"full_rebuilds\":%llu,\"compactions\":%llu,"
+          "\"overlay_depth\":%llu,\"overlay_delta_edges\":%llu,"
+          "\"parity_ok\":%s}\n",
+          batch_size, threshold, n_sweep_batches,
+          static_cast<unsigned long long>(seed_graph->NumEdges()),
+          n_sweep_batches > 0 ? total_s / static_cast<double>(n_sweep_batches)
+                              : 0.0,
+          max_s, static_cast<unsigned long long>(ss.overlay_extends),
+          static_cast<unsigned long long>(ss.full_rebuilds),
+          static_cast<unsigned long long>(ss.compactions),
+          static_cast<unsigned long long>(ss.overlay_depth),
+          static_cast<unsigned long long>(ss.overlay_delta_edges),
+          sweep_parity ? "true" : "false");
+      std::fputs(line, stdout);
+      if (jf != nullptr) std::fputs(line, jf);
+    }
+  }
+  if (jf != nullptr) std::fclose(jf);
   return all_ok ? 0 : 3;
 }

@@ -179,6 +179,18 @@ struct AdmissionOptions {
   double shed_low_watermark = 0.5;
   double shed_patience_seconds = 0.050;
 
+  /// Max snapshot lag (store-backed engines, docs/DYNAMIC.md): when > 0,
+  /// each update install fails every still-queued query whose pinned
+  /// snapshot now lags the new current epoch by MORE than this many
+  /// epochs. The query's future resolves with FailedPrecondition
+  /// ("query snapshot over max lag ..."), its pin is released, and the
+  /// store's deferred GC can reclaim the retired snapshot — bounding how
+  /// much superseded-graph memory long-queued queries keep alive. 0 (the
+  /// default) never fails a pin; queries keep their admission snapshot
+  /// indefinitely. Dispatched queries are unaffected either way: once
+  /// running, a query always finishes on its pinned snapshot.
+  uint64_t max_snapshot_lag = 0;
+
   /// WFQ weight for tenants absent from `tenant_weights` (> 0).
   double default_tenant_weight = 1.0;
 

@@ -1,0 +1,247 @@
+#include "graph/delta_overlay.h"
+
+#include <algorithm>
+
+namespace hcpath {
+
+namespace {
+
+size_t NextPow2(size_t x) {
+  size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Pipeline block for the merge loop: lines are prefetched one block
+/// (~a microsecond of merge work) before they are dereferenced — far
+/// beyond a DRAM round trip.
+constexpr size_t kBlock = 16;
+
+}  // namespace
+
+VertexId* DeltaOverlay::Pool::Alloc(size_t n) {
+  entries += n;
+  if (n > left) {
+    const size_t size = std::max(n, kChunkEntries);
+    chunks.push_back(std::make_unique<VertexId[]>(size));
+    cur = chunks.back().get();
+    left = size;
+  }
+  VertexId* p = cur;
+  cur += n;
+  left -= n;
+  return p;
+}
+
+void DeltaOverlay::BuildSide(
+    Direction dir, const Side* prior_side, const std::vector<Edge>& adds,
+    const std::vector<Edge>& removes,
+    std::span<const std::span<const VertexId>> tail_views, Pool* pool,
+    Side* out) const {
+  // Distinct touched tails in ascending order (the delta lists are
+  // sorted); drives both the exact table bound and the prefetch window.
+  std::vector<VertexId> tails;
+  tails.reserve(adds.size() + removes.size());
+  {
+    size_t ai = 0, ri = 0;
+    while (ai < adds.size() || ri < removes.size()) {
+      VertexId w = kInvalidVertex;
+      if (ai < adds.size()) w = adds[ai].first;
+      if (ri < removes.size()) w = std::min(w, removes[ri].first);
+      tails.push_back(w);
+      while (ai < adds.size() && adds[ai].first == w) ++ai;
+      while (ri < removes.size() && removes[ri].first == w) ++ri;
+    }
+  }
+
+  const uint64_t prior_patched =
+      prior_side != nullptr ? prior_side->patched : 0;
+  // Upper bound on patched vertices: every prior patch survives and every
+  // touched tail is new. Table stays under 50% load. Growth takes one
+  // doubling beyond the minimum so successive extends absorb a few more
+  // batches via the verbatim copy-forward before the next re-hash.
+  const size_t bound = prior_patched + tails.size();
+  const size_t min_capacity = NextPow2(std::max<size_t>(4, 2 * bound));
+  const size_t capacity =
+      (prior_side != nullptr && prior_side->table.size() >= min_capacity)
+          ? min_capacity
+          : 2 * min_capacity;
+  if (prior_side != nullptr && prior_side->table.size() >= capacity) {
+    // Copy-forward fast path: one sequential slot-table copy; the slots'
+    // list pointers stay valid because the pool is shared and only grows.
+    out->table = prior_side->table;
+    out->mask = prior_side->mask;
+    out->patched = prior_side->patched;
+  } else {
+    // Grow path (and first extend): fresh table at the next power of two,
+    // prior slots re-hashed once — pointers carry over untouched. The
+    // source scan is sequential; the random-target insert lines are
+    // requested a fixed lookahead ahead of the insert that needs them.
+    out->table.assign(capacity, Slot{});
+    out->mask = capacity - 1;
+    if (prior_side != nullptr) {
+      const std::vector<Slot>& prior_table = prior_side->table;
+      for (size_t p = 0; p < prior_table.size(); ++p) {
+        if (p + kBlock < prior_table.size()) {
+          const Slot& ahead = prior_table[p + kBlock];
+          if (ahead.key != kInvalidVertex) {
+            __builtin_prefetch(&out->table[Hash(ahead.key) & out->mask], 1);
+          }
+        }
+        const Slot& slot = prior_table[p];
+        if (slot.key == kInvalidVertex) continue;
+        size_t i = Hash(slot.key) & out->mask;
+        while (out->table[i].key != kInvalidVertex) i = (i + 1) & out->mask;
+        out->table[i] = slot;
+        ++out->patched;
+      }
+    }
+  }
+
+  auto prior_view = [&](VertexId w) -> std::span<const VertexId> {
+    if (prior_side != nullptr) {
+      size_t i = Hash(w) & prior_side->mask;
+      while (true) {
+        const Slot& slot = prior_side->table[i];
+        if (slot.key == w) return {slot.list, slot.count};
+        if (slot.key == kInvalidVertex) break;
+        i = (i + 1) & prior_side->mask;
+      }
+    }
+    if (w < base_n_) return base_->Neighbors(w, dir);
+    return {};
+  };
+
+  // Re-merge every vertex the batch touches. Deltas are sorted by
+  // (w, nbr), so one sweep groups them; the per-vertex merge is the same
+  // lockstep three-way scan GraphBuilder uses for full rebuilds, which is
+  // what makes patched lists bit-identical to the rebuilt CSR's. Merged
+  // lists are written straight into pool space sized at the per-vertex
+  // upper bound (prior list + this vertex's adds); the unused tail is
+  // handed back to the pool.
+  //
+  // The loop is pipelined in blocks of kBlock tails so each random
+  // access's line is requested a block before it is needed: hash-slot and
+  // offset lines one block ahead, then the block's prior views resolved
+  // once (cached for the merge sweep — no second probe) while their list
+  // lines stream in behind the resolve sweep.
+  const bool have_views = !tail_views.empty();
+  if (have_views) HCPATH_CHECK_EQ(tail_views.size(), tails.size());
+  std::span<const VertexId> views[kBlock];
+  size_t ai = 0, ri = 0;
+  for (size_t blk = 0; blk < tails.size(); blk += kBlock) {
+    const size_t blk_end = std::min(blk + kBlock, tails.size());
+    const size_t next_end = std::min(blk_end + kBlock, tails.size());
+    for (size_t t = blk_end; t < next_end; ++t) {
+      const VertexId wp = tails[t];
+      __builtin_prefetch(&out->table[Hash(wp) & out->mask]);
+      if (!have_views) {
+        if (prior_side != nullptr) {
+          __builtin_prefetch(&prior_side->table[Hash(wp) & prior_side->mask]);
+        }
+        if (wp < base_n_) base_->PrefetchOffsets(wp, dir);
+      }
+    }
+    for (size_t t = blk; t < blk_end; ++t) {
+      views[t - blk] = have_views ? tail_views[t] : prior_view(tails[t]);
+      __builtin_prefetch(views[t - blk].data());
+    }
+    for (size_t t = blk; t < blk_end; ++t) {
+      const VertexId w = tails[t];
+      const std::span<const VertexId> cur = views[t - blk];
+      size_t group_adds = 0;
+      while (ai + group_adds < adds.size() &&
+             adds[ai + group_adds].first == w) {
+        ++group_adds;
+      }
+      VertexId* list = pool->Alloc(cur.size() + group_adds);
+      VertexId* end = list;
+      size_t bi = 0;
+      while (true) {
+        VertexId from_base = bi < cur.size() ? cur[bi] : kInvalidVertex;
+        // Every remove names an edge present in the prior view, so the
+        // remove cursor advances in lockstep with the scan of w's list.
+        if (from_base != kInvalidVertex && ri < removes.size() &&
+            removes[ri].first == w && removes[ri].second == from_base) {
+          ++bi;
+          ++ri;
+          continue;
+        }
+        const VertexId from_add =
+            (ai < adds.size() && adds[ai].first == w) ? adds[ai].second
+                                                      : kInvalidVertex;
+        if (from_base == kInvalidVertex && from_add == kInvalidVertex) break;
+        // Added edges are absent from the prior view, so the heads never
+        // tie; kInvalidVertex sorts last, making this a two-way merge.
+        if (from_add < from_base) {
+          *end++ = from_add;
+          ++ai;
+        } else {
+          *end++ = from_base;
+          ++bi;
+        }
+      }
+      const size_t count = static_cast<size_t>(end - list);
+      pool->Unalloc(cur.size() + group_adds - count);
+      // An emptied list must still be patched, or lookups would fall
+      // through to the stale base span. A key carried forward from the
+      // prior overlay is overwritten in place; its superseded list bytes
+      // stay in the pool until compaction.
+      size_t i = Hash(w) & out->mask;
+      while (out->table[i].key != kInvalidVertex && out->table[i].key != w) {
+        i = (i + 1) & out->mask;
+      }
+      if (out->table[i].key != w) ++out->patched;
+      out->table[i] = Slot{w, static_cast<uint32_t>(count), list};
+    }
+  }
+}
+
+std::shared_ptr<const DeltaOverlay> DeltaOverlay::Extend(
+    std::shared_ptr<const Graph> base, const DeltaOverlay* prior,
+    const std::vector<Edge>& adds, const std::vector<Edge>& removes,
+    std::span<const std::span<const VertexId>> out_tail_views) {
+  HCPATH_CHECK(base != nullptr);
+  HCPATH_CHECK(base->overlay() == nullptr);  // chains are flattened
+  auto next = std::shared_ptr<DeltaOverlay>(new DeltaOverlay());
+  next->base_ = std::move(base);
+  next->base_n_ = next->base_->NumVertices();
+  next->pool_ = prior != nullptr ? prior->pool_ : std::make_shared<Pool>();
+
+  const VertexId prior_n =
+      prior != nullptr ? prior->num_vertices() : next->base_n_;
+  const uint64_t prior_m =
+      prior != nullptr ? prior->num_edges() : next->base_->NumEdges();
+  VertexId n = std::max<VertexId>(prior_n, 1);
+  for (const auto& [u, v] : adds) n = std::max(n, std::max(u, v) + 1);
+  next->num_vertices_ = n;
+  next->num_edges_ = prior_m + adds.size() - removes.size();
+  next->depth_ = (prior != nullptr ? prior->depth() : 0) + 1;
+  next->delta_edges_ = (prior != nullptr ? prior->delta_edges() : 0) +
+                       adds.size() + removes.size();
+
+  next->BuildSide(Direction::kForward,
+                  prior != nullptr ? &prior->out_ : nullptr, adds, removes,
+                  out_tail_views, next->pool_.get(), &next->out_);
+
+  // The in-direction consumes the same deltas keyed by head: (v, u)
+  // sorted by (v, u), matching in-adjacency's source-ascending order.
+  // No pre-resolved views exist for this side — the classifier only
+  // probed out-adjacency — so its merge resolves against the tables.
+  auto by_head = [](std::vector<Edge> kv) {
+    for (auto& [u, v] : kv) std::swap(u, v);
+    std::sort(kv.begin(), kv.end());
+    return kv;
+  };
+  next->BuildSide(Direction::kBackward,
+                  prior != nullptr ? &prior->in_ : nullptr, by_head(adds),
+                  by_head(removes), {}, next->pool_.get(), &next->in_);
+  return next;
+}
+
+uint64_t DeltaOverlay::MemoryBytes() const {
+  return (out_.table.size() + in_.table.size()) * sizeof(Slot) +
+         pool_->entries * sizeof(VertexId);
+}
+
+}  // namespace hcpath

@@ -1,0 +1,182 @@
+#ifndef HCPATH_GRAPH_DELTA_OVERLAY_H_
+#define HCPATH_GRAPH_DELTA_OVERLAY_H_
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hcpath {
+
+/// Patch tables layered over a flat base CSR, making a small update batch
+/// cost O(touched) instead of the O(|E|) full rebuild (docs/DYNAMIC.md).
+///
+/// Representation: per direction, an open-addressing table mapping each
+/// *touched* vertex to its fully materialized patched neighbor list
+/// (base minus removed plus added, sorted by vertex id). Neighbor lookup
+/// probes the table; a miss falls through to the base CSR span. Because
+/// every patched list is exactly the list a from-scratch rebuild would
+/// produce for that vertex, iteration order is *structurally identical*
+/// to the rebuilt CSR — the update-interleaved fuzz oracle
+/// (`Edges() == rebuilt`) holds by construction, per vertex.
+///
+/// Chains are flattened: every overlay in a chain points at the same flat
+/// base graph and carries the cumulative patch set since the last
+/// compaction point, so lookup cost never grows with chain depth and
+/// retired intermediate snapshots free their tables independently.
+///
+/// Patched lists live in an append-only chunk pool shared by the whole
+/// chain: chunk addresses are stable, so an extend appends its re-merged
+/// lists without copying (or invalidating) any prior snapshot's lists.
+/// Only the slot table is carried forward — verbatim when capacity
+/// allows, re-hashed once on growth — so per-extend work is the batch's
+/// touched vertices plus one sequential table copy bounded by the
+/// compaction threshold. A re-merged vertex's superseded list bytes stay
+/// dead in the pool until compaction; MemoryBytes counts them.
+class DeltaOverlay {
+ public:
+  using Edge = std::pair<VertexId, VertexId>;
+
+  /// Builds the overlay for one more update batch. `base` must be a flat
+  /// (non-overlay) graph; `prior` is the overlay being extended (nullptr
+  /// starts a new chain directly over `base`). `adds` / `removes` are the
+  /// batch's *effective* edge deltas relative to the prior view — the
+  /// last-wins-collapsed, no-op-free lists GraphBuilder::ClassifyUpdates
+  /// produces, sorted by (tail, head). The in-direction deltas are
+  /// derived internally. `out_tail_views`, when non-empty, is the
+  /// classifier's already-resolved pre-update out-neighbor span per
+  /// distinct tail (UpdateApplyStats::tail_views): the forward side then
+  /// merges from those spans instead of re-probing the prior tables.
+  /// Concurrent Extend calls on the same chain must be externally
+  /// serialized (GraphStore's update lock does); readers of prior
+  /// snapshots are never disturbed — the shared pool only grows.
+  static std::shared_ptr<const DeltaOverlay> Extend(
+      std::shared_ptr<const Graph> base, const DeltaOverlay* prior,
+      const std::vector<Edge>& adds, const std::vector<Edge>& removes,
+      std::span<const std::span<const VertexId>> out_tail_views = {});
+
+  VertexId num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Update batches folded into this overlay since the flat base.
+  uint64_t depth() const { return depth_; }
+  /// Cumulative effective adds + removes since the flat base — the
+  /// "overlay size" the GraphStore compaction threshold is measured
+  /// against. Repeated toggles of one edge count every time even though
+  /// the patch tables stay small; that only compacts earlier, never
+  /// later, so read cost stays bounded either way.
+  uint64_t delta_edges() const { return delta_edges_; }
+  uint64_t patched_vertices() const { return out_.patched + in_.patched; }
+
+  /// The flat base CSR this overlay patches. The shared_ptr keeps the
+  /// base snapshot alive for as long as any overlay in the chain is.
+  const Graph& base() const { return *base_; }
+  const std::shared_ptr<const Graph>& base_ptr() const { return base_; }
+
+  /// Patched neighbor span of v, falling back to the base CSR when v was
+  /// never touched since the last compaction.
+  std::span<const VertexId> Neighbors(VertexId v, Direction d) const {
+    const Side& s = d == Direction::kForward ? out_ : in_;
+    size_t i = Hash(v) & s.mask;
+    while (true) {
+      const Slot& slot = s.table[i];
+      if (slot.key == v) return {slot.list, slot.count};
+      if (slot.key == kInvalidVertex) break;
+      i = (i + 1) & s.mask;
+    }
+    if (v < base_n_) {
+      return d == Direction::kForward ? base_->OutNeighbors(v)
+                                      : base_->InNeighbors(v);
+    }
+    return {};  // introduced by an update; untouched in this direction
+  }
+
+  /// Cache hint: pulls v's hash slot line in ahead of a Neighbors probe;
+  /// correctness never depends on it.
+  void PrefetchSlot(VertexId v, Direction d) const {
+    const Side& s = d == Direction::kForward ? out_ : in_;
+    __builtin_prefetch(&s.table[Hash(v) & s.mask]);
+  }
+
+  /// Bytes of the patch tables and the chain's shared list pool
+  /// (including superseded lists) — the flat base CSR is accounted by
+  /// its own snapshot.
+  uint64_t MemoryBytes() const;
+
+ private:
+  struct Slot {
+    VertexId key = kInvalidVertex;
+    uint32_t count = 0;
+    const VertexId* list = nullptr;
+  };
+  /// One direction's patch set. `table` is a power-of-two open-addressing
+  /// array kept under 50% load, so probes terminate on an empty slot.
+  struct Side {
+    std::vector<Slot> table;
+    size_t mask = 0;
+    uint64_t patched = 0;
+  };
+  /// Append-only arena holding every patched list of a chain. Chunk
+  /// addresses are stable across growth, so slots in retired snapshots
+  /// stay valid while later extends append. Writers are serialized by
+  /// the store's update lock; a snapshot's lists are fully written
+  /// before the snapshot is published, and readers only follow slots
+  /// reachable from their own (already published) table.
+  struct Pool {
+    static constexpr size_t kChunkEntries = size_t{1} << 16;
+    std::vector<std::unique_ptr<VertexId[]>> chunks;
+    VertexId* cur = nullptr;
+    size_t left = 0;
+    uint64_t entries = 0;  ///< cumulative, including superseded lists
+
+    VertexId* Alloc(size_t n);
+    /// Returns the unused tail of the most recent Alloc (merges allocate
+    /// at the per-vertex upper bound, then give back what the removes
+    /// freed). Always within the current chunk: Alloc never splits a
+    /// request across chunks.
+    void Unalloc(size_t n) {
+      entries -= n;
+      cur -= n;
+      left += n;
+    }
+  };
+
+  static size_t Hash(VertexId v) {
+    uint64_t x = v;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+
+  /// Builds one direction: prior slot table carried forward, touched
+  /// vertices re-merged against the prior view (prior patch, else base)
+  /// into pool-allocated lists. `tail_views`, when non-empty, supplies
+  /// the prior view of each touched tail (one per distinct tail, tail
+  /// order) and suppresses the probe that would otherwise resolve it.
+  void BuildSide(Direction dir, const Side* prior_side,
+                 const std::vector<Edge>& adds,
+                 const std::vector<Edge>& removes,
+                 std::span<const std::span<const VertexId>> tail_views,
+                 Pool* pool, Side* out) const;
+
+  DeltaOverlay() = default;
+
+  std::shared_ptr<const Graph> base_;
+  std::shared_ptr<Pool> pool_;  ///< shared by every overlay in the chain
+  VertexId base_n_ = 0;
+  VertexId num_vertices_ = 0;
+  uint64_t num_edges_ = 0;
+  uint64_t depth_ = 0;
+  uint64_t delta_edges_ = 0;
+  Side out_;
+  Side in_;
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_GRAPH_DELTA_OVERLAY_H_

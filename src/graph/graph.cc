@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "graph/delta_overlay.h"
+
 namespace hcpath {
 
 uint64_t Graph::NextVersion() {
@@ -22,6 +24,30 @@ Graph::Graph(std::vector<uint64_t> out_offsets, std::vector<VertexId> out_adj,
   HCPATH_CHECK_EQ(out_offsets_.back(), out_adj_.size());
   HCPATH_CHECK_EQ(in_offsets_.back(), in_adj_.size());
   HCPATH_CHECK_EQ(out_adj_.size(), in_adj_.size());
+}
+
+Graph::Graph(std::shared_ptr<const DeltaOverlay> overlay)
+    : overlay_(std::move(overlay)), version_(NextVersion()) {
+  HCPATH_CHECK(overlay_ != nullptr);
+}
+
+std::span<const VertexId> Graph::OverlayNeighbors(VertexId v,
+                                                  Direction d) const {
+  return overlay_->Neighbors(v, d);
+}
+
+void Graph::OverlayPrefetchSlot(VertexId v, Direction d) const {
+  overlay_->PrefetchSlot(v, d);
+}
+
+VertexId Graph::OverlayNumVertices() const {
+  return overlay_->num_vertices();
+}
+
+uint64_t Graph::OverlayNumEdges() const { return overlay_->num_edges(); }
+
+uint64_t Graph::OverlayMemoryBytes() const {
+  return overlay_->MemoryBytes();
 }
 
 bool Graph::HasEdge(VertexId u, VertexId v) const {

@@ -2,12 +2,15 @@
 #define HCPATH_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "util/logging.h"
 
 namespace hcpath {
+
+class DeltaOverlay;
 
 /// Vertex identifier. Graphs are limited to 2^32 - 2 vertices, which covers
 /// every dataset in the paper while halving index memory vs 64-bit ids.
@@ -43,18 +46,32 @@ class Graph {
   Graph(std::vector<uint64_t> out_offsets, std::vector<VertexId> out_adj,
         std::vector<uint64_t> in_offsets, std::vector<VertexId> in_adj);
 
+  /// Wraps a delta overlay (docs/DYNAMIC.md) as a graph snapshot: reads
+  /// consult the overlay's patch tables and fall back to its flat base
+  /// CSR. The flat-CSR members stay empty; every accessor branches on
+  /// `overlay_` — one well-predicted null check on the flat path, so
+  /// graphs without an overlay read exactly as before.
+  explicit Graph(std::shared_ptr<const DeltaOverlay> overlay);
+
   /// Number of vertices.
   VertexId NumVertices() const {
+    if (overlay_ != nullptr) [[unlikely]] return OverlayNumVertices();
     return out_offsets_.empty()
                ? 0
                : static_cast<VertexId>(out_offsets_.size() - 1);
   }
   /// Number of directed edges.
-  uint64_t NumEdges() const { return out_adj_.size(); }
+  uint64_t NumEdges() const {
+    if (overlay_ != nullptr) [[unlikely]] return OverlayNumEdges();
+    return out_adj_.size();
+  }
 
   /// Out-neighbors of v in G (sorted).
   std::span<const VertexId> OutNeighbors(VertexId v) const {
     HCPATH_DCHECK(v < NumVertices());
+    if (overlay_ != nullptr) [[unlikely]] {
+      return OverlayNeighbors(v, Direction::kForward);
+    }
     return {out_adj_.data() + out_offsets_[v],
             out_adj_.data() + out_offsets_[v + 1]};
   }
@@ -62,6 +79,9 @@ class Graph {
   /// In-neighbors of v in G (sorted) == out-neighbors of v in Gr.
   std::span<const VertexId> InNeighbors(VertexId v) const {
     HCPATH_DCHECK(v < NumVertices());
+    if (overlay_ != nullptr) [[unlikely]] {
+      return OverlayNeighbors(v, Direction::kBackward);
+    }
     return {in_adj_.data() + in_offsets_[v],
             in_adj_.data() + in_offsets_[v + 1]};
   }
@@ -72,9 +92,15 @@ class Graph {
   }
 
   uint64_t OutDegree(VertexId v) const {
+    if (overlay_ != nullptr) [[unlikely]] {
+      return OverlayNeighbors(v, Direction::kForward).size();
+    }
     return out_offsets_[v + 1] - out_offsets_[v];
   }
   uint64_t InDegree(VertexId v) const {
+    if (overlay_ != nullptr) [[unlikely]] {
+      return OverlayNeighbors(v, Direction::kBackward).size();
+    }
     return in_offsets_[v + 1] - in_offsets_[v];
   }
   uint64_t Degree(VertexId v, Direction d) const {
@@ -103,9 +129,28 @@ class Graph {
     original_ids_ = std::move(ids);
   }
 
+  /// Stage-1 companion to PrefetchNeighbors: pulls v's offset line (flat)
+  /// or patch-table slot (overlay) into cache so the stage-2 hint's
+  /// dependent load doesn't stall; correctness never depends on it.
+  void PrefetchOffsets(VertexId v, Direction d) const {
+    if (overlay_ != nullptr) [[unlikely]] {
+      OverlayPrefetchSlot(v, d);
+      return;
+    }
+    if (d == Direction::kForward) {
+      __builtin_prefetch(&out_offsets_[v]);
+    } else {
+      __builtin_prefetch(&in_offsets_[v]);
+    }
+  }
+
   /// Hints the adjacency block of v into cache ahead of the DFS expanding
   /// it (core/search.cc); correctness never depends on it.
   void PrefetchNeighbors(VertexId v, Direction d) const {
+    if (overlay_ != nullptr) [[unlikely]] {
+      __builtin_prefetch(OverlayNeighbors(v, d).data());
+      return;
+    }
     if (d == Direction::kForward) {
       __builtin_prefetch(out_adj_.data() + out_offsets_[v]);
     } else {
@@ -116,11 +161,20 @@ class Graph {
   /// All edges as (src, dst) pairs, ordered by src then dst.
   std::vector<std::pair<VertexId, VertexId>> Edges() const;
 
-  /// Approximate resident memory of the CSR arrays.
+  /// Approximate resident memory of the CSR arrays. For an overlay
+  /// snapshot this is the patch tables only — the shared flat base is
+  /// accounted by the snapshot that owns it.
   uint64_t MemoryBytes() const {
+    if (overlay_ != nullptr) [[unlikely]] return OverlayMemoryBytes();
     return (out_offsets_.size() + in_offsets_.size()) * sizeof(uint64_t) +
            (out_adj_.size() + in_adj_.size()) * sizeof(VertexId);
   }
+
+  /// Non-null iff this graph is a delta-overlay snapshot (GraphStore's
+  /// O(touched) update path). Readers never need this — every accessor
+  /// reads through the overlay transparently — but GraphStore keys its
+  /// extend-vs-compact decision on it.
+  const DeltaOverlay* overlay() const { return overlay_.get(); }
 
   /// Process-unique identity of this graph's content, assigned at
   /// construction from a global counter and carried along by copy/move
@@ -133,11 +187,20 @@ class Graph {
  private:
   static uint64_t NextVersion();
 
+  // Overlay-mode slow paths, out of line so graph.h needs only a forward
+  // declaration of DeltaOverlay and the flat path stays fully inline.
+  std::span<const VertexId> OverlayNeighbors(VertexId v, Direction d) const;
+  void OverlayPrefetchSlot(VertexId v, Direction d) const;
+  VertexId OverlayNumVertices() const;
+  uint64_t OverlayNumEdges() const;
+  uint64_t OverlayMemoryBytes() const;
+
   std::vector<uint64_t> out_offsets_;
   std::vector<VertexId> out_adj_;
   std::vector<uint64_t> in_offsets_;
   std::vector<VertexId> in_adj_;
   std::vector<VertexId> original_ids_;  ///< empty on non-renumbered graphs
+  std::shared_ptr<const DeltaOverlay> overlay_;  ///< null on flat graphs
   uint64_t version_ = 0;
 };
 

@@ -122,63 +122,111 @@ void MergeAdjacency(VertexId n, VertexId base_n, GetBase get_base,
 
 }  // namespace
 
-StatusOr<Graph> GraphBuilder::ApplyUpdates(const Graph& base,
-                                           std::span<const EdgeUpdate> updates,
-                                           UpdateApplyStats* stats) {
-  UpdateApplyStats local;
-  UpdateApplyStats& s = stats != nullptr ? *stats : local;
+Status GraphBuilder::ClassifyUpdates(const Graph& base,
+                                     std::span<const EdgeUpdate> updates,
+                                     UpdateApplyStats* stats) {
+  UpdateApplyStats& s = *stats;
   s = UpdateApplyStats();
 
-  // Pass 1: validate and record, per edge, the index of its LAST update in
-  // the batch — the one that decides the outcome.
-  std::unordered_map<uint64_t, size_t> last;
-  last.reserve(updates.size() * 2);
+  // Pass 1: validate, count self-loops (into locals so `stats` stays
+  // empty on a validation failure), and key every remaining update as
+  // ((u << 32) | v, batch index). Sorting the keys collapses the batch:
+  // the deciding update for each edge is the last element of its
+  // equal-key run, and because the key order IS (u, v) order the
+  // survivors come out already sorted — exactly the order the effective
+  // lists must be emitted in, so no per-list sort is needed.
+  uint64_t self_loop_adds = 0, self_loop_removes = 0;
+  std::vector<std::pair<uint64_t, uint32_t>> keyed;
+  keyed.reserve(updates.size());
   for (size_t i = 0; i < updates.size(); ++i) {
     const EdgeUpdate& up = updates[i];
     if (up.u == kInvalidVertex || up.v == kInvalidVertex) {
       return Status::InvalidArgument("edge update " + std::to_string(i) +
                                      " has an invalid endpoint");
     }
-    if (up.u == up.v) continue;  // never lands in the CSR; classified below
-    last[(static_cast<uint64_t>(up.u) << 32) | up.v] = i;
-  }
-
-  // Pass 2: classify each deciding update against the base graph.
-  const VertexId base_n = base.NumVertices();
-  std::vector<std::pair<VertexId, VertexId>> adds, removes;
-  for (size_t i = 0; i < updates.size(); ++i) {
-    const EdgeUpdate& up = updates[i];
     if (up.u == up.v) {
       // Simple paths never use self-loops, and Build drops them, so none
       // can be present.
       if (up.op == EdgeUpdate::Op::kAddEdge) {
-        ++s.self_loops_dropped;
+        ++self_loop_adds;
       } else {
-        ++s.remove_noops;
+        ++self_loop_removes;
       }
       continue;
     }
-    if (last[(static_cast<uint64_t>(up.u) << 32) | up.v] != i) {
-      continue;  // superseded by a later update of the same edge
+    keyed.emplace_back((static_cast<uint64_t>(up.u) << 32) | up.v,
+                       static_cast<uint32_t>(i));
+  }
+  s.self_loops_dropped = self_loop_adds;
+  s.remove_noops = self_loop_removes;
+  std::sort(keyed.begin(), keyed.end());
+
+  // Pass 2: classify each deciding update against the base graph,
+  // pipelined in blocks so the membership probes' random reads are in
+  // flight instead of stalling one miss at a time: offset lines (or
+  // overlay hash slots) are requested one block ahead, then the block's
+  // neighbor spans are resolved once — cached for the classify sweep —
+  // while their adjacency lines stream in behind the resolve sweep.
+  constexpr size_t kBlock = 16;
+  std::span<const VertexId> nbrs[kBlock];
+  const VertexId base_n = base.NumVertices();
+  VertexId last_tail = kInvalidVertex;
+  for (size_t blk = 0; blk < keyed.size(); blk += kBlock) {
+    const size_t blk_end = std::min(blk + kBlock, keyed.size());
+    const size_t next_end = std::min(blk_end + kBlock, keyed.size());
+    for (size_t j = blk_end; j < next_end; ++j) {
+      const VertexId u = static_cast<VertexId>(keyed[j].first >> 32);
+      if (u < base_n) base.PrefetchOffsets(u, Direction::kForward);
     }
-    const bool present =
-        up.u < base_n && up.v < base_n && base.HasEdge(up.u, up.v);
-    if (up.op == EdgeUpdate::Op::kAddEdge) {
-      if (present) {
-        ++s.add_noops;
-      } else {
-        adds.emplace_back(up.u, up.v);
+    for (size_t j = blk; j < blk_end; ++j) {
+      const VertexId u = static_cast<VertexId>(keyed[j].first >> 32);
+      nbrs[j - blk] =
+          u < base_n ? base.OutNeighbors(u) : std::span<const VertexId>();
+      __builtin_prefetch(nbrs[j - blk].data());
+    }
+    for (size_t j = blk; j < blk_end; ++j) {
+      if (j + 1 < keyed.size() && keyed[j + 1].first == keyed[j].first) {
+        continue;  // superseded by a later update of the same edge
       }
-    } else {
-      if (present) {
-        removes.emplace_back(up.u, up.v);
+      const EdgeUpdate& up = updates[keyed[j].second];
+      // Heads at or above base_n cannot appear in base adjacency, and an
+      // out-of-range tail resolved to the empty span — the search alone
+      // decides membership.
+      const std::span<const VertexId>& un = nbrs[j - blk];
+      const bool present = std::binary_search(un.begin(), un.end(), up.v);
+      bool effective = false;
+      if (up.op == EdgeUpdate::Op::kAddEdge) {
+        if (present) {
+          ++s.add_noops;
+        } else {
+          s.added.emplace_back(up.u, up.v);
+          effective = true;
+        }
       } else {
-        ++s.remove_noops;
+        if (present) {
+          s.removed.emplace_back(up.u, up.v);
+          effective = true;
+        } else {
+          ++s.remove_noops;
+        }
+      }
+      // Keys are processed in (u, v) order, so effective tails arrive
+      // non-decreasing: one span per distinct tail, in tail order —
+      // exactly the forward-side tail sequence Extend derives.
+      if (effective && up.u != last_tail) {
+        s.tail_views.push_back(un);
+        last_tail = up.u;
       }
     }
   }
-  std::sort(adds.begin(), adds.end());
-  std::sort(removes.begin(), removes.end());
+  return Status::OK();
+}
+
+Graph GraphBuilder::MergeRebuild(const Graph& base,
+                                 const UpdateApplyStats& delta) {
+  const VertexId base_n = base.NumVertices();
+  const std::vector<std::pair<VertexId, VertexId>>& adds = delta.added;
+  const std::vector<std::pair<VertexId, VertexId>>& removes = delta.removed;
 
   // Only effective adds can introduce vertices; an isolated base graph
   // keeps its (possibly inferred) vertex count.
@@ -207,10 +255,17 @@ StatusOr<Graph> GraphBuilder::ApplyUpdates(const Graph& base,
 
   HCPATH_CHECK_EQ(out_adj.size(), m);
   HCPATH_CHECK_EQ(in_adj.size(), m);
-  s.added = std::move(adds);
-  s.removed = std::move(removes);
   return Graph(std::move(out_offsets), std::move(out_adj),
                std::move(in_offsets), std::move(in_adj));
+}
+
+StatusOr<Graph> GraphBuilder::ApplyUpdates(const Graph& base,
+                                           std::span<const EdgeUpdate> updates,
+                                           UpdateApplyStats* stats) {
+  UpdateApplyStats local;
+  UpdateApplyStats& s = stats != nullptr ? *stats : local;
+  HCPATH_RETURN_NOT_OK(ClassifyUpdates(base, updates, &s));
+  return MergeRebuild(base, s);
 }
 
 }  // namespace hcpath

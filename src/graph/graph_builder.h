@@ -36,6 +36,15 @@ struct UpdateApplyStats {
   uint64_t add_noops = 0;     ///< adds of already-present edges
   uint64_t remove_noops = 0;  ///< removes of absent edges
   uint64_t self_loops_dropped = 0;
+
+  /// Pre-update out-neighbor span of each distinct tail of added∪removed,
+  /// in ascending tail order — the spans ClassifyUpdates already resolved
+  /// for its membership probes, saved so DeltaOverlay::Extend's forward
+  /// side can merge without re-probing the same tables. Non-owning views
+  /// into the classified-against graph: valid only while that snapshot is
+  /// alive and unmodified, i.e. for the ApplyUpdates call that produced
+  /// them. MergeRebuild ignores them.
+  std::vector<std::span<const VertexId>> tail_views;
 };
 
 /// Accumulates directed edges and finalizes them into a CSR Graph.
@@ -80,9 +89,30 @@ class GraphBuilder {
   /// The result is structurally identical — same CSR content as a
   /// from-scratch Build over the surviving edge set — which the
   /// update-interleaved differential fuzz suite cross-checks.
+  ///
+  /// This is the full-rebuild path — O(|E|) regardless of batch size.
+  /// GraphStore routes small batches through DeltaOverlay::Extend instead
+  /// (O(touched)) and calls back into this only at compaction points.
   static StatusOr<Graph> ApplyUpdates(const Graph& base,
                                       std::span<const EdgeUpdate> updates,
                                       UpdateApplyStats* stats = nullptr);
+
+  /// Classification half of ApplyUpdates, shared with the overlay path:
+  /// collapses the batch last-wins, drops self-loops, classifies each
+  /// deciding update against `base` (present → remove effective / add
+  /// no-op, absent → add effective / remove no-op) and fills `stats` with
+  /// the sorted effective `added` / `removed` lists plus the no-op
+  /// counters. `base` may itself be an overlay snapshot. Fails with
+  /// InvalidArgument on kInvalidVertex endpoints, leaving `stats` empty.
+  static Status ClassifyUpdates(const Graph& base,
+                                std::span<const EdgeUpdate> updates,
+                                UpdateApplyStats* stats);
+
+  /// Rebuild half of ApplyUpdates: merges a classified delta into a fresh
+  /// flat CSR. Reads `base` only through its neighbor spans, so calling
+  /// it on an overlay snapshot folds base + overlay + delta in one pass —
+  /// this is GraphStore's compaction primitive.
+  static Graph MergeRebuild(const Graph& base, const UpdateApplyStats& delta);
 
  private:
   VertexId num_vertices_ = 0;

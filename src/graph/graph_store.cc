@@ -1,10 +1,16 @@
 #include "graph/graph_store.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
+
+#include "graph/delta_overlay.h"
 
 namespace hcpath {
 
-GraphStore::GraphStore(Graph seed) {
+GraphStore::GraphStore(Graph seed, GraphStoreOptions options)
+    : options_(options) {
+  HCPATH_CHECK(!std::isnan(options_.compaction_threshold));
   auto snap = std::make_shared<GraphSnapshot>();
   snap->graph = std::move(seed);
   snap->epoch = 0;
@@ -35,16 +41,53 @@ StatusOr<GraphUpdateResult> GraphStore::ApplyUpdates(
   }
 
   GraphUpdateResult result;
-  StatusOr<Graph> next =
-      GraphBuilder::ApplyUpdates(base->graph, updates, &result.applied);
-  HCPATH_RETURN_NOT_OK(next.status());
+  HCPATH_RETURN_NOT_OK(
+      GraphBuilder::ClassifyUpdates(base->graph, updates, &result.applied));
+
+  // Extend-vs-compact decision: keep extending the overlay while the
+  // chain's cumulative effective delta stays within the threshold
+  // fraction of the flat base's edge count.
+  const DeltaOverlay* prior = base->graph.overlay();
+  const uint64_t base_edges =
+      prior != nullptr ? prior->base().NumEdges() : base->graph.NumEdges();
+  const uint64_t next_delta = (prior != nullptr ? prior->delta_edges() : 0) +
+                              result.applied.added.size() +
+                              result.applied.removed.size();
+  const bool extend =
+      options_.compaction_threshold > 0 &&
+      static_cast<double>(next_delta) <=
+          options_.compaction_threshold *
+              static_cast<double>(std::max<uint64_t>(base_edges, 1));
+  const bool folded_overlay = !extend && prior != nullptr;
 
   auto snap = std::make_shared<GraphSnapshot>();
-  snap->graph = std::move(next).value();
+  if (extend) {
+    // O(touched): the new snapshot shares the chain's flat base CSR. The
+    // aliasing shared_ptr pins the base *snapshot*, so the pin-aware GC
+    // below keeps the flat CSR alive as long as any overlay needs it.
+    std::shared_ptr<const Graph> flat =
+        prior != nullptr
+            ? prior->base_ptr()
+            : std::shared_ptr<const Graph>(base, &base->graph);
+    snap->graph = Graph(DeltaOverlay::Extend(
+        std::move(flat), prior, result.applied.added, result.applied.removed,
+        result.applied.tail_views));
+  } else {
+    // Full rebuild; when `base` is an overlay snapshot this folds base +
+    // overlay + batch into one fresh flat CSR (compaction).
+    snap->graph = GraphBuilder::MergeRebuild(base->graph, result.applied);
+  }
+  // The classifier's resolved spans point into `base`, which may be
+  // collected once the new snapshot is installed — don't let them escape
+  // in the returned result.
+  result.applied.tail_views.clear();
+  result.applied.tail_views.shrink_to_fit();
   snap->epoch = base->epoch + 1;
   result.snapshot = snap;
+  result.used_overlay = extend;
   // Drop the writer's own pin before the GC scan below, or the snapshot
   // this batch retires would always look pinned and linger one batch.
+  // (`prior` dangles past this point.)
   base.reset();
 
   {
@@ -57,6 +100,16 @@ StatusOr<GraphUpdateResult> GraphStore::ApplyUpdates(
     ++stats_.update_batches;
     stats_.edges_added += result.applied.added.size();
     stats_.edges_removed += result.applied.removed.size();
+    if (extend) {
+      ++stats_.overlay_extends;
+    } else {
+      ++stats_.full_rebuilds;
+      if (folded_overlay) ++stats_.compactions;
+    }
+    const DeltaOverlay* installed = current_->graph.overlay();
+    stats_.overlay_depth = installed != nullptr ? installed->depth() : 0;
+    stats_.overlay_delta_edges =
+        installed != nullptr ? installed->delta_edges() : 0;
     CollectGarbageLocked();
   }
   return result;

@@ -32,6 +32,25 @@ struct GraphStoreStats {
   uint64_t update_batches = 0;
   uint64_t edges_added = 0;
   uint64_t edges_removed = 0;
+  uint64_t overlay_extends = 0;  ///< batches served by the O(touched) path
+  uint64_t full_rebuilds = 0;    ///< batches that built a fresh flat CSR
+  uint64_t compactions = 0;      ///< rebuilds that folded a live overlay
+  uint64_t overlay_depth = 0;    ///< current chain depth (0 = flat current)
+  uint64_t overlay_delta_edges = 0;  ///< current chain cumulative delta
+};
+
+/// Tunables of the snapshot store.
+struct GraphStoreOptions {
+  /// Delta-overlay compaction threshold as a fraction of the flat base
+  /// CSR's edge count (docs/DYNAMIC.md). A batch extends the overlay when
+  /// the chain's cumulative effective delta would stay at or below
+  /// `compaction_threshold * max(|E_base|, 1)`; past that — or when the
+  /// threshold is <= 0, which disables the overlay outright (the
+  /// pre-overlay always-rebuild behavior) — the batch folds base +
+  /// overlay + delta into a fresh flat CSR. Large values defer compaction
+  /// indefinitely; read cost still stays bounded because lookups never
+  /// chain (every overlay patches the flat base directly).
+  double compaction_threshold = 0.25;
 };
 
 /// Outcome of one ApplyUpdates batch.
@@ -41,6 +60,9 @@ struct GraphUpdateResult {
   /// Effective adds/removes and no-op counts; the edge lists drive
   /// cone-precise endpoint-cache invalidation.
   UpdateApplyStats applied;
+  /// True when the batch extended the delta overlay (O(touched)) instead
+  /// of rebuilding the flat CSR.
+  bool used_overlay = false;
 };
 
 /// Holder of the current snapshot of a dynamic graph, modeled on the
@@ -56,7 +78,7 @@ struct GraphUpdateResult {
 class GraphStore {
  public:
   /// Adopts `seed` as the epoch-0 snapshot.
-  explicit GraphStore(Graph seed);
+  explicit GraphStore(Graph seed, GraphStoreOptions options = {});
 
   GraphStore(const GraphStore&) = delete;
   GraphStore& operator=(const GraphStore&) = delete;
@@ -72,6 +94,15 @@ class GraphStore {
   /// retires the previous one. Concurrent calls serialize; readers keep
   /// using their pinned snapshots throughout. Opportunistically collects
   /// unpinned retired snapshots before returning.
+  ///
+  /// Small batches extend a DeltaOverlay over the last compaction point's
+  /// flat CSR (O(touched)); once the chain's cumulative delta crosses
+  /// `options.compaction_threshold` of the base edge count the batch
+  /// compacts everything into a fresh flat CSR instead. Either way the
+  /// installed snapshot is structurally identical to a from-scratch
+  /// rebuild. While an overlay chain is live, its flat base snapshot
+  /// stays on the retired list (each overlay holds a reference), so it is
+  /// counted in snapshots_live until the whole chain is collected.
   StatusOr<GraphUpdateResult> ApplyUpdates(std::span<const EdgeUpdate> updates);
 
   /// Frees every retired snapshot whose pin count has drained to zero and
@@ -91,6 +122,7 @@ class GraphStore {
   /// Guards the snapshot pointers and stats; held only for pointer swaps
   /// and scans, so readers see at most a brief critical section.
   mutable std::mutex mu_;
+  const GraphStoreOptions options_;
   std::shared_ptr<const GraphSnapshot> current_;
   /// Superseded snapshots still (possibly) pinned by in-flight readers.
   std::vector<std::shared_ptr<const GraphSnapshot>> retired_;

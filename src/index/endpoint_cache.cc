@@ -6,19 +6,29 @@ namespace hcpath {
 
 namespace {
 
-/// Plain hop-capped multi-source BFS into a dense distance array (sized by
-/// the caller, pre-filled with kUnreachable). Small and allocation-light on
-/// purpose: it runs under the cache lock, capped at the largest cached hop
-/// cap minus one, from only the update batch's touched endpoints.
+/// Plain hop-capped multi-source BFS into a dense distance array whose
+/// slots are all kUnreachable on entry. Small and allocation-free in
+/// steady state on purpose: it runs under the cache lock, capped at the
+/// largest cached hop cap minus one, from only the update batch's touched
+/// endpoints, with every buffer leased from the invalidation scratch
+/// pool. Each newly labeled slot (sources included) is recorded in
+/// `touched` so the caller can restore the all-kUnreachable invariant in
+/// O(touched).
 void CappedMultiSourceDist(const Graph& g, Direction dir,
                            const std::vector<VertexId>& sources, Hop cap,
-                           std::vector<Hop>& dist) {
-  std::vector<VertexId> frontier, next;
+                           std::vector<Hop>& dist,
+                           std::vector<VertexId>& frontier,
+                           std::vector<VertexId>& next,
+                           std::vector<VertexId>& touched) {
+  frontier.clear();
+  next.clear();
+  touched.clear();
   frontier.reserve(sources.size());
   for (VertexId s : sources) {
     if (dist[s] != 0) {
       dist[s] = 0;
       frontier.push_back(s);
+      touched.push_back(s);
     }
   }
   for (Hop h = 1; h <= cap && !frontier.empty(); ++h) {
@@ -28,11 +38,17 @@ void CappedMultiSourceDist(const Graph& g, Direction dir,
         if (dist[w] == kUnreachable) {
           dist[w] = h;
           next.push_back(w);
+          touched.push_back(w);
         }
       }
     }
     frontier.swap(next);
   }
+}
+
+/// Grows `dist` to cover [0, n) keeping the all-kUnreachable invariant.
+void EnsureUnreachable(std::vector<Hop>& dist, size_t n) {
+  if (dist.size() < n) dist.resize(n, kUnreachable);
 }
 
 }  // namespace
@@ -43,6 +59,9 @@ bool EndpointDistanceCache::Lookup(VertexId vertex, Direction dir, Hop cap,
   auto it = by_key_.find(Key{vertex, dir, cap});
   if (it == by_key_.end()) {
     ++misses_;
+    if (invalidated_keys_.count(Key{vertex, dir, cap}) != 0) {
+      ++invalidated_misses_;
+    }
     return false;
   }
   const Entry& e = *it->second;
@@ -62,6 +81,7 @@ void EndpointDistanceCache::Insert(VertexId vertex, Direction dir, Hop cap,
   if (max_entries_ == 0) return;
   std::lock_guard<std::mutex> lk(mu_);
   const Key key{vertex, dir, cap};
+  invalidated_keys_.erase(key);  // re-learned (repair or fresh build)
   auto it = by_key_.find(key);
   if (it != by_key_.end()) {
     Entry& e = *it->second;
@@ -106,7 +126,7 @@ EndpointDistanceCache::InvalidateUpdated(
     const Graph& old_g, const Graph& new_g,
     const std::vector<std::pair<VertexId, VertexId>>& added,
     const std::vector<std::pair<VertexId, VertexId>>& removed,
-    uint64_t old_epoch, uint64_t new_epoch) {
+    uint64_t old_epoch, uint64_t new_epoch, std::vector<RepairKey>* dead) {
   InvalidationResult result;
   std::lock_guard<std::mutex> lk(mu_);
 
@@ -137,8 +157,12 @@ EndpointDistanceCache::InvalidateUpdated(
   // dist(v -> tail) for all v at once is one backward multi-source BFS
   // from the tails; backward entries are the mirror image via edge HEADS
   // and forward BFSs.
-  std::vector<VertexId> removed_tails, added_tails, removed_heads,
-      added_heads;
+  ScratchLease<InvalidationScratch> scratch(&inval_scratch_);
+  for (int k = 0; k < 4; ++k) scratch->sources[k].clear();
+  std::vector<VertexId>& removed_tails = scratch->sources[0];
+  std::vector<VertexId>& added_tails = scratch->sources[1];
+  std::vector<VertexId>& removed_heads = scratch->sources[2];
+  std::vector<VertexId>& added_heads = scratch->sources[3];
   for (const auto& [u, v] : removed) {
     removed_tails.push_back(u);
     removed_heads.push_back(v);
@@ -156,19 +180,25 @@ EndpointDistanceCache::InvalidateUpdated(
   // distance, under-counting reach and letting stale entries survive.
   // to_tail_*[v] = hops from v to the nearest touched tail (fwd-entry
   // test); from_head_*[v] = hops from the nearest touched head to v
-  // (bwd-entry test).
-  std::vector<Hop> to_tail_removed(max_n, kUnreachable);
-  std::vector<Hop> to_tail_added(max_n, kUnreachable);
-  std::vector<Hop> from_head_removed(max_n, kUnreachable);
-  std::vector<Hop> from_head_added(max_n, kUnreachable);
+  // (bwd-entry test). All four live in pooled scratch holding the
+  // all-kUnreachable invariant between calls.
+  std::vector<Hop>& to_tail_removed = scratch->dist[0];
+  std::vector<Hop>& to_tail_added = scratch->dist[1];
+  std::vector<Hop>& from_head_removed = scratch->dist[2];
+  std::vector<Hop>& from_head_added = scratch->dist[3];
+  for (int k = 0; k < 4; ++k) EnsureUnreachable(scratch->dist[k], max_n);
   CappedMultiSourceDist(old_g, Direction::kBackward, removed_tails, cone_cap,
-                        to_tail_removed);
+                        to_tail_removed, scratch->frontier, scratch->next,
+                        scratch->touched[0]);
   CappedMultiSourceDist(new_g, Direction::kBackward, added_tails, cone_cap,
-                        to_tail_added);
+                        to_tail_added, scratch->frontier, scratch->next,
+                        scratch->touched[1]);
   CappedMultiSourceDist(old_g, Direction::kForward, removed_heads, cone_cap,
-                        from_head_removed);
+                        from_head_removed, scratch->frontier, scratch->next,
+                        scratch->touched[2]);
   CappedMultiSourceDist(new_g, Direction::kForward, added_heads, cone_cap,
-                        from_head_added);
+                        from_head_added, scratch->frontier, scratch->next,
+                        scratch->touched[3]);
 
   for (auto it = lru_.begin(); it != lru_.end();) {
     Entry& e = *it;
@@ -183,6 +213,10 @@ EndpointDistanceCache::InvalidateUpdated(
                       ? std::min(to_tail_removed[v], to_tail_added[v])
                       : std::min(from_head_removed[v], from_head_added[v]);
     if (d != kUnreachable && d + 1 <= e.key.cap) {
+      if (dead != nullptr) {
+        dead->push_back(RepairKey{e.key.vertex, e.key.dir, e.key.cap});
+      }
+      MarkInvalidatedLocked(e.key);
       bytes_ -= e.bytes;
       by_key_.erase(e.key);
       it = lru_.erase(it);
@@ -195,12 +229,28 @@ EndpointDistanceCache::InvalidateUpdated(
   }
   entries_invalidated_ += result.invalidated;
   entries_revalidated_ += result.revalidated;
+
+  // Restore the scratch invariant in O(touched).
+  for (int k = 0; k < 4; ++k) {
+    for (VertexId v : scratch->touched[k]) scratch->dist[k][v] = kUnreachable;
+  }
   return result;
+}
+
+void EndpointDistanceCache::MarkInvalidatedLocked(const Key& key) {
+  // Best-effort bound: the tombstone set only matters for miss
+  // attribution, so an adversarial stream that overflows it just loses
+  // classification history, never correctness.
+  if (invalidated_keys_.size() >= 8 * max_entries_ + 1024) {
+    invalidated_keys_.clear();
+  }
+  invalidated_keys_.insert(key);
 }
 
 void EndpointDistanceCache::Invalidate() {
   std::lock_guard<std::mutex> lk(mu_);
   entries_invalidated_ += lru_.size();
+  for (const Entry& e : lru_) MarkInvalidatedLocked(e.key);
   lru_.clear();
   by_key_.clear();
   bytes_ = 0;
@@ -241,6 +291,10 @@ uint64_t EndpointDistanceCache::stale_misses() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stale_misses_;
 }
+uint64_t EndpointDistanceCache::invalidated_misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return invalidated_misses_;
+}
 uint64_t EndpointDistanceCache::entries_invalidated() const {
   std::lock_guard<std::mutex> lk(mu_);
   return entries_invalidated_;
@@ -252,7 +306,7 @@ uint64_t EndpointDistanceCache::entries_revalidated() const {
 
 void EndpointDistanceCache::ResetCounters() {
   std::lock_guard<std::mutex> lk(mu_);
-  hits_ = misses_ = evictions_ = stale_misses_ = 0;
+  hits_ = misses_ = evictions_ = stale_misses_ = invalidated_misses_ = 0;
   entries_invalidated_ = entries_revalidated_ = 0;
 }
 

@@ -5,11 +5,13 @@
 #include <list>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "bfs/distance_map.h"
 #include "graph/graph.h"
+#include "util/epoch_stamp.h"
 
 namespace hcpath {
 
@@ -72,6 +74,15 @@ class EndpointDistanceCache {
     uint64_t revalidated = 0;  ///< entries carried forward to new_epoch
   };
 
+  /// Identity of an entry InvalidateUpdated erased — everything incremental
+  /// repair needs to re-run the capped BFS on the new snapshot and reinsert
+  /// (PathEngine::ApplyUpdates; docs/DYNAMIC.md "cache repair").
+  struct RepairKey {
+    VertexId vertex;
+    Direction dir;
+    Hop cap;
+  };
+
   /// Graph transition old_epoch -> new_epoch = old_epoch + 1 with the
   /// given effective edge deltas (GraphBuilder::ApplyUpdates's stats):
   /// revalidates every entry whose hop-capped BFS cone provably avoids all
@@ -84,12 +95,19 @@ class EndpointDistanceCache {
   ///
   /// Cost: at most four hop-capped multi-source BFSs from the touched
   /// endpoints, capped at (max cached hop cap) - 1 — independent of entry
-  /// count beyond a linear classification scan.
+  /// count beyond a linear classification scan. The BFS distance fields
+  /// and frontier buffers come from a recycled scratch pool, so a
+  /// steady-state update batch allocates nothing here.
+  ///
+  /// When `dead` is non-null, the key of every erased entry is appended —
+  /// the exact (vertex, dir, cap) set whose cones the update changed —
+  /// so the caller can repair them against the new snapshot.
   InvalidationResult InvalidateUpdated(
       const Graph& old_g, const Graph& new_g,
       const std::vector<std::pair<VertexId, VertexId>>& added,
       const std::vector<std::pair<VertexId, VertexId>>& removed,
-      uint64_t old_epoch, uint64_t new_epoch);
+      uint64_t old_epoch, uint64_t new_epoch,
+      std::vector<RepairKey>* dead = nullptr);
 
   /// Drops every entry (budgets and counters are kept).
   void Invalidate();
@@ -102,6 +120,14 @@ class EndpointDistanceCache {
   /// Misses caused by an entry that exists but whose validity interval
   /// does not contain the probed epoch.
   uint64_t stale_misses() const;
+  /// Misses on keys the cache once held but invalidated (InvalidateUpdated
+  /// erase or full Invalidate) and has not re-learned — as opposed to keys
+  /// never seen. Splitting these is what makes repair efficacy measurable:
+  /// repair exists precisely to turn would-be invalidated misses back into
+  /// hits (exp11_dynamic reports both). Tracking is best-effort — the
+  /// tombstone set is capped at a multiple of max_entries and cleared if
+  /// an adversarial stream overflows it.
+  uint64_t invalidated_misses() const;
   /// Cumulative InvalidateUpdated outcomes (plus full Invalidate() drops
   /// under `entries_invalidated`).
   uint64_t entries_invalidated() const;
@@ -143,18 +169,38 @@ class EndpointDistanceCache {
     uint64_t valid_through = 0;
   };
 
+  /// Grow-only buffers for the four classification BFSs, leased from a
+  /// pool per InvalidateUpdated call so steady-state updates allocate
+  /// nothing. Invariant between uses: every `dist` slot is kUnreachable —
+  /// maintained by resetting only the slots each BFS touched (recorded in
+  /// `touched`), which keeps the reset O(touched) like the BFS itself.
+  struct InvalidationScratch {
+    std::vector<Hop> dist[4];
+    std::vector<VertexId> touched[4];
+    std::vector<VertexId> sources[4];
+    std::vector<VertexId> frontier;
+    std::vector<VertexId> next;
+  };
+
   void EvictToBudgetLocked();
+  void MarkInvalidatedLocked(const Key& key);
 
   size_t max_entries_;
   uint64_t max_bytes_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> by_key_;
+  /// Tombstones of invalidated-but-not-relearned keys, for the
+  /// invalidated-vs-never-seen miss split. Size-capped; see
+  /// invalidated_misses().
+  std::unordered_set<Key, KeyHash> invalidated_keys_;
+  ScratchPool<InvalidationScratch> inval_scratch_;
   uint64_t bytes_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t stale_misses_ = 0;
+  uint64_t invalidated_misses_ = 0;
   uint64_t entries_invalidated_ = 0;
   uint64_t entries_revalidated_ = 0;
 };

@@ -527,14 +527,20 @@ StatusOr<GraphUpdateResult> PathEngine::ApplyUpdates(
       // cross a touched edge are dropped; everything else is revalidated
       // for the new epoch and keeps serving (the tentpole's correctness
       // core — EndpointDistanceCache::InvalidateUpdated has the argument).
+      std::vector<EndpointDistanceCache::RepairKey> dead;
+      const bool repair = options_.cache_repair_max_keys > 0;
       cache_.InvalidateUpdated(*old_view->graph, *next->graph,
                                applied->applied.added,
                                applied->applied.removed, old_view->epoch,
-                               next->epoch);
+                               next->epoch, repair ? &dead : nullptr);
+      // Repair before publishing the view: by the time any query can pin
+      // the new epoch, the repaired entries are already serving it.
+      if (!dead.empty()) RepairCacheEntries(*next, dead);
     } else {
       // A non-identity remap was rebuilt for the new snapshot: cache keys
       // live in the renumbered id space, and the renumbering itself just
-      // changed, so no old entry's key is meaningful anymore.
+      // changed, so no old entry's key is meaningful anymore (repair keys
+      // would be meaningless too — skip repair, refill lazily).
       cache_.Invalidate();
     }
   }
@@ -546,9 +552,87 @@ StatusOr<GraphUpdateResult> PathEngine::ApplyUpdates(
     std::lock_guard<std::mutex> slk(mu_);
     ++stats_.graph_updates;
   }
+  // Max-lag enforcement AFTER the swap: `next` is the current epoch the
+  // queued pins are measured against, and the failed queries' pins are
+  // released before the GC below so their snapshots can reclaim now.
+  if (options_.admission.max_snapshot_lag > 0) {
+    FailOverLaggedQueued(next->epoch);
+  }
   old_view.reset();  // drop our pin on the retired snapshot before GC
   store_->CollectGarbage();
   return applied;
+}
+
+void PathEngine::RepairCacheEntries(
+    const EngineView& view, std::vector<EndpointDistanceCache::RepairKey>& dead) {
+  // `dead` is MRU-first, so truncating to the budget keeps the keys most
+  // likely to be probed again; the remainder refills lazily on its next
+  // miss exactly as with repair disabled.
+  uint64_t skipped = 0;
+  if (dead.size() > options_.cache_repair_max_keys) {
+    skipped = dead.size() - options_.cache_repair_max_keys;
+    dead.resize(options_.cache_repair_max_keys);
+  }
+  const Graph& g = *view.graph;
+  uint64_t repaired = 0;
+  for (Direction dir : {Direction::kForward, Direction::kBackward}) {
+    repair_sources_.clear();
+    repair_caps_.clear();
+    for (const EndpointDistanceCache::RepairKey& k : dead) {
+      if (k.dir != dir || k.vertex >= g.NumVertices()) continue;
+      repair_sources_.push_back(k.vertex);
+      repair_caps_.push_back(k.cap);
+    }
+    if (repair_sources_.empty()) continue;
+    // Exactly the BFS a cache miss in the next index build would run
+    // (DistanceIndex::Build's miss path), so a repaired entry is
+    // bit-identical to the map a cold probe would insert.
+    MultiSourceBfs(g, repair_sources_, repair_caps_, dir, nullptr,
+                   &repair_scratch_, &repair_result_);
+    for (size_t i = 0; i < repair_sources_.size(); ++i) {
+      cache_.Insert(repair_sources_[i], dir, repair_caps_[i], view.epoch,
+                    std::move(repair_result_.per_source[i]));
+    }
+    repaired += repair_sources_.size();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.cache_entries_repaired += repaired;
+  stats_.cache_repair_skipped += skipped;
+}
+
+void PathEngine::FailOverLaggedQueued(uint64_t new_epoch) {
+  const uint64_t max_lag = options_.admission.max_snapshot_lag;
+  std::vector<QueueItem> lagged;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    lagged = queue_.RemoveIf([&](const QueueItem& item) {
+      return item.value.view->epoch + max_lag < new_epoch;
+    });
+    if (lagged.empty()) return;
+    stats_.queries_lag_failed += lagged.size();
+    for (const QueueItem& item : lagged) {
+      ++stats_.tenants[item.tenant].lag_failed;
+    }
+    UpdateOverloadLocked();
+    space_cv_.notify_all();  // capacity freed: admit blocked submitters
+    if (queue_.empty() && batches_in_flight_ == 0) drained_cv_.notify_all();
+  }
+  for (QueueItem& item : lagged) {
+    const uint64_t pinned = item.value.view->epoch;
+    item.value.view.reset();  // release the snapshot pin before resolving
+    // The documented max-lag outcome (docs/DYNAMIC.md): FailedPrecondition
+    // naming both epochs and the bound. Tests key on the
+    // "query snapshot over max lag" prefix.
+    QueryResult r = MakeErrorResult(
+        Status::FailedPrecondition(
+            "query snapshot over max lag: pinned epoch " +
+            std::to_string(pinned) + " lags current epoch " +
+            std::to_string(new_epoch) + " beyond max_snapshot_lag " +
+            std::to_string(max_lag) + " (tenant \"" + item.tenant + "\")"),
+        item.tenant);
+    r.graph_epoch = pinned;
+    item.value.promise.set_value(std::move(r));
+  }
 }
 
 Status PathEngine::ExecuteBatch(const EngineView& view,

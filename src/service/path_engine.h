@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "bfs/msbfs.h"
 #include "core/batch_context.h"
 #include "core/enumerator.h"
 #include "core/options.h"
@@ -78,6 +79,18 @@ struct PathEngineOptions {
   bool enable_distance_cache = true;
   size_t distance_cache_max_entries = 4096;
   uint64_t distance_cache_max_bytes = 256ull << 20;
+
+  /// Incremental endpoint-cache repair (store mode, docs/DYNAMIC.md): after
+  /// an update batch invalidates cache entries cone-precisely, ApplyUpdates
+  /// re-runs the capped BFS for up to this many of the erased
+  /// (vertex, direction, cap) keys against the NEW snapshot — most recently
+  /// used first — and reinserts the results before the new view is
+  /// published. Repaired entries are bit-identical to what the next index
+  /// build would have computed on a miss (a capped BFS is a pure function
+  /// of (source, cap, graph)), so this trades update-path latency for
+  /// post-update hit rate without affecting any query result. 0 disables
+  /// repair (invalidated keys refill lazily on their next miss).
+  size_t cache_repair_max_keys = 1024;
 };
 
 /// Outcome of one submitted query.
@@ -125,6 +138,15 @@ struct PathEngineStats {
   uint64_t distance_cache_misses = 0;
   /// Successful ApplyUpdates calls on a store-backed engine.
   uint64_t graph_updates = 0;
+  /// Endpoint-cache entries rebuilt against the new snapshot by incremental
+  /// repair (PathEngineOptions::cache_repair_max_keys), and invalidated
+  /// keys left for lazy refill because the per-update repair budget was
+  /// exhausted.
+  uint64_t cache_entries_repaired = 0;
+  uint64_t cache_repair_skipped = 0;
+  /// Queued queries failed because their pinned snapshot exceeded
+  /// AdmissionOptions::max_snapshot_lag when an update installed.
+  uint64_t queries_lag_failed = 0;
   /// Pipeline counters accumulated across all micro-batches.
   BatchStats batch_stats;
   /// Per-tenant admission counters, keyed by tenant id (kDefaultTenant for
@@ -156,8 +178,15 @@ struct PathEngineStats {
 ///    (ties: lexicographically greatest tenant, newest-first within a
 ///    tenant) down to the low watermark. A shed query's future resolves
 ///    with ResourceExhausted ("query shed by admission control ...").
-///    These two messages are the complete, documented overload vocabulary:
-///    an admitted query is never failed by admission control.
+///  * Store mode only, when `admission.max_snapshot_lag` > 0: an update
+///    install fails every still-queued query whose pinned snapshot now
+///    lags the new epoch by more than the configured bound; its future
+///    resolves with FailedPrecondition ("query snapshot over max lag ...")
+///    and its pin is released so the store can reclaim the snapshot.
+///    These three messages are the complete, documented vocabulary by
+///    which the engine fails an already-submitted query for policy
+///    reasons; with max_snapshot_lag == 0 (the default) an admitted query
+///    is never failed by admission control.
 ///
 /// Determinism: admission never alters results — each admitted query's
 /// paths, count, and Status are byte-identical to an unloaded one-shot
@@ -389,6 +418,21 @@ class PathEngine {
   /// submitters.
   std::vector<QueueItem> CutBatchLocked(size_t take);
 
+  /// Incremental cache repair (store mode; caller holds update_mu_, the
+  /// new view is NOT yet published): re-runs the capped BFS for up to
+  /// cache_repair_max_keys of the invalidated keys — `dead` arrives
+  /// MRU-first from InvalidateUpdated's LRU scan, so budget truncation
+  /// keeps the hottest keys — on `view`'s graph and reinserts the maps at
+  /// `view`'s epoch. Updates the repaired/skipped counters under mu_.
+  void RepairCacheEntries(const EngineView& view,
+                          std::vector<EndpointDistanceCache::RepairKey>& dead);
+  /// Max-snapshot-lag enforcement (store mode; called by ApplyUpdates
+  /// right after the new view is published): removes every queued query
+  /// whose pinned epoch lags `new_epoch` by more than the configured
+  /// bound and resolves its future with the documented FailedPrecondition
+  /// outside the admission lock, releasing its snapshot pin first.
+  void FailOverLaggedQueued(uint64_t new_epoch);
+
   /// Exactly one of these is set: the immutable fixed-mode graph, or the
   /// dynamic-mode snapshot store.
   const Graph* fixed_graph_ = nullptr;
@@ -407,6 +451,14 @@ class PathEngine {
   /// view swap). Ordered before run_mu_/mu_ is never needed: updates touch
   /// neither; batches keep running on their pinned views throughout.
   std::mutex update_mu_;
+  /// Recycled storage of RepairCacheEntries (guarded by update_mu_ like
+  /// the repair pass itself): the MS-BFS scratch/result plus the
+  /// source/cap staging vectors, so a steady-state update's repair pass
+  /// reuses capacity instead of allocating.
+  MsBfsScratch repair_scratch_;
+  MsBfsResult repair_result_;
+  std::vector<VertexId> repair_sources_;
+  std::vector<Hop> repair_caps_;
   /// options_.batch with remap_mode cleared to kNone — the pipeline calls
   /// below must never re-apply the remap the engine already performed.
   BatchOptions batch_options_;

@@ -153,6 +153,33 @@ class WeightedFairQueue {
     return shed;
   }
 
+  /// Removes every waiting item for which `pred(item)` returns true,
+  /// preserving FIFO order among survivors, and returns the removed items
+  /// in deterministic order (ascending tenant id, FIFO within a tenant).
+  /// Accounting is maintained; tenant service tags are untouched — removal
+  /// is not service, so surviving tenants' WFQ shares are unaffected. The
+  /// engine's max-snapshot-lag enforcement drains over-lagged pins with
+  /// this (docs/DYNAMIC.md).
+  template <typename Pred>
+  std::vector<Item> RemoveIf(Pred pred) {
+    std::vector<Item> removed;
+    for (auto& [id, ts] : tenants_) {
+      std::deque<Item> kept;
+      for (Item& item : ts.queue) {
+        if (pred(item)) {
+          ts.bytes -= item.cost_bytes;
+          --total_items_;
+          total_bytes_ -= item.cost_bytes;
+          removed.push_back(std::move(item));
+        } else {
+          kept.push_back(std::move(item));
+        }
+      }
+      ts.queue.swap(kept);
+    }
+    return removed;
+  }
+
  private:
   struct TenantState {
     double weight = 1;

@@ -20,6 +20,7 @@
 #include <future>
 #include <map>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -814,7 +815,11 @@ TEST(DifferentialFuzz, RemapParity) {
 ///     from-scratch Build over a shadow edge set replaying the same batch
 ///     (CSR merge vs rebuild equivalence),
 ///   * the endpoint cache never serves a stale map (implied by parity, at
-///     full cache warmth across phases).
+///     full cache warmth across phases),
+///   * the delta-overlay compaction policy is invisible: the identical
+///     phase stream replayed at thresholds 0 (always rebuild), 0.5
+///     (extend, then fold mid-stream), and never-compact produces
+///     byte-identical per-query results.
 void RunOneUpdateInterleavedConfig(uint64_t seed) {
   Rng rng(seed);
   std::string graph_desc;
@@ -828,13 +833,23 @@ void RunOneUpdateInterleavedConfig(uint64_t seed) {
   opt.algorithm = algos[rng.NextBounded(5)];
   const size_t num_phases = 2 + rng.NextBounded(4);
 
+  // (epoch, count, sorted paths) per query, in submission order — the
+  // cross-threshold byte-identity fingerprint.
+  using Fingerprint =
+      std::vector<std::tuple<uint64_t, uint64_t,
+                             std::vector<std::vector<VertexId>>>>;
+
   for (int threads : {1, 4}) {
     opt.num_threads = threads;
+    Fingerprint baseline;
+    for (const double threshold : {0.0, 0.5, 1e9}) {
     SCOPED_TRACE(graph_desc + " algo=" + AlgorithmName(opt.algorithm) +
                  " phases=" + std::to_string(num_phases) +
-                 " threads=" + std::to_string(threads));
+                 " threads=" + std::to_string(threads) +
+                 " compaction_threshold=" + std::to_string(threshold));
 
-    GraphStore store(seed_graph);
+    GraphStore store(seed_graph,
+                     GraphStoreOptions{.compaction_threshold = threshold});
     PathEngineOptions engine_opt;
     engine_opt.batch = opt;
     engine_opt.max_wait_seconds = 0;  // cuts on Flush only: queries queue
@@ -924,6 +939,7 @@ void RunOneUpdateInterleavedConfig(uint64_t seed) {
     engine.Flush();
     engine.Drain();
 
+    Fingerprint fp;
     for (auto& [q, f] : pending) {
       QueryResult r = f.get();
       SCOPED_TRACE("query " + q.ToString() + " epoch " +
@@ -935,8 +951,20 @@ void RunOneUpdateInterleavedConfig(uint64_t seed) {
       ASSERT_TRUE(oracle.ok()) << oracle.status();
       EXPECT_EQ(r.path_count, oracle->size());
       EXPECT_EQ(r.paths.ToSortedVectors(), oracle->ToSortedVectors());
+      fp.emplace_back(r.graph_epoch, r.path_count, r.paths.ToSortedVectors());
     }
     pending.clear();
+
+    // The overlay seam must be invisible: whatever the compaction policy
+    // did (never extend / fold mid-stream / chain forever), every query's
+    // (epoch, count, paths) matches the always-rebuild baseline exactly.
+    if (threshold == 0.0) {
+      baseline = std::move(fp);
+    } else {
+      ASSERT_EQ(fp, baseline)
+          << "results diverge across compaction thresholds";
+    }
+    }  // threshold sweep
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <map>
 #include <memory>
@@ -134,10 +135,13 @@ TEST(DynamicEngine, QueriesPinAdmissionSnapshotAcrossUpdates) {
     EXPECT_EQ(stats.batches_run, 2u);
     EXPECT_EQ(stats.flush_cuts, 1u);
 
-    // Nothing pins epoch 0 anymore; the engine's post-batch GC freed it.
+    // Nothing pins epoch 0 as a query snapshot anymore — but the epoch-1
+    // delta overlay patches epoch 0's flat CSR, so the chain keeps that
+    // snapshot alive and the engine's post-batch GC must NOT free it.
+    ASSERT_TRUE(applied->used_overlay);
     GraphStoreStats store_stats = store.GetStats();
-    EXPECT_EQ(store_stats.snapshots_collected, 1u);
-    EXPECT_EQ(store_stats.snapshots_live, 1u);
+    EXPECT_EQ(store_stats.snapshots_collected, 0u);
+    EXPECT_EQ(store_stats.snapshots_live, 2u);
   }
 }
 
@@ -323,11 +327,157 @@ TEST(DynamicEngine, ConcurrentSubmitUpdateGc) {
   EXPECT_EQ(checked, static_cast<size_t>(kRounds * kSubmitters));
 
   // Quiesced: every superseded snapshot has drained its pins and been
-  // collected; only the current one is alive.
+  // collected. Our graph_at_epoch copies of overlay graphs pin their flat
+  // base snapshots (by design — a copied overlay graph must keep the CSR
+  // it patches alive), so drop them before checking. What may remain
+  // beyond the current snapshot is the current overlay chain's base.
+  graph_at_epoch.clear();
   store.CollectGarbage();
   GraphStoreStats stats = store.GetStats();
-  EXPECT_EQ(stats.snapshots_live, 1u);
-  EXPECT_EQ(stats.snapshots_collected, stats.snapshots_retired);
+  const uint64_t chain_base =
+      store.Current()->graph.overlay() != nullptr ? 1u : 0u;
+  EXPECT_EQ(stats.snapshots_live, 1u + chain_base);
+  EXPECT_EQ(stats.snapshots_collected + chain_base, stats.snapshots_retired);
+}
+
+/// Incremental cache repair end to end: after an update that invalidates
+/// cached cones, the engine rebuilds those entries against the new
+/// snapshot before publishing it, so the post-update round is miss-free —
+/// and with repair disabled the same round pays invalidated misses.
+TEST(DynamicEngine, RepairRestoresWarmHitRateAfterUpdates) {
+  const std::vector<PathQuery> queries = PaperFigure1Queries();
+  const std::vector<EdgeUpdate> batch = {EdgeUpdate::Remove(1, 7),
+                                         EdgeUpdate::Add(5, 9)};
+  for (bool repair : {true, false}) {
+    SCOPED_TRACE(repair ? "repair on" : "repair off");
+    GraphStore store(PaperFigure1Graph());
+    PathEngineOptions opt = UntimedOptions();
+    opt.cache_repair_max_keys = repair ? 1024 : 0;
+    PathEngine engine(&store, opt);
+    ASSERT_TRUE(engine.status().ok());
+
+    auto run_round = [&](const Graph& g, uint64_t epoch) {
+      std::vector<std::future<QueryResult>> futures;
+      for (const PathQuery& q : queries) futures.push_back(engine.Submit(q));
+      engine.Flush();
+      engine.Drain();
+      for (size_t i = 0; i < queries.size(); ++i) {
+        QueryResult r = futures[i].get();
+        EXPECT_EQ(r.graph_epoch, epoch);
+        ExpectMatchesBruteForce(g, queries[i], r);
+      }
+    };
+
+    run_round(store.Current()->graph, 0);  // cold: fills the cache
+    const EndpointDistanceCache* cache = engine.distance_cache();
+    ASSERT_NE(cache, nullptr);
+    const size_t warm_entries = cache->entries();
+    ASSERT_GT(warm_entries, 0u);
+
+    auto applied = engine.ApplyUpdates(batch);
+    ASSERT_TRUE(applied.status().ok());
+    const uint64_t killed = cache->entries_invalidated();
+    ASSERT_GT(killed, 0u);  // the batch overlaps cached cones
+
+    PathEngineStats stats = engine.GetStats();
+    const uint64_t misses_before = cache->misses();
+    run_round(applied->snapshot->graph, 1);
+
+    if (repair) {
+      // Every dead key was rebuilt before the new epoch went live, so the
+      // post-update round misses nothing and the cache never shrank.
+      EXPECT_EQ(stats.cache_entries_repaired, killed);
+      EXPECT_EQ(stats.cache_repair_skipped, 0u);
+      EXPECT_EQ(cache->entries(), warm_entries);
+      EXPECT_EQ(cache->misses(), misses_before);
+      EXPECT_EQ(cache->invalidated_misses(), 0u);
+    } else {
+      // Lazy refill: the invalidated keys miss once each, attributed to
+      // invalidation (not never-seen) by the tombstone split.
+      EXPECT_EQ(stats.cache_entries_repaired, 0u);
+      EXPECT_GT(cache->misses(), misses_before);
+      EXPECT_EQ(cache->invalidated_misses(), cache->misses() - misses_before);
+    }
+  }
+}
+
+/// Max-snapshot-lag enforcement: an update install fails still-queued
+/// queries whose pinned epoch lags beyond the bound — with the documented
+/// FailedPrecondition — releases their pins, and leaves fresher queued
+/// work untouched.
+TEST(DynamicEngine, MaxSnapshotLagFailsOverLaggedQueuedQueries) {
+  GraphStore store(PaperFigure1Graph());
+  PathEngineOptions opt = UntimedOptions();
+  opt.manual_dispatch = true;  // nothing dispatches: queries sit queued
+  opt.admission.max_snapshot_lag = 1;
+  PathEngine engine(&store, opt);
+  ASSERT_TRUE(engine.status().ok());
+
+  const PathQuery q{0, 11, 5};
+  auto f_old = engine.Submit(q);  // pins epoch 0
+
+  // Lag 1 after the first update: within the bound, stays queued.
+  std::vector<EdgeUpdate> b1 = {EdgeUpdate::Remove(9, 3)};
+  ASSERT_TRUE(engine.ApplyUpdates(b1).status().ok());
+  EXPECT_EQ(f_old.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);
+
+  auto f_mid = engine.Submit(q);  // pins epoch 1
+
+  // Lag 2 after the second: the epoch-0 query fails without dispatch; the
+  // epoch-1 query (lag 1) survives.
+  std::vector<EdgeUpdate> b2 = {EdgeUpdate::Add(0, 2)};
+  auto applied = engine.ApplyUpdates(b2);
+  ASSERT_TRUE(applied.status().ok());
+
+  QueryResult r_old = f_old.get();
+  EXPECT_EQ(r_old.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(r_old.status.message().find("query snapshot over max lag"),
+            std::string::npos)
+      << r_old.status;
+  EXPECT_EQ(r_old.graph_epoch, 0u);
+
+  // The survivor still runs on its pinned epoch-1 snapshot.
+  engine.Flush();
+  while (engine.StepDispatch() > 0) {
+  }
+  QueryResult r_mid = f_mid.get();
+  EXPECT_EQ(r_mid.graph_epoch, 1u);
+  ASSERT_TRUE(r_mid.status.ok()) << r_mid.status;
+
+  PathEngineStats stats = engine.GetStats();
+  EXPECT_EQ(stats.queries_lag_failed, 1u);
+  const TenantAdmissionStats& ts = stats.tenants.at(kDefaultTenant);
+  EXPECT_EQ(ts.lag_failed, 1u);
+  // The admission law with the new outcome: every admitted query landed in
+  // exactly one of {completed, lag_failed} (nothing still queued).
+  EXPECT_EQ(ts.admitted, ts.completed + ts.lag_failed);
+}
+
+/// max_snapshot_lag = 0 (the default) must never fail a queued query, no
+/// matter how far its pin falls behind.
+TEST(DynamicEngine, DefaultLagZeroNeverFailsQueued) {
+  GraphStore store(PaperFigure1Graph());
+  PathEngineOptions opt = UntimedOptions();
+  opt.manual_dispatch = true;
+  PathEngine engine(&store, opt);
+  ASSERT_TRUE(engine.status().ok());
+
+  const PathQuery q{0, 11, 5};
+  const Graph g0 = store.Current()->graph;
+  auto f = engine.Submit(q);
+  for (int i = 0; i < 4; ++i) {
+    std::vector<EdgeUpdate> b = {
+        EdgeUpdate::Add(0, static_cast<VertexId>(2 + i))};
+    ASSERT_TRUE(engine.ApplyUpdates(b).status().ok());
+  }
+  engine.Flush();
+  while (engine.StepDispatch() > 0) {
+  }
+  QueryResult r = f.get();
+  EXPECT_EQ(r.graph_epoch, 0u);
+  ExpectMatchesBruteForce(g0, q, r);
+  EXPECT_EQ(engine.GetStats().queries_lag_failed, 0u);
 }
 
 }  // namespace

@@ -420,5 +420,70 @@ TEST(EndpointCache, PerKeyCounting) {
   EXPECT_EQ(again.cache_misses(), 0u);
 }
 
+/// The repair contract: InvalidateUpdated exports exactly the erased keys,
+/// MRU-first — so a budget-truncated repair pass keeps the hottest keys.
+TEST(EndpointCache, InvalidateUpdatedExportsDeadKeysMruFirst) {
+  const Graph old_g = LineGraph(10);
+  std::vector<EdgeUpdate> batch = {EdgeUpdate::Remove(7, 8)};
+  UpdateApplyStats applied;
+  const Graph new_g = *GraphBuilder::ApplyUpdates(old_g, batch, &applied);
+
+  EndpointDistanceCache cache(64);
+  for (VertexId v = 0; v < 10; ++v) {
+    cache.Insert(v, Direction::kForward, 3, 0,
+                 MakeMap(old_g, v, 3, Direction::kForward));
+  }
+  // Touch vertex 5 last so it is the most recently used of the doomed
+  // keys (5, 6, 7).
+  ASSERT_TRUE(Get(cache, 5, Direction::kForward, 3).has_value());
+
+  std::vector<EndpointDistanceCache::RepairKey> dead;
+  cache.InvalidateUpdated(old_g, new_g, applied.added, applied.removed, 0, 1,
+                          &dead);
+  std::vector<VertexId> order;
+  for (const auto& k : dead) {
+    EXPECT_EQ(k.dir, Direction::kForward);
+    EXPECT_EQ(k.cap, 3);
+    order.push_back(k.vertex);
+  }
+  EXPECT_EQ(order, std::vector<VertexId>({5, 7, 6}));
+}
+
+/// The miss-attribution split: a miss on a key the cache once held but
+/// invalidated counts as an invalidated miss; a never-seen key does not;
+/// re-learning the key clears its tombstone.
+TEST(EndpointCache, InvalidatedMissSplit) {
+  const Graph old_g = LineGraph(10);
+  std::vector<EdgeUpdate> batch = {EdgeUpdate::Remove(7, 8)};
+  UpdateApplyStats applied;
+  const Graph new_g = *GraphBuilder::ApplyUpdates(old_g, batch, &applied);
+
+  EndpointDistanceCache cache(64);
+  cache.Insert(7, Direction::kForward, 3, 0,
+               MakeMap(old_g, 7, 3, Direction::kForward));
+  cache.InvalidateUpdated(old_g, new_g, applied.added, applied.removed, 0, 1);
+
+  // Erased key -> invalidated miss; never-seen key -> plain miss.
+  EXPECT_FALSE(Get(cache, 7, Direction::kForward, 3, 1).has_value());
+  EXPECT_EQ(cache.invalidated_misses(), 1u);
+  EXPECT_FALSE(Get(cache, 2, Direction::kBackward, 4, 1).has_value());
+  EXPECT_EQ(cache.invalidated_misses(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // Re-learning (what repair does) clears the tombstone: the next miss on
+  // the key — here after a full flush — is a plain never-relearned miss
+  // only if invalidated again; a hit counts as a hit.
+  cache.Insert(7, Direction::kForward, 3, 1,
+               MakeMap(new_g, 7, 3, Direction::kForward));
+  EXPECT_TRUE(Get(cache, 7, Direction::kForward, 3, 1).has_value());
+
+  // Full Invalidate() also marks tombstones for the miss split.
+  cache.Invalidate();
+  EXPECT_FALSE(Get(cache, 7, Direction::kForward, 3, 1).has_value());
+  EXPECT_EQ(cache.invalidated_misses(), 2u);
+  cache.ResetCounters();
+  EXPECT_EQ(cache.invalidated_misses(), 0u);
+}
+
 }  // namespace
 }  // namespace hcpath

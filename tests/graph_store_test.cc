@@ -165,7 +165,9 @@ TEST(GraphStore, EpochAdvancesPerBatch) {
 }
 
 TEST(GraphStore, PinnedSnapshotSurvivesUpdates) {
-  GraphStore store(LineGraph(5));
+  // Threshold 0 = always-rebuild, so this test exercises pure pin
+  // semantics; overlay-chain base retention is covered separately below.
+  GraphStore store(LineGraph(5), GraphStoreOptions{.compaction_threshold = 0});
   std::shared_ptr<const GraphSnapshot> pinned = store.Current();
 
   std::vector<EdgeUpdate> batch = {EdgeUpdate::Remove(0, 1)};
@@ -191,9 +193,10 @@ TEST(GraphStore, PinnedSnapshotSurvivesUpdates) {
 }
 
 TEST(GraphStore, ApplyUpdatesCollectsUnpinnedRetirees) {
-  GraphStore store(LineGraph(5));
+  GraphStore store(LineGraph(5), GraphStoreOptions{.compaction_threshold = 0});
   // Nobody pins anything: each batch retires its predecessor and the
-  // opportunistic GC inside ApplyUpdates frees it.
+  // opportunistic GC inside ApplyUpdates frees it (always-rebuild mode;
+  // an overlay chain would instead keep its flat base snapshot alive).
   for (int i = 0; i < 4; ++i) {
     std::vector<EdgeUpdate> batch = {
         EdgeUpdate::Add(0, static_cast<VertexId>(2 + i))};
