@@ -29,6 +29,12 @@
 /// drained by weighted fair queueing, with bounded-queue backpressure and
 /// overload shedding per PathEngineOptions::admission (docs/SERVICE.md,
 /// "Admission state machine").
+///
+/// Scaling out? ShardedPathService (docs/SHARDING.md) routes the query
+/// stream over N replicated-graph shards with deadlines, bounded retries,
+/// hedged dispatch, and heartbeat-driven failover — byte-identical to a
+/// 1-shard run for every query that completes, deterministically
+/// fault-injectable via FaultInjector under VirtualClock.
 
 #include "core/basic_enum.h"
 #include "core/batch_context.h"
@@ -43,7 +49,11 @@
 #include "core/similarity.h"
 #include "core/stats.h"
 #include "index/endpoint_cache.h"
+#include "service/admission_status.h"
+#include "service/clock.h"
+#include "service/fault_injector.h"
 #include "service/path_engine.h"
+#include "service/sharded_service.h"
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
 #include "graph/graph.h"

@@ -1,0 +1,92 @@
+#include "service/fault_injector.h"
+
+#include <utility>
+
+namespace hcpath {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kHang:
+      return "hang";
+    case FaultKind::kDropReply:
+      return "drop-reply";
+    case FaultKind::kSlow:
+      return "slow";
+    case FaultKind::kFailN:
+      return "fail-n";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(std::vector<FaultRule> script) {
+  rules_.reserve(script.size());
+  for (FaultRule& r : script) rules_.push_back(RuleState{std::move(r), 0});
+}
+
+void FaultInjector::AddRule(const FaultRule& rule) {
+  rules_.push_back(RuleState{rule, 0});
+}
+
+FaultDecision FaultInjector::OnDispatch(int shard, uint64_t dispatch) {
+  FaultDecision d;
+  for (RuleState& rs : rules_) {
+    const FaultRule& r = rs.rule;
+    if (r.shard != shard) continue;
+    if (rs.fired >= r.count) continue;  // rule consumed
+    if (dispatch < r.at_dispatch) continue;
+    if (dispatch >= r.at_dispatch + r.count) continue;
+    ++rs.fired;
+    ++fired_by_kind_[static_cast<int>(r.kind)];
+    switch (r.kind) {
+      case FaultKind::kCrash:
+        d.crash = true;
+        break;
+      case FaultKind::kHang:
+        d.hang_seconds = r.seconds;
+        break;
+      case FaultKind::kDropReply:
+        d.drop_reply = true;
+        break;
+      case FaultKind::kSlow:
+        d.slow_factor = r.factor;
+        break;
+      case FaultKind::kFailN:
+        d.fail = true;
+        break;
+    }
+    // First matching rule wins: one fault per dispatch keeps decisions a
+    // tagged record and schedules easy to reason about in replay.
+    return d;
+  }
+  return d;
+}
+
+bool FaultInjector::Exhausted() const {
+  for (const RuleState& rs : rules_) {
+    if (rs.fired < rs.rule.count) return false;
+  }
+  return true;
+}
+
+uint64_t FaultInjector::fired(FaultKind kind) const {
+  return fired_by_kind_[static_cast<int>(kind)];
+}
+
+std::string FaultInjector::DebugString() const {
+  std::string out = "FaultInjector{";
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const RuleState& rs = rules_[i];
+    if (i) out += ", ";
+    out += std::string(FaultKindName(rs.rule.kind)) + "@shard" +
+           std::to_string(rs.rule.shard) + "[" +
+           std::to_string(rs.rule.at_dispatch) + "+" +
+           std::to_string(rs.rule.count) + ") fired=" +
+           std::to_string(rs.fired);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace hcpath

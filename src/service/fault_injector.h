@@ -1,0 +1,110 @@
+#ifndef HCPATH_SERVICE_FAULT_INJECTOR_H_
+#define HCPATH_SERVICE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hcpath {
+
+/// The kinds of failure a scripted fault schedule can inject at a shard
+/// dispatch boundary (docs/SHARDING.md, "Fault model"). All of them are
+/// expressed in *virtual* time / dispatch counts, so a schedule replays
+/// bit-identically under VirtualClock + Step() — the property every
+/// sharded-service test and the differential fuzzer lean on.
+enum class FaultKind {
+  /// The shard process dies at dispatch start: the in-flight attempt and
+  /// everything queued behind it will be failed over once missed heartbeats
+  /// drive the supervisor to kDown; the shard later restarts from the
+  /// shared GraphStore snapshot.
+  kCrash,
+  /// The shard stalls for `seconds` of virtual time before executing: the
+  /// attempt completes late (possibly after its attempt-timeout already
+  /// triggered a retry elsewhere), and heartbeats are suppressed for the
+  /// duration.
+  kHang,
+  /// The shard executes the query but the reply is lost. The caller can
+  /// only observe this via the per-attempt timeout; the retry then
+  /// re-executes (safe: queries are read-only and deterministic).
+  kDropReply,
+  /// The shard's service time is multiplied by `factor` — the classic
+  /// straggler. This is what hedged dispatch exists to mask.
+  kSlow,
+  /// The next `count` dispatches on the shard fail immediately with
+  /// kUnavailable, then the shard behaves normally. Models transient
+  /// dependency errors that bounded retry + backoff should absorb.
+  kFailN,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One scripted fault: "on shard `shard`, starting at its `at_dispatch`-th
+/// dispatch (0-based, counted per shard), apply `kind` to the next `count`
+/// dispatches". Fields `seconds` / `factor` parameterize kHang / kSlow.
+struct FaultRule {
+  int shard = 0;
+  uint64_t at_dispatch = 0;  ///< first per-shard dispatch ordinal affected
+  uint64_t count = 1;        ///< how many dispatches the rule covers
+  FaultKind kind = FaultKind::kFailN;
+  double seconds = 0.0;  ///< kHang: virtual stall before execution
+  double factor = 1.0;   ///< kSlow: service-time multiplier (>= 1)
+};
+
+/// What the injector tells the dispatcher to do with one attempt. At most
+/// one rule fires per dispatch (first match in script order wins), so the
+/// decision is a simple tagged record rather than a combination.
+struct FaultDecision {
+  bool crash = false;        ///< kCrash fired: mark the shard dead
+  bool drop_reply = false;   ///< kDropReply fired: execute, discard reply
+  bool fail = false;         ///< kFailN fired: reply kUnavailable, no work
+  double hang_seconds = 0.0; ///< kHang: add this virtual stall
+  double slow_factor = 1.0;  ///< kSlow: multiply service time
+};
+
+/// A scriptable, deterministic fault seam for the sharded service. The
+/// production configuration is simply a null pointer (or an empty script):
+/// `OnDispatch` is only consulted by ShardSupervisor, and a null/inert
+/// injector costs one branch per dispatch. Under VirtualClock the decision
+/// stream is a pure function of (script, per-shard dispatch ordinals), so
+/// any failure schedule — and therefore any test — replays exactly.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(std::vector<FaultRule> script);
+
+  /// Appends a rule to the script. Rules are matched in insertion order;
+  /// the first rule covering (shard, dispatch ordinal) wins.
+  void AddRule(const FaultRule& rule);
+
+  /// Consulted by the supervisor at the start of shard `shard`'s
+  /// `dispatch`-th dispatch (per-shard 0-based ordinal). Returns the
+  /// decision for this attempt; the default-constructed decision means "no
+  /// fault". Each rule fires at most `count` times, tracked per rule, so
+  /// fail-N-then-succeed works without the caller counting.
+  FaultDecision OnDispatch(int shard, uint64_t dispatch);
+
+  /// True when no rule can ever fire again — used by tests to assert a
+  /// schedule was fully consumed.
+  bool Exhausted() const;
+
+  /// Total decisions with at least one fault applied, per kind — lets
+  /// tests and the bench reconcile injected faults against observed
+  /// retries/failovers as an identity.
+  uint64_t fired(FaultKind kind) const;
+
+  std::string DebugString() const;
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    uint64_t fired = 0;  ///< how many dispatches this rule already covered
+  };
+  std::vector<RuleState> rules_;
+  uint64_t fired_by_kind_[5] = {0, 0, 0, 0, 0};
+};
+
+}  // namespace hcpath
+
+#endif  // HCPATH_SERVICE_FAULT_INJECTOR_H_

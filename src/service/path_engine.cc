@@ -9,6 +9,7 @@
 #include "core/basic_enum.h"
 #include "core/batch_enum.h"
 #include "core/path_enum.h"
+#include "service/admission_status.h"
 #include "util/timer.h"
 
 namespace hcpath {
@@ -256,14 +257,10 @@ bool PathEngine::ShedAndResolveLocked(std::unique_lock<std::mutex>& lk) {
 void PathEngine::ResolveShed(std::vector<QueueItem> shed) {
   for (QueueItem& item : shed) {
     // The documented shed outcome (docs/SERVICE.md, "Overload behavior"):
-    // ResourceExhausted with a message identifying the policy and the
-    // tenant. Tests key on the "query shed by admission control" prefix.
-    item.value.promise.set_value(MakeErrorResult(
-        Status::ResourceExhausted(
-            "query shed by admission control: sustained overload (tenant "
-            "\"" +
-            item.tenant + "\", weight " + std::to_string(item.weight) + ")"),
-        item.tenant));
+    // canonical retryable ResourceExhausted identifying the policy and the
+    // tenant (admission_status.h owns the vocabulary).
+    item.value.promise.set_value(
+        MakeErrorResult(ShedStatus(item.tenant, item.weight), item.tenant));
   }
 }
 
@@ -326,9 +323,10 @@ std::future<QueryResult> PathEngine::Submit(const std::string& tenant_id,
       }
       FinishSubmitLocked();
       lk.unlock();
-      promise.set_value(MakeErrorResult(
-          Status::FailedPrecondition("PathEngine is shutting down"),
-          tenant_id));
+      // Canonical non-retryable release of a (possibly blocked) submitter
+      // at shutdown: this engine will never admit again, so the classifier
+      // must steer callers to a different engine, not a retry loop.
+      promise.set_value(MakeErrorResult(ShuttingDownStatus(), tenant_id));
       return future;
     }
     // Overload shedding may be due while we wait for space (every blocked
@@ -346,18 +344,14 @@ std::future<QueryResult> PathEngine::Submit(const std::string& tenant_id,
     if (adm.backpressure == AdmissionBackpressure::kFailFast) {
       ++stats_.submits_fast_failed;
       ++stats_.tenants[tenant_id].fast_failed;
-      // The documented fast-fail outcome (docs/SERVICE.md): tests key on
-      // the "admission queue full" prefix.
-      const std::string msg = "admission queue full: " +
-                              std::to_string(queue_.size()) + " queries / " +
-                              std::to_string(queue_.bytes()) +
-                              " bytes queued";
+      // The documented fast-fail outcome (docs/SERVICE.md): canonical
+      // retryable ResourceExhausted from admission_status.h.
+      const Status full = QueueFullStatus(queue_.size(), queue_.bytes());
       // A fail-fast submit never blocks, so it can never hold a ticket.
       HCPATH_DCHECK(!ticketed);
       FinishSubmitLocked();
       lk.unlock();
-      promise.set_value(
-          MakeErrorResult(Status::ResourceExhausted(msg), tenant_id));
+      promise.set_value(MakeErrorResult(full, tenant_id));
       return future;
     }
     if (!ticketed) {
@@ -620,15 +614,11 @@ void PathEngine::FailOverLaggedQueued(uint64_t new_epoch) {
   for (QueueItem& item : lagged) {
     const uint64_t pinned = item.value.view->epoch;
     item.value.view.reset();  // release the snapshot pin before resolving
-    // The documented max-lag outcome (docs/DYNAMIC.md): FailedPrecondition
-    // naming both epochs and the bound. Tests key on the
-    // "query snapshot over max lag" prefix.
+    // The documented max-lag outcome (docs/DYNAMIC.md): canonical
+    // permanent FailedPrecondition naming both epochs and the bound
+    // (admission_status.h owns the vocabulary).
     QueryResult r = MakeErrorResult(
-        Status::FailedPrecondition(
-            "query snapshot over max lag: pinned epoch " +
-            std::to_string(pinned) + " lags current epoch " +
-            std::to_string(new_epoch) + " beyond max_snapshot_lag " +
-            std::to_string(max_lag) + " (tenant \"" + item.tenant + "\")"),
+        SnapshotLagStatus(pinned, new_epoch, max_lag, item.tenant),
         item.tenant);
     r.graph_epoch = pinned;
     item.value.promise.set_value(std::move(r));

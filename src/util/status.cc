@@ -20,8 +20,34 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+bool StatusCodeRetryable(StatusCode code) {
+  switch (code) {
+    // Transient system state: pressure drains, shards heal, deadlines can
+    // be re-issued. Retrying the identical request can succeed.
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+    // Properties of the request or of durable state: deterministic on
+    // retry.
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kInternal:
+    case StatusCode::kIOError:
+      return false;
+  }
+  return false;
 }
 
 std::string Status::ToString() const {

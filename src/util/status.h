@@ -20,10 +20,27 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIOError,
+  /// A dependency (shard, replica, backend) is temporarily unreachable —
+  /// crashed, restarting, or its reply was lost. Always retryable: the same
+  /// request can succeed on another replica or after the dependency heals.
+  kUnavailable,
+  /// The caller's deadline expired before the request completed. The
+  /// request itself may be fine; re-submitting with a fresh deadline can
+  /// succeed (classified retryable for that reason).
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
+
+/// Canonical transient/permanent classification (docs/SHARDING.md, "Fault
+/// model"): true when re-submitting the identical request later — or against
+/// another replica — can plausibly succeed because the failure reflects
+/// transient system state (overload, shedding, an unavailable shard, an
+/// expired deadline) rather than a property of the request itself.
+/// Permanent codes (InvalidArgument, FailedPrecondition, NotFound, ...)
+/// deterministically fail again and must not be blindly retried.
+bool StatusCodeRetryable(StatusCode code);
 
 /// A Status carries either success (`ok()`) or an error code plus message.
 /// All fallible public APIs in hcpath return Status or StatusOr<T>.
@@ -56,10 +73,23 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// StatusCodeRetryable(code()): whether the same request may succeed if
+  /// re-submitted after the transient condition clears. OK is not
+  /// "retryable" (there is nothing to retry).
+  bool retryable() const {
+    return !ok() && StatusCodeRetryable(code_);
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

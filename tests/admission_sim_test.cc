@@ -512,6 +512,147 @@ TEST(AdmissionSim, ConcurrentStepDispatchRunsDistinctBatches) {
   }
 }
 
+// Shutdown-vs-queued-work regression: destroying the engine while
+// submitters sit blocked in the ticket wait must release every one of
+// them with the canonical non-retryable shutting-down status — a blocked
+// submitter must never outlive the engine, and must never be told to
+// retry an engine that will not come back.
+TEST(AdmissionSim, ShutdownReleasesBlockedSubmittersNonRetryably) {
+  const Graph g = PaperFigure1Graph();
+  VirtualClock clock;
+  std::future<QueryResult> queued, blocked_a, blocked_b;
+  std::thread ta, tb;
+  {
+    PathEngineOptions opt = SimOptions(&clock);
+    opt.admission.max_queued_queries = 1;
+    opt.admission.backpressure = AdmissionBackpressure::kBlock;
+    opt.admission.shed_high_watermark = 1.0;  // disable shedding
+    opt.admission.shed_low_watermark = 1.0;
+    PathEngine engine(g, opt);
+    ASSERT_TRUE(engine.status().ok());
+
+    queued = engine.Submit({0, 11, 5});  // fills the entry budget
+    ta = std::thread([&] { blocked_a = engine.Submit({2, 13, 5}); });
+    while (engine.GetStats().backpressure_blocks < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    tb = std::thread([&] { blocked_b = engine.Submit({4, 14, 4}); });
+    while (engine.GetStats().backpressure_blocks < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Engine destruction begins with both submitters blocked on tickets.
+  }
+  ta.join();
+  tb.join();
+  for (std::future<QueryResult>* f : {&blocked_a, &blocked_b}) {
+    ASSERT_TRUE(Ready(*f));
+    QueryResult r = f->get();
+    EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(r.status.message(), "PathEngine is shutting down");
+    EXPECT_FALSE(r.status.retryable());
+  }
+  // The admitted query still drained (shutdown = final flush).
+  ASSERT_TRUE(Ready(queued));
+  EXPECT_TRUE(queued.get().status.ok());
+}
+
+// The wait-boundary edge for the overload patience deadline, two shapes:
+//  (a) submitters that blocked BEFORE patience elapsed are parked in
+//      WaitUntil(overload_since + patience); when virtual time lands
+//      exactly on the deadline (zero remaining) or far past it (negative
+//      remaining), each must wake, shed the overloaded queue itself, and
+//      enter — no deadlock, no spin, no further time advance. The second
+//      waiter re-arms WaitUntil with a deadline already in the past, so
+//      the wait must degenerate to an immediate predicate check.
+//  (b) a submitter ARRIVING after the deadline must resolve synchronously
+//      (shed at the admission loop top) without ever arming a stale wait
+//      or counting a block.
+TEST(AdmissionSim, BlockedSubmitShedsAtZeroOrNegativeRemainingPatience) {
+  const Graph g = PaperFigure1Graph();
+  for (double advance_past_patience : {0.0, 123.0}) {
+    SCOPED_TRACE(advance_past_patience);
+    VirtualClock clock;
+    PathEngineOptions opt = SimOptions(&clock);
+    opt.admission.max_queued_queries = 2;
+    opt.admission.backpressure = AdmissionBackpressure::kBlock;
+    opt.admission.shed_high_watermark = 0.5;  // overloaded at 1 queued
+    opt.admission.shed_low_watermark = 0.5;   // shed back down to 1 queued
+    opt.admission.shed_patience_seconds = 10.0;
+    PathEngine engine(g, opt);
+    ASSERT_TRUE(engine.status().ok());
+
+    auto f1 = engine.Submit({0, 11, 5});  // overload clock starts here
+    auto f2 = engine.Submit({2, 13, 5});  // queue full
+    // Shape (a): two submitters block while the deadline is still ahead.
+    std::future<QueryResult> f3, f4;
+    std::thread t3([&] { f3 = engine.Submit({4, 14, 4}); });
+    while (engine.GetStats().backpressure_blocks < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::thread t4([&] { f4 = engine.Submit({9, 14, 3}); });
+    while (engine.GetStats().backpressure_blocks < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Land exactly on the deadline or far past it. One waiter wakes with
+    // zero/negative slack, sheds one victim, and enters; the queue is at
+    // capacity again, so the other waiter's deadline is already in the
+    // past when it re-evaluates — it must shed again and enter too.
+    clock.Advance(10.0 + advance_past_patience);
+    t3.join();
+    t4.join();
+
+    PathEngineStats stats = engine.GetStats();
+    EXPECT_EQ(stats.backpressure_blocks, 2u);
+    EXPECT_EQ(stats.queries_submitted, 4u);  // every submitter entered
+    EXPECT_EQ(stats.queries_shed, 2u);       // one victim per admitted waiter
+
+    // Shape (b): arrival after the deadline sheds synchronously at the
+    // loop top and enters without blocking — the block counter must not
+    // move and no clock advance is needed.
+    auto f5 = engine.Submit({5, 12, 5});
+    stats = engine.GetStats();
+    EXPECT_EQ(stats.backpressure_blocks, 2u);
+    EXPECT_EQ(stats.queries_submitted, 5u);
+    EXPECT_EQ(stats.queries_shed, 3u);
+
+    // Every shed victim resolved already, with the canonical retryable
+    // shed status; admitted-and-queued queries are still pending.
+    std::vector<std::future<QueryResult>*> all = {&f1, &f2, &f3, &f4, &f5};
+    size_t ready_shed = 0;
+    for (std::future<QueryResult>* f : all) {
+      if (!Ready(*f)) continue;
+      ++ready_shed;
+    }
+    EXPECT_EQ(ready_shed, 3u);
+
+    engine.Flush();
+    while (engine.StepDispatch() > 0) {
+    }
+    // Conservation after the drain: the dispatcher sheds the still-due
+    // backlog down to the low watermark before cutting, so of the five
+    // admitted queries exactly one completes and four shed.
+    size_t ok = 0, shed = 0;
+    for (std::future<QueryResult>* f : all) {
+      ASSERT_TRUE(Ready(*f));
+      QueryResult r = f->get();
+      if (r.status.ok()) {
+        ++ok;
+      } else {
+        EXPECT_TRUE(IsShedStatus(r.status)) << r.status.ToString();
+        EXPECT_TRUE(r.status.retryable());
+        ++shed;
+      }
+    }
+    stats = engine.GetStats();
+    EXPECT_EQ(ok, 1u);
+    EXPECT_EQ(shed, 4u);
+    EXPECT_EQ(stats.queries_completed, ok);
+    EXPECT_EQ(stats.queries_shed, shed);
+    EXPECT_EQ(stats.queries_submitted, stats.queries_completed +
+                                           stats.queries_shed);
+  }
+}
+
 TEST(AdmissionSim, BackgroundDispatcherHonorsVirtualWaitCut) {
   const Graph g = PaperFigure1Graph();
   VirtualClock clock;

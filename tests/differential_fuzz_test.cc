@@ -31,7 +31,11 @@
 #include "graph/generators.h"
 #include "graph/graph_builder.h"
 #include "graph/graph_store.h"
+#include "service/admission_status.h"
+#include "service/fault_injector.h"
 #include "service/path_engine.h"
+#include "service/sharded_service.h"
+#include "service/clock.h"
 #include "util/rng.h"
 
 namespace hcpath {
@@ -1011,6 +1015,151 @@ TEST(DifferentialFuzz, EngineMicroBatchParity) {
                  " — reproduce with HCPATH_FUZZ_SEED=" +
                  std::to_string(seed));
     RunOneEngineConfig(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+void CheckShardedConservation(const ShardedServiceStats& s,
+                              const std::string& what) {
+  EXPECT_EQ(s.queries_submitted,
+            s.queries_completed + s.queries_failed + s.queries_rejected)
+      << what;
+  EXPECT_EQ(s.dispatches, s.attempts_completed + s.attempts_failed +
+                              s.attempts_cancelled + s.attempts_dropped +
+                              s.attempts_in_flight)
+      << what;
+  EXPECT_EQ(s.attempts_in_flight, 0u) << what;
+  EXPECT_EQ(s.queries_stalled, 0u) << what;
+}
+
+/// Sharded fault-parity differential (docs/SHARDING.md): the same random
+/// query batch runs through a 1-shard no-fault ShardedPathService (the
+/// oracle) and through sharded services (1, 2, 4 shards; 1 and 4 batch
+/// threads) under a random fault schedule (crash, hang, drop-reply, slow,
+/// fail-N) with retries and sometimes hedging enabled. For every query
+/// that completes, the materialized path set must equal the oracle's; a
+/// query the supervisor gives up on must carry the canonical retryable
+/// shard-unavailable status; and both conservation laws must close with
+/// zero stalled queries — faults may fail queries, never corrupt or
+/// strand them.
+void RunOneShardedConfig(uint64_t seed) {
+  Rng rng(seed);
+  std::string graph_desc;
+  Graph g = RandomGraph(rng, &graph_desc);
+  bool invalid = false;
+  std::vector<PathQuery> queries = RandomQueries(g, rng, &invalid);
+  bool capped = false;
+  const BatchOptions batch = RandomOptions(rng, &capped);
+
+  ShardedServiceOptions base;
+  base.batch = batch;
+  base.batch.num_threads = 1;
+  base.service_time_seconds = 0.015625;      // 1/64
+  base.heartbeat_interval_seconds = 0.0625;  // 1/16
+  base.suspect_after_missed = 2;
+  base.down_after_missed = 4;
+  base.restart_delay_seconds = 0.125;
+  base.restart_duration_seconds = 0.25;
+  base.retry_backoff_seconds = 0.0625;
+  // Attempt timeouts stay on: they are the only detection path for
+  // drop-reply faults, and queries_stalled == 0 is asserted below.
+  base.attempt_timeout_seconds = 0.5;
+  base.seed = seed;
+
+  // Oracle: one shard, no faults, sinkless so paths materialize.
+  VirtualClock ref_clock;
+  ShardedPathService reference(&g, base, &ref_clock);
+  ASSERT_TRUE(reference.init_status().ok());
+  auto ref_futures = reference.SubmitBatch("t", queries, nullptr);
+  reference.RunToCompletion(&ref_clock);
+  std::vector<QueryResult> oracle;
+  oracle.reserve(ref_futures.size());
+  for (auto& f : ref_futures) oracle.push_back(f.get());
+  CheckShardedConservation(reference.GetStats(), "oracle");
+
+  for (int shards : {1, 2, 4}) {
+    ShardedServiceOptions opt = base;
+    opt.num_shards = shards;
+    opt.batch.num_threads = rng.NextBounded(2) == 0 ? 1 : 4;
+    opt.routing = rng.NextBounded(2) == 0 ? RoutingPolicy::kHash
+                                          : RoutingPolicy::kRoundRobin;
+    opt.max_retries = 1 + static_cast<int>(rng.NextBounded(3));
+    opt.retry_jitter_fraction = 0.25;  // jitter must not affect results
+    opt.enable_hedging = rng.NextBounded(2) == 0;
+    opt.hedge_after_seconds = 0.03125;
+    opt.hedge_min_samples = 4;
+
+    // Random fault schedule over the real shard count.
+    FaultInjector injector;
+    const size_t num_rules = rng.NextBounded(4);  // 0..3, inert included
+    std::string schedule;
+    for (size_t r = 0; r < num_rules; ++r) {
+      FaultRule rule;
+      rule.shard = static_cast<int>(rng.NextBounded(shards));
+      rule.at_dispatch = rng.NextBounded(8);
+      rule.count = 1 + rng.NextBounded(3);
+      rule.kind = static_cast<FaultKind>(rng.NextBounded(5));
+      rule.seconds = 0.0625 * static_cast<double>(1 + rng.NextBounded(4));
+      rule.factor = static_cast<double>(2 + rng.NextBounded(7));
+      injector.AddRule(rule);
+      schedule += std::string(FaultKindName(rule.kind)) + "@" +
+                  std::to_string(rule.shard) + " ";
+    }
+    SCOPED_TRACE("shards=" + std::to_string(shards) +
+                 " threads=" + std::to_string(opt.batch.num_threads) +
+                 " hedging=" + std::to_string(opt.enable_hedging) +
+                 " faults=[" + schedule + "] graph=" + graph_desc);
+
+    VirtualClock vc;
+    ShardedPathService svc(&g, opt, &vc, &injector);
+    ASSERT_TRUE(svc.init_status().ok());
+    auto futures = svc.SubmitBatch("t", queries, nullptr);
+    svc.RunToCompletion(&vc);
+    ASSERT_EQ(futures.size(), oracle.size());
+    for (size_t i = 0; i < futures.size(); ++i) {
+      SCOPED_TRACE("query " + std::to_string(i));
+      QueryResult r = futures[i].get();
+      if (r.status.ok()) {
+        // A completed query is byte-equivalent to the oracle, whatever
+        // faults its attempts absorbed along the way.
+        ASSERT_TRUE(oracle[i].status.ok()) << r.status;
+        EXPECT_EQ(r.path_count, oracle[i].path_count);
+        EXPECT_EQ(r.paths.ToSortedVectors(), oracle[i].paths.ToSortedVectors());
+      } else if (!oracle[i].status.ok()) {
+        // Deterministic pipeline/validation errors (invalid query,
+        // max_paths cap) reproduce exactly — code and message.
+        EXPECT_EQ(r.status.code(), oracle[i].status.code());
+        EXPECT_EQ(r.status.message(), oracle[i].status.message());
+      } else {
+        // Fault-induced degradation: canonical, retryable, attributable.
+        EXPECT_TRUE(IsShardUnavailable(r.status)) << r.status.ToString();
+        EXPECT_TRUE(r.status.retryable());
+      }
+    }
+    CheckShardedConservation(svc.GetStats(), "faulted");
+  }
+}
+
+TEST(DifferentialFuzz, ShardedFaultParity) {
+  // Separate seed base so this suite explores configurations independent
+  // of the other differential suites.
+  constexpr uint64_t kBaseSeed = 0x9E6C63D0876A9A47ull;
+  if (const char* one = std::getenv("HCPATH_FUZZ_SEED")) {
+    const uint64_t seed = std::strtoull(one, nullptr, 0);
+    SCOPED_TRACE("HCPATH_FUZZ_SEED=" + std::to_string(seed));
+    RunOneShardedConfig(seed);
+    return;
+  }
+  // Each config runs a full virtual-time simulation at three shard
+  // counts; a quarter of the count keeps wall-clock in line with the
+  // other suites.
+  const int configs = std::max(1, ConfigCount() / 4);
+  for (int c = 0; c < configs; ++c) {
+    const uint64_t seed = kBaseSeed + static_cast<uint64_t>(c);
+    SCOPED_TRACE("sharded config #" + std::to_string(c) +
+                 " — reproduce with HCPATH_FUZZ_SEED=" +
+                 std::to_string(seed));
+    RunOneShardedConfig(seed);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

@@ -1,0 +1,107 @@
+#include "service/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace hcpath {
+namespace {
+
+TEST(FaultInjector, InertWhenEmpty) {
+  FaultInjector fi;
+  for (int shard = 0; shard < 4; ++shard) {
+    for (uint64_t d = 0; d < 10; ++d) {
+      FaultDecision dec = fi.OnDispatch(shard, d);
+      EXPECT_FALSE(dec.crash);
+      EXPECT_FALSE(dec.drop_reply);
+      EXPECT_FALSE(dec.fail);
+      EXPECT_EQ(dec.hang_seconds, 0.0);
+      EXPECT_EQ(dec.slow_factor, 1.0);
+    }
+  }
+  EXPECT_TRUE(fi.Exhausted());
+}
+
+TEST(FaultInjector, FailNThenSucceed) {
+  FaultInjector fi;
+  FaultRule r;
+  r.shard = 1;
+  r.at_dispatch = 2;
+  r.count = 3;
+  r.kind = FaultKind::kFailN;
+  fi.AddRule(r);
+
+  // Dispatches 0-1 clean, 2-4 fail, 5+ clean again.
+  EXPECT_FALSE(fi.OnDispatch(1, 0).fail);
+  EXPECT_FALSE(fi.OnDispatch(1, 1).fail);
+  EXPECT_TRUE(fi.OnDispatch(1, 2).fail);
+  EXPECT_TRUE(fi.OnDispatch(1, 3).fail);
+  EXPECT_FALSE(fi.Exhausted());
+  EXPECT_TRUE(fi.OnDispatch(1, 4).fail);
+  EXPECT_TRUE(fi.Exhausted());
+  EXPECT_FALSE(fi.OnDispatch(1, 5).fail);
+  EXPECT_EQ(fi.fired(FaultKind::kFailN), 3u);
+
+  // Another shard is never affected.
+  EXPECT_FALSE(fi.OnDispatch(0, 2).fail);
+}
+
+TEST(FaultInjector, CrashHangDropSlowParameters) {
+  FaultInjector fi({
+      FaultRule{/*shard=*/0, /*at_dispatch=*/0, /*count=*/1,
+                FaultKind::kCrash, 0.0, 1.0},
+      FaultRule{/*shard=*/1, /*at_dispatch=*/0, /*count=*/1, FaultKind::kHang,
+                /*seconds=*/2.5, 1.0},
+      FaultRule{/*shard=*/2, /*at_dispatch=*/0, /*count=*/1,
+                FaultKind::kDropReply, 0.0, 1.0},
+      FaultRule{/*shard=*/3, /*at_dispatch=*/0, /*count=*/2, FaultKind::kSlow,
+                0.0, /*factor=*/8.0},
+  });
+  EXPECT_TRUE(fi.OnDispatch(0, 0).crash);
+  EXPECT_EQ(fi.OnDispatch(1, 0).hang_seconds, 2.5);
+  EXPECT_TRUE(fi.OnDispatch(2, 0).drop_reply);
+  EXPECT_EQ(fi.OnDispatch(3, 0).slow_factor, 8.0);
+  EXPECT_EQ(fi.OnDispatch(3, 1).slow_factor, 8.0);
+  EXPECT_EQ(fi.OnDispatch(3, 2).slow_factor, 1.0);
+  EXPECT_TRUE(fi.Exhausted());
+  EXPECT_EQ(fi.fired(FaultKind::kSlow), 2u);
+}
+
+TEST(FaultInjector, FirstMatchingRuleWins) {
+  FaultInjector fi({
+      FaultRule{0, 0, 1, FaultKind::kFailN, 0.0, 1.0},
+      FaultRule{0, 0, 1, FaultKind::kCrash, 0.0, 1.0},
+  });
+  FaultDecision d = fi.OnDispatch(0, 0);
+  EXPECT_TRUE(d.fail);
+  EXPECT_FALSE(d.crash);  // second rule shadowed for this dispatch
+  // The shadowed crash rule still covers its window; dispatch 0 is gone,
+  // so it never fires and the script is not exhausted.
+  EXPECT_FALSE(fi.Exhausted());
+}
+
+TEST(FaultInjector, DeterministicReplay) {
+  // The decision stream is a pure function of (script, dispatch ordinals):
+  // two injectors with the same script replay identically.
+  std::vector<FaultRule> script = {
+      FaultRule{0, 1, 2, FaultKind::kFailN, 0.0, 1.0},
+      FaultRule{1, 0, 1, FaultKind::kSlow, 0.0, 4.0},
+  };
+  FaultInjector a(script), b(script);
+  for (int shard = 0; shard < 2; ++shard) {
+    for (uint64_t d = 0; d < 5; ++d) {
+      FaultDecision da = a.OnDispatch(shard, d);
+      FaultDecision db = b.OnDispatch(shard, d);
+      EXPECT_EQ(da.fail, db.fail);
+      EXPECT_EQ(da.crash, db.crash);
+      EXPECT_EQ(da.slow_factor, db.slow_factor);
+    }
+  }
+}
+
+TEST(FaultInjector, DebugStringNamesRules) {
+  FaultInjector fi({FaultRule{2, 3, 1, FaultKind::kDropReply, 0.0, 1.0}});
+  const std::string s = fi.DebugString();
+  EXPECT_NE(s.find("drop-reply@shard2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcpath
