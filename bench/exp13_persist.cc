@@ -1,0 +1,463 @@
+// Exp-13: persistence tier cold-start benchmark (docs/PERSIST.md). One
+// ~1M-edge graph is saved three ways — text edge list, binary edge list
+// (rebuild on load), and the mmap CSR snapshot — then each path is timed
+// from cold open to FIRST query-batch result. A second phase checkpoints
+// a warm PathEngine's endpoint-distance cache (SaveDistanceCache +
+// GraphStore::SaveSnapshot), "restarts" into OpenSnapshot +
+// RestoreDistanceCache, and compares time-to-first-batch and cache hits
+// against an identical cold engine.
+//
+// Besides the JSON metrics the driver *verifies* the PR's acceptance
+// criteria live and exits non-zero on violation (CI bench-smoke runs
+// `exp13_persist --quick`):
+//   1. parity: the first batch's paths are byte-identical (canonicalized)
+//      across in-memory, text, binary, and mmap load paths,
+//   2. speed (full runs only): mmap cold-start-to-first-result is >= 5x
+//      faster than the text-parse cold start on the >= 1M-edge graph,
+//   3. warm restore: the restored engine reports cache hits on its very
+//      first batch and its results equal the cold engine's.
+//
+// Snapshots are written to a mkdtemp'd scratch dir (honoring $TMPDIR) and
+// removed on exit — no repo-root litter; --dir overrides, --keep retains.
+//
+//   ./build/exp13_persist --vertices=140000 --degree=8 --json=BENCH_PR10.json
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/batch_enum.h"
+#include "core/path.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+#include "graph/graph_snapshot_io.h"
+#include "graph/graph_store.h"
+#include "index/cache_persist.h"
+#include "service/path_engine.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/query_gen.h"
+
+using namespace hcpath;
+using namespace hcpath::bench;
+
+namespace {
+
+/// Canonical form of one batch's results: per-query sorted path vectors.
+using BatchPaths = std::vector<std::vector<std::vector<VertexId>>>;
+
+struct ColdStart {
+  double load_seconds = 0;
+  double first_batch_seconds = 0;
+  double total_seconds() const { return load_seconds + first_batch_seconds; }
+  uint64_t file_bytes = 0;
+  BatchPaths paths;
+  bool ok = false;
+};
+
+/// Runs the first query batch on `g` and canonicalizes the results.
+bool FirstBatch(const Graph& g, const std::vector<PathQuery>& queries,
+                const BatchOptions& opt, double* seconds, BatchPaths* out) {
+  WallTimer t;
+  CollectingSink sink(queries.size());
+  Status st = RunBatchEnum(g, queries, opt, /*optimized_order=*/true, &sink,
+                           nullptr);
+  *seconds = t.ElapsedSeconds();
+  if (!st.ok()) {
+    std::fprintf(stderr, "[exp13] first batch failed: %s\n",
+                 st.ToString().c_str());
+    return false;
+  }
+  out->clear();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out->push_back(sink.paths(i).ToSortedVectors());
+  }
+  return true;
+}
+
+uint64_t FileBytes(const std::string& path) {
+  std::error_code ec;
+  auto s = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<uint64_t>(s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommonFlags cf;
+  int64_t* vertices = cf.flags.AddInt64(
+      "vertices", 140000, "graph size (Barabasi-Albert)");
+  int64_t* degree =
+      cf.flags.AddInt64("degree", 8, "BA attachment degree (~m = n*degree)");
+  int64_t* k = cf.flags.AddInt64("k", 4, "hop constraint");
+  int64_t* first_batch =
+      cf.flags.AddInt64("first_batch", 4, "queries in the first batch");
+  int64_t* warm_stream = cf.flags.AddInt64(
+      "warm_stream", 400, "warmup queries before the cache checkpoint");
+  std::string* dir = cf.flags.AddString(
+      "dir", "", "scratch directory ('' = mkdtemp under $TMPDIR)");
+  int64_t* keep =
+      cf.flags.AddInt64("keep", 0, "1 = keep the scratch dir on exit");
+  std::string* json = cf.flags.AddString("json", "", "also append JSON here");
+  ParseOrDie(cf, argc, argv);
+
+  VertexId n = static_cast<VertexId>(*vertices);
+  int deg = static_cast<int>(*degree);
+  size_t n_first = static_cast<size_t>(*first_batch);
+  size_t n_warm = static_cast<size_t>(*warm_stream);
+  if (*cf.quick) {
+    n = std::min<VertexId>(n, 4000);
+    deg = std::min(deg, 4);
+    n_first = std::min<size_t>(n_first, 8);
+    n_warm = std::min<size_t>(n_warm, 120);
+  }
+
+  // Scratch dir: mkdtemp (respecting $TMPDIR) unless --dir names one.
+  std::string scratch = *dir;
+  bool made_scratch = false;
+  if (scratch.empty()) {
+    const char* tmpdir = std::getenv("TMPDIR");
+    std::string tmpl = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                       "/hcpath_exp13.XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      return 2;
+    }
+    scratch.assign(buf.data());
+    made_scratch = true;
+  }
+  const std::string text_path = scratch + "/graph.txt";
+  const std::string bin_path = scratch + "/graph.bin";
+  const std::string snap_path = scratch + "/graph.hcs";
+  const std::string spill_path = scratch + "/cache.hcc";
+  auto cleanup = [&] {
+    if (*keep != 0) {
+      std::fprintf(stderr, "[exp13] keeping scratch dir %s\n",
+                   scratch.c_str());
+      return;
+    }
+    std::error_code ec;
+    if (made_scratch) {
+      std::filesystem::remove_all(scratch, ec);
+    } else {
+      for (const auto& p : {text_path, bin_path, snap_path, spill_path}) {
+        std::filesystem::remove(p, ec);
+      }
+    }
+  };
+
+  Rng grng(static_cast<uint64_t>(*cf.seed));
+  auto g = GenerateBarabasiAlbert(n, deg, grng);
+  if (!g.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 g.status().ToString().c_str());
+    cleanup();
+    return 2;
+  }
+  std::fprintf(stderr, "[exp13] |V|=%llu |E|=%llu scratch=%s\n",
+               static_cast<unsigned long long>(g->NumVertices()),
+               static_cast<unsigned long long>(g->NumEdges()),
+               scratch.c_str());
+
+  Rng qrng(static_cast<uint64_t>(*cf.seed) + 1);
+  QueryGenOptions qopt;
+  qopt.k_min = qopt.k_max = static_cast<int>(*k);
+  qopt.min_distance = 2;
+  auto queries = GenerateRandomQueries(*g, n_first, qopt, qrng);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 queries.status().ToString().c_str());
+    cleanup();
+    return 2;
+  }
+  BatchOptions bopt = MakeBatchOptions(cf);
+  bopt.max_paths_per_query = 5'000'000;
+
+  std::FILE* jf = nullptr;
+  if (!json->empty()) {
+    jf = std::fopen(json->c_str(), "a");
+    if (jf == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json->c_str());
+      cleanup();
+      return 2;
+    }
+  }
+  bool all_ok = true;
+
+  // ---- Save all three formats (save cost is reported, never gated).
+  double text_save_s, bin_save_s, snap_save_s;
+  {
+    WallTimer t;
+    if (!SaveEdgeListText(*g, text_path).ok()) {
+      std::fprintf(stderr, "text save failed\n");
+      cleanup();
+      return 2;
+    }
+    text_save_s = t.ElapsedSeconds();
+    t.Restart();
+    if (!SaveEdgeListBinary(*g, bin_path).ok()) {
+      std::fprintf(stderr, "binary save failed\n");
+      cleanup();
+      return 2;
+    }
+    bin_save_s = t.ElapsedSeconds();
+    t.Restart();
+    if (!SaveGraphSnapshot(*g, snap_path).ok()) {
+      std::fprintf(stderr, "snapshot save failed\n");
+      cleanup();
+      return 2;
+    }
+    snap_save_s = t.ElapsedSeconds();
+  }
+
+  // ---- In-memory reference (no load cost).
+  ColdStart ref;
+  ref.ok = FirstBatch(*g, *queries, bopt, &ref.first_batch_seconds, &ref.paths);
+  if (!ref.ok) {
+    cleanup();
+    return 2;
+  }
+
+  // ---- Cold starts. Each loader returns a fresh Graph; the first-batch
+  // clock includes everything a restarted server would pay after open()
+  // (index build, enumeration, materialization).
+  auto cold_start = [&](const char* mode,
+                        StatusOr<Graph> (*load)(const std::string&),
+                        const std::string& path) -> ColdStart {
+    ColdStart out;
+    out.file_bytes = FileBytes(path);
+    WallTimer t;
+    StatusOr<Graph> loaded = load(path);
+    out.load_seconds = t.ElapsedSeconds();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "[exp13] %s load failed: %s\n", mode,
+                   loaded.status().ToString().c_str());
+      return out;
+    }
+    out.ok = FirstBatch(*loaded, *queries, bopt, &out.first_batch_seconds,
+                        &out.paths);
+    return out;
+  };
+  ColdStart text_cs = cold_start("text", &LoadEdgeListText, text_path);
+  ColdStart bin_cs = cold_start("binary", &LoadEdgeListBinary, bin_path);
+  ColdStart mmap_cs = cold_start(
+      "mmap",
+      +[](const std::string& p) {
+        return LoadGraphSnapshot(p, GraphSnapshotLoadOptions{});
+      },
+      snap_path);
+  // Trusted open (verify=false): the O(1) header-only variant, reported
+  // alongside the verified default.
+  double mmap_trusted_load_s = 0;
+  {
+    WallTimer t;
+    auto trusted =
+        LoadGraphSnapshot(snap_path, GraphSnapshotLoadOptions{.verify = false});
+    mmap_trusted_load_s = t.ElapsedSeconds();
+    if (!trusted.ok()) all_ok = false;
+  }
+
+  struct Row {
+    const char* mode;
+    const ColdStart* cs;
+    double save_seconds;
+  };
+  for (const Row& row : {Row{"text", &text_cs, text_save_s},
+                         Row{"binary", &bin_cs, bin_save_s},
+                         Row{"mmap", &mmap_cs, snap_save_s}}) {
+    if (!row.cs->ok) {
+      all_ok = false;
+      continue;
+    }
+    if (row.cs->paths != ref.paths) {
+      std::fprintf(stderr,
+                   "[exp13] FAIL: %s first-batch paths differ from the "
+                   "in-memory reference\n",
+                   row.mode);
+      all_ok = false;
+    }
+    char line[768];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"bench\":\"exp13_persist\",\"mode\":\"%s\",\"vertices\":%llu,"
+        "\"edges\":%llu,\"file_bytes\":%llu,\"save_seconds\":%.6f,"
+        "\"load_seconds\":%.6f,\"first_batch_seconds\":%.6f,"
+        "\"total_seconds\":%.6f,\"speedup_vs_text\":%.2f,"
+        "\"parity_ok\":%s}\n",
+        row.mode, static_cast<unsigned long long>(g->NumVertices()),
+        static_cast<unsigned long long>(g->NumEdges()),
+        static_cast<unsigned long long>(row.cs->file_bytes), row.save_seconds,
+        row.cs->load_seconds, row.cs->first_batch_seconds,
+        row.cs->total_seconds(),
+        row.cs->total_seconds() > 0
+            ? text_cs.total_seconds() / row.cs->total_seconds()
+            : 0.0,
+        row.cs->paths == ref.paths ? "true" : "false");
+    std::fputs(line, stdout);
+    if (jf != nullptr) std::fputs(line, jf);
+  }
+  std::fprintf(
+      stderr,
+      "[exp13] cold start to first result: text=%.3fs binary=%.3fs "
+      "mmap=%.3fs (load %.3f/%.3f/%.3f, trusted open %.6fs)\n",
+      text_cs.total_seconds(), bin_cs.total_seconds(),
+      mmap_cs.total_seconds(), text_cs.load_seconds, bin_cs.load_seconds,
+      mmap_cs.load_seconds, mmap_trusted_load_s);
+  // Acceptance gate 2 — full runs only: a --quick graph is small enough
+  // that fixed batch costs dominate and the ratio is noise.
+  if (!*cf.quick && text_cs.ok && mmap_cs.ok &&
+      mmap_cs.total_seconds() * 5 > text_cs.total_seconds()) {
+    std::fprintf(stderr,
+                 "[exp13] FAIL: mmap cold start %.3fs not >=5x faster than "
+                 "text %.3fs\n",
+                 mmap_cs.total_seconds(), text_cs.total_seconds());
+    all_ok = false;
+  }
+
+  // ---- Phase 2: warm-cache checkpoint and restore.
+  PathEngineOptions eopt;
+  eopt.batch = bopt;
+  eopt.max_wait_seconds = 0;
+  eopt.max_batch_size = 1 << 20;
+  eopt.collect_paths = false;
+
+  // Zipf-hot warm stream over the first-batch query pool: repeats are what
+  // give the cache something to spill.
+  std::vector<PathQuery> warm;
+  warm.reserve(n_warm);
+  {
+    Rng wrng(static_cast<uint64_t>(*cf.seed) + 2);
+    for (size_t i = 0; i < n_warm; ++i) {
+      const size_t r = static_cast<size_t>(wrng.Next() % 100);
+      const size_t idx = r < 70 ? r % std::min<size_t>(4, queries->size())
+                                : wrng.Next() % queries->size();
+      warm.push_back((*queries)[idx]);
+    }
+  }
+
+  uint64_t spill_entries = 0, spill_bytes = 0;
+  {
+    GraphStore store(*g);
+    PathEngine engine(&store, eopt);
+    if (!engine.status().ok()) {
+      std::fprintf(stderr, "engine failed: %s\n",
+                   engine.status().ToString().c_str());
+      cleanup();
+      return 2;
+    }
+    std::vector<std::future<QueryResult>> futs;
+    futs.reserve(warm.size());
+    for (const auto& q : warm) futs.push_back(engine.Submit(q));
+    engine.Flush();
+    engine.Drain();
+    for (auto& f : futs) f.get();
+    if (!store.SaveSnapshot(snap_path).ok() ||
+        !engine.SaveDistanceCache(spill_path).ok()) {
+      std::fprintf(stderr, "[exp13] FAIL: checkpoint failed\n");
+      cleanup();
+      return 2;
+    }
+    CacheSpillInfo info;
+    auto rd = ReadCacheSpillInfo(spill_path);
+    if (rd.ok()) info = *rd;
+    spill_entries = info.entry_count;
+    spill_bytes = info.file_bytes;
+  }
+
+  // "Restart": reopen the snapshot twice — one engine restores the spill,
+  // the control engine starts cold — and run the identical first batch.
+  auto run_restart = [&](bool restore, double* seconds, uint64_t* hits,
+                         uint64_t* path_counts_sum,
+                         std::vector<uint64_t>* counts) -> bool {
+    WallTimer t;
+    auto store = GraphStore::OpenSnapshot(snap_path);
+    if (!store.ok()) {
+      std::fprintf(stderr, "[exp13] OpenSnapshot failed: %s\n",
+                   store.status().ToString().c_str());
+      return false;
+    }
+    PathEngine engine(store->get(), eopt);
+    if (!engine.status().ok()) return false;
+    if (restore) {
+      auto restored = engine.RestoreDistanceCache(spill_path);
+      if (!restored.ok()) {
+        std::fprintf(stderr, "[exp13] RestoreDistanceCache failed: %s\n",
+                     restored.status().ToString().c_str());
+        return false;
+      }
+    }
+    std::vector<std::future<QueryResult>> futs;
+    for (const auto& q : *queries) futs.push_back(engine.Submit(q));
+    engine.Flush();
+    engine.Drain();
+    counts->clear();
+    *path_counts_sum = 0;
+    for (auto& f : futs) {
+      QueryResult r = f.get();
+      if (!r.status.ok()) return false;
+      counts->push_back(r.path_count);
+      *path_counts_sum += r.path_count;
+    }
+    *seconds = t.ElapsedSeconds();
+    *hits = engine.GetStats().distance_cache_hits;
+    return true;
+  };
+
+  double warm_s = 0, cold_s = 0;
+  uint64_t warm_hits = 0, cold_hits = 0, warm_sum = 0, cold_sum = 0;
+  std::vector<uint64_t> warm_counts, cold_counts;
+  const bool warm_ok =
+      run_restart(true, &warm_s, &warm_hits, &warm_sum, &warm_counts);
+  const bool cold_ok =
+      run_restart(false, &cold_s, &cold_hits, &cold_sum, &cold_counts);
+  if (!warm_ok || !cold_ok) {
+    all_ok = false;
+  } else {
+    if (warm_hits == 0) {
+      std::fprintf(stderr,
+                   "[exp13] FAIL: restored cache served 0 hits on its first "
+                   "batch\n");
+      all_ok = false;
+    }
+    if (warm_counts != cold_counts) {
+      std::fprintf(stderr,
+                   "[exp13] FAIL: restored engine's path counts differ from "
+                   "the cold engine's\n");
+      all_ok = false;
+    }
+    char line[640];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"bench\":\"exp13_persist_cache\",\"warm_stream\":%zu,"
+        "\"spill_entries\":%llu,\"spill_bytes\":%llu,"
+        "\"restored_first_batch_seconds\":%.6f,"
+        "\"cold_first_batch_seconds\":%.6f,\"restored_hits\":%llu,"
+        "\"cold_hits\":%llu,\"paths\":%llu,\"parity_ok\":%s}\n",
+        warm.size(), static_cast<unsigned long long>(spill_entries),
+        static_cast<unsigned long long>(spill_bytes), warm_s, cold_s,
+        static_cast<unsigned long long>(warm_hits),
+        static_cast<unsigned long long>(cold_hits),
+        static_cast<unsigned long long>(warm_sum),
+        warm_counts == cold_counts ? "true" : "false");
+    std::fputs(line, stdout);
+    if (jf != nullptr) std::fputs(line, jf);
+    std::fprintf(stderr,
+                 "[exp13] restart first batch: restored=%.3fs (%llu hits) "
+                 "cold=%.3fs (%llu hits) | %s\n",
+                 warm_s, static_cast<unsigned long long>(warm_hits), cold_s,
+                 static_cast<unsigned long long>(cold_hits),
+                 all_ok ? "OK" : "FAIL");
+  }
+
+  if (jf != nullptr) std::fclose(jf);
+  cleanup();
+  return all_ok ? 0 : 3;
+}

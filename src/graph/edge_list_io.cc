@@ -74,6 +74,34 @@ StatusOr<Graph> LoadEdgeListBinary(const std::string& path) {
   if (n >= kInvalidVertex) {
     return Status::OutOfRange("vertex count too large: " + path);
   }
+  // Sanity-check the header against the real file size BEFORE m sizes
+  // Reserve(m) and n sizes GraphBuilder(n): a corrupt or hostile 24-byte
+  // header must produce InvalidArgument, not a multi-GB allocation. The
+  // payload must be exactly 8 bytes per declared edge — trailing bytes are
+  // rejected too (a well-formed writer never produces them, and accepting
+  // them would silently mask a corrupted edge count).
+  constexpr uint64_t kHeaderBytes = 3 * sizeof(uint64_t);
+  in.seekg(0, std::ios::end);
+  const auto end_pos = in.tellg();
+  if (end_pos < static_cast<std::streamoff>(kHeaderBytes)) {
+    return Status::InvalidArgument("truncated binary edge list: " + path);
+  }
+  const uint64_t payload_bytes =
+      static_cast<uint64_t>(end_pos) - kHeaderBytes;
+  if (m > payload_bytes / (2 * sizeof(VertexId)) ||
+      m * 2 * sizeof(VertexId) != payload_bytes) {
+    return Status::InvalidArgument(
+        "edge count inconsistent with file size: " + path);
+  }
+  // Isolated vertices are legitimate (n may exceed every edge endpoint),
+  // but an n wildly beyond what the edges imply is a corrupt header; allow
+  // up to 2m + 2^24 declared vertices so real sparse graphs round-trip
+  // while a hostile count can no longer size an arbitrary allocation.
+  if (n > 2 * m + (uint64_t{1} << 24)) {
+    return Status::InvalidArgument(
+        "vertex count inconsistent with edge count: " + path);
+  }
+  in.seekg(static_cast<std::streamoff>(kHeaderBytes), std::ios::beg);
   GraphBuilder builder(static_cast<VertexId>(n));
   builder.Reserve(m);
   std::vector<VertexId> buf(2 * 4096);
@@ -103,11 +131,24 @@ Status SaveEdgeListBinary(const Graph& g, const std::string& path) {
   out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
   out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  // Batch edge pairs through a reused buffer: one write per ~8K edges
+  // instead of one per edge, byte-identical output.
+  std::vector<VertexId> buf;
+  buf.reserve(2 * 8192);
   for (VertexId u = 0; u < g.NumVertices(); ++u) {
     for (VertexId v : g.OutNeighbors(u)) {
-      VertexId pair[2] = {u, v};
-      out.write(reinterpret_cast<const char*>(pair), sizeof(pair));
+      buf.push_back(u);
+      buf.push_back(v);
+      if (buf.size() == buf.capacity()) {
+        out.write(reinterpret_cast<const char*>(buf.data()),
+                  static_cast<std::streamsize>(buf.size() * sizeof(VertexId)));
+        buf.clear();
+      }
     }
+  }
+  if (!buf.empty()) {
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size() * sizeof(VertexId)));
   }
   out.flush();
   if (!out) return Status::IOError("write failed: " + path);

@@ -37,6 +37,17 @@ inline Direction Reverse(Direction d) {
 /// consumers that cache state derived from a graph (GraphRemap in
 /// BatchPathEnumerator, the endpoint-distance cache) key on version() to
 /// detect that the object they were built against has been replaced.
+///
+/// Storage modes (all indistinguishable through the accessors — every
+/// reader goes through the same raw-pointer views):
+///  * owned — the CSR arrays live in this object's vectors (GraphBuilder,
+///    generators, MergeRebuild);
+///  * external — the arrays are read-only views into storage pinned by a
+///    shared_ptr, e.g. an mmapped snapshot file (graph_snapshot_io,
+///    docs/PERSIST.md): zero-copy, pages fault in on demand, and copies of
+///    the Graph share the mapping;
+///  * overlay — reads consult a DeltaOverlay's patch tables and fall back
+///    to its flat base CSR (docs/DYNAMIC.md).
 class Graph {
  public:
   Graph() : version_(NextVersion()) {}
@@ -46,6 +57,19 @@ class Graph {
   Graph(std::vector<uint64_t> out_offsets, std::vector<VertexId> out_adj,
         std::vector<uint64_t> in_offsets, std::vector<VertexId> in_adj);
 
+  /// External-storage mode: wraps CSR arrays that live outside this object
+  /// — typically sections of an mmapped snapshot — without copying them.
+  /// `storage` pins whatever owns the bytes (the mapped region) for the
+  /// life of this graph and every copy of it; the spans must stay valid
+  /// exactly as long as `storage` is alive. The caller has already
+  /// validated the arrays (graph_snapshot_io does); the checks here are
+  /// the same structural invariants the owned constructor asserts.
+  Graph(std::shared_ptr<const void> storage,
+        std::span<const uint64_t> out_offsets,
+        std::span<const VertexId> out_adj,
+        std::span<const uint64_t> in_offsets,
+        std::span<const VertexId> in_adj);
+
   /// Wraps a delta overlay (docs/DYNAMIC.md) as a graph snapshot: reads
   /// consult the overlay's patch tables and fall back to its flat base
   /// CSR. The flat-CSR members stay empty; every accessor branches on
@@ -53,17 +77,31 @@ class Graph {
   /// graphs without an overlay read exactly as before.
   explicit Graph(std::shared_ptr<const DeltaOverlay> overlay);
 
+  // Copies and moves rebind the raw-pointer views: an owned copy points
+  // into its own vectors, an external copy shares the pinned storage, and
+  // a moved-from graph is left empty-but-valid. version_ is carried along
+  // (copies have identical CSR content, so sharing the version is
+  // correct).
+  Graph(const Graph& other) { CopyFrom(other); }
+  Graph& operator=(const Graph& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Graph(Graph&& other) noexcept { MoveFrom(std::move(other)); }
+  Graph& operator=(Graph&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
   /// Number of vertices.
   VertexId NumVertices() const {
     if (overlay_ != nullptr) [[unlikely]] return OverlayNumVertices();
-    return out_offsets_.empty()
-               ? 0
-               : static_cast<VertexId>(out_offsets_.size() - 1);
+    return n_;
   }
   /// Number of directed edges.
   uint64_t NumEdges() const {
     if (overlay_ != nullptr) [[unlikely]] return OverlayNumEdges();
-    return out_adj_.size();
+    return m_;
   }
 
   /// Out-neighbors of v in G (sorted).
@@ -72,8 +110,7 @@ class Graph {
     if (overlay_ != nullptr) [[unlikely]] {
       return OverlayNeighbors(v, Direction::kForward);
     }
-    return {out_adj_.data() + out_offsets_[v],
-            out_adj_.data() + out_offsets_[v + 1]};
+    return {out_adj_p_ + out_offsets_p_[v], out_adj_p_ + out_offsets_p_[v + 1]};
   }
 
   /// In-neighbors of v in G (sorted) == out-neighbors of v in Gr.
@@ -82,8 +119,7 @@ class Graph {
     if (overlay_ != nullptr) [[unlikely]] {
       return OverlayNeighbors(v, Direction::kBackward);
     }
-    return {in_adj_.data() + in_offsets_[v],
-            in_adj_.data() + in_offsets_[v + 1]};
+    return {in_adj_p_ + in_offsets_p_[v], in_adj_p_ + in_offsets_p_[v + 1]};
   }
 
   /// Neighbors in the requested traversal direction.
@@ -95,13 +131,13 @@ class Graph {
     if (overlay_ != nullptr) [[unlikely]] {
       return OverlayNeighbors(v, Direction::kForward).size();
     }
-    return out_offsets_[v + 1] - out_offsets_[v];
+    return out_offsets_p_[v + 1] - out_offsets_p_[v];
   }
   uint64_t InDegree(VertexId v) const {
     if (overlay_ != nullptr) [[unlikely]] {
       return OverlayNeighbors(v, Direction::kBackward).size();
     }
-    return in_offsets_[v + 1] - in_offsets_[v];
+    return in_offsets_p_[v + 1] - in_offsets_p_[v];
   }
   uint64_t Degree(VertexId v, Direction d) const {
     return d == Direction::kForward ? OutDegree(v) : InDegree(v);
@@ -138,9 +174,9 @@ class Graph {
       return;
     }
     if (d == Direction::kForward) {
-      __builtin_prefetch(&out_offsets_[v]);
+      __builtin_prefetch(&out_offsets_p_[v]);
     } else {
-      __builtin_prefetch(&in_offsets_[v]);
+      __builtin_prefetch(&in_offsets_p_[v]);
     }
   }
 
@@ -152,9 +188,9 @@ class Graph {
       return;
     }
     if (d == Direction::kForward) {
-      __builtin_prefetch(out_adj_.data() + out_offsets_[v]);
+      __builtin_prefetch(out_adj_p_ + out_offsets_p_[v]);
     } else {
-      __builtin_prefetch(in_adj_.data() + in_offsets_[v]);
+      __builtin_prefetch(in_adj_p_ + in_offsets_p_[v]);
     }
   }
 
@@ -163,12 +199,44 @@ class Graph {
 
   /// Approximate resident memory of the CSR arrays. For an overlay
   /// snapshot this is the patch tables only — the shared flat base is
-  /// accounted by the snapshot that owns it.
+  /// accounted by the snapshot that owns it. External (mmapped) graphs
+  /// report the mapped array bytes; actual residency is whatever the
+  /// page cache has faulted in.
   uint64_t MemoryBytes() const {
     if (overlay_ != nullptr) [[unlikely]] return OverlayMemoryBytes();
-    return (out_offsets_.size() + in_offsets_.size()) * sizeof(uint64_t) +
-           (out_adj_.size() + in_adj_.size()) * sizeof(VertexId);
+    if (out_offsets_p_ == nullptr) return 0;
+    return 2 * (static_cast<uint64_t>(n_) + 1) * sizeof(uint64_t) +
+           2 * m_ * sizeof(VertexId);
   }
+
+  /// Flat-CSR array views: offsets have NumVertices()+1 entries, adjacency
+  /// NumEdges(). Empty on a default-constructed graph; must not be called
+  /// on an overlay snapshot (whose arrays are virtual — fold it first).
+  /// These exist for the serialization layer (graph_snapshot_io) and
+  /// structural-equality tests; engines read through the accessors above.
+  std::span<const uint64_t> OutOffsetsView() const {
+    HCPATH_DCHECK(overlay_ == nullptr);
+    if (out_offsets_p_ == nullptr) return {};
+    return {out_offsets_p_, static_cast<size_t>(n_) + 1};
+  }
+  std::span<const VertexId> OutAdjView() const {
+    HCPATH_DCHECK(overlay_ == nullptr);
+    return {out_adj_p_, m_};
+  }
+  std::span<const uint64_t> InOffsetsView() const {
+    HCPATH_DCHECK(overlay_ == nullptr);
+    if (in_offsets_p_ == nullptr) return {};
+    return {in_offsets_p_, static_cast<size_t>(n_) + 1};
+  }
+  std::span<const VertexId> InAdjView() const {
+    HCPATH_DCHECK(overlay_ == nullptr);
+    return {in_adj_p_, m_};
+  }
+
+  /// True when the CSR arrays live in external pinned storage (an mmapped
+  /// snapshot) rather than this object's vectors. Readers never need
+  /// this; tests assert the zero-copy path actually engaged.
+  bool uses_external_storage() const { return storage_ != nullptr; }
 
   /// Non-null iff this graph is a delta-overlay snapshot (GraphStore's
   /// O(touched) update path). Readers never need this — every accessor
@@ -187,6 +255,13 @@ class Graph {
  private:
   static uint64_t NextVersion();
 
+  /// Re-derives the raw-pointer views after construction, copy, or move:
+  /// owned mode points them into this object's vectors; external and
+  /// overlay modes keep (or don't need) the pointers already set.
+  void Rebind();
+  void CopyFrom(const Graph& other);
+  void MoveFrom(Graph&& other) noexcept;
+
   // Overlay-mode slow paths, out of line so graph.h needs only a forward
   // declaration of DeltaOverlay and the flat path stays fully inline.
   std::span<const VertexId> OverlayNeighbors(VertexId v, Direction d) const;
@@ -195,12 +270,24 @@ class Graph {
   uint64_t OverlayNumEdges() const;
   uint64_t OverlayMemoryBytes() const;
 
+  // Owned-mode backing arrays; empty in external and overlay modes.
   std::vector<uint64_t> out_offsets_;
   std::vector<VertexId> out_adj_;
   std::vector<uint64_t> in_offsets_;
   std::vector<VertexId> in_adj_;
   std::vector<VertexId> original_ids_;  ///< empty on non-renumbered graphs
   std::shared_ptr<const DeltaOverlay> overlay_;  ///< null on flat graphs
+  /// Pins external array storage (the mmapped snapshot region); null in
+  /// owned and overlay modes.
+  std::shared_ptr<const void> storage_;
+  // Unified read views every flat accessor goes through — identical cost
+  // for owned and external storage. Null/0 on overlay and empty graphs.
+  const uint64_t* out_offsets_p_ = nullptr;
+  const VertexId* out_adj_p_ = nullptr;
+  const uint64_t* in_offsets_p_ = nullptr;
+  const VertexId* in_adj_p_ = nullptr;
+  VertexId n_ = 0;
+  uint64_t m_ = 0;
   uint64_t version_ = 0;
 };
 

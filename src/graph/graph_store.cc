@@ -8,15 +8,33 @@
 
 namespace hcpath {
 
-GraphStore::GraphStore(Graph seed, GraphStoreOptions options)
+GraphStore::GraphStore(Graph seed, GraphStoreOptions options,
+                       uint64_t seed_epoch)
     : options_(options) {
   HCPATH_CHECK(!std::isnan(options_.compaction_threshold));
   auto snap = std::make_shared<GraphSnapshot>();
   snap->graph = std::move(seed);
-  snap->epoch = 0;
+  snap->epoch = seed_epoch;
   current_ = std::move(snap);
   stats_.snapshots_created = 1;
   stats_.snapshots_live = 1;
+}
+
+Status GraphStore::SaveSnapshot(const std::string& path) const {
+  // Pin the snapshot once; saving then races with nothing — updates that
+  // land mid-save install new snapshots without touching this one.
+  std::shared_ptr<const GraphSnapshot> snap = Current();
+  return SaveGraphSnapshot(snap->graph, path, snap->epoch);
+}
+
+StatusOr<std::unique_ptr<GraphStore>> GraphStore::OpenSnapshot(
+    const std::string& path, GraphStoreOptions options,
+    GraphSnapshotLoadOptions load) {
+  GraphSnapshotInfo info;
+  StatusOr<Graph> g = LoadGraphSnapshot(path, load, &info);
+  if (!g.ok()) return g.status();
+  return std::make_unique<GraphStore>(std::move(g).value(), options,
+                                      info.epoch);
 }
 
 std::shared_ptr<const GraphSnapshot> GraphStore::Current() const {

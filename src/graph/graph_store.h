@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph_builder.h"
+#include "graph/graph_snapshot_io.h"
 #include "util/status.h"
 
 namespace hcpath {
@@ -77,8 +78,13 @@ struct GraphUpdateResult {
 /// from any thread.
 class GraphStore {
  public:
-  /// Adopts `seed` as the epoch-0 snapshot.
-  explicit GraphStore(Graph seed, GraphStoreOptions options = {});
+  /// Adopts `seed` as the initial snapshot. `seed_epoch` is 0 for a fresh
+  /// store; OpenSnapshot passes the checkpointed epoch so a restarted
+  /// store resumes the epoch sequence where the saved one left off —
+  /// result stamps and cache validity intervals stay comparable across
+  /// the restart (docs/PERSIST.md).
+  explicit GraphStore(Graph seed, GraphStoreOptions options = {},
+                      uint64_t seed_epoch = 0);
 
   GraphStore(const GraphStore&) = delete;
   GraphStore& operator=(const GraphStore&) = delete;
@@ -110,6 +116,22 @@ class GraphStore {
   /// long-lived owner (PathEngine) also calls it as batches finish so a
   /// quiet store does not hold dead snapshots until the next write.
   size_t CollectGarbage();
+
+  /// Checkpoints the current snapshot to a mmap-loadable snapshot file
+  /// (graph/graph_snapshot_io.h), folding a live overlay into a flat CSR
+  /// first and recording the snapshot's epoch in the header. Readers and
+  /// writers are not blocked: the save works off a pinned snapshot while
+  /// updates keep landing (a concurrent batch simply isn't in this
+  /// checkpoint).
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Reopens a checkpoint written by SaveSnapshot: mmaps the graph
+  /// (zero-copy external storage) and seeds a store whose epoch resumes
+  /// at the checkpointed value. `load.verify=true` (default) pays one
+  /// streaming validation pass; pass false for trusted storage.
+  static StatusOr<std::unique_ptr<GraphStore>> OpenSnapshot(
+      const std::string& path, GraphStoreOptions options = {},
+      GraphSnapshotLoadOptions load = {});
 
   GraphStoreStats GetStats() const;
 

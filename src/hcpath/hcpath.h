@@ -35,6 +35,13 @@
 /// hedged dispatch, and heartbeat-driven failover — byte-identical to a
 /// 1-shard run for every query that completes, deterministically
 /// fault-injectable via FaultInjector under VirtualClock.
+///
+/// Restarting fast? The persistence tier (docs/PERSIST.md) checkpoints
+/// graphs as mmap-loadable checksummed CSR snapshots
+/// (GraphStore::SaveSnapshot/OpenSnapshot) and spills the
+/// endpoint-distance cache (PathEngine::SaveDistanceCache /
+/// RestoreDistanceCache), so a restarted engine reaches its first
+/// result I/O-bound and answers it warm.
 
 #include "core/basic_enum.h"
 #include "core/batch_context.h"
@@ -48,6 +55,7 @@
 #include "core/query.h"
 #include "core/similarity.h"
 #include "core/stats.h"
+#include "index/cache_persist.h"
 #include "index/endpoint_cache.h"
 #include "service/admission_status.h"
 #include "service/clock.h"
@@ -58,6 +66,8 @@
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
+#include "graph/graph_snapshot_io.h"
+#include "graph/graph_store.h"
 #include "graph/sampler.h"
 #include "graph/stats.h"
 #include "util/rng.h"

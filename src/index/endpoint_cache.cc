@@ -310,6 +310,38 @@ void EndpointDistanceCache::ResetCounters() {
   entries_invalidated_ = entries_revalidated_ = 0;
 }
 
+std::vector<EndpointDistanceCache::PersistedEntry>
+EndpointDistanceCache::ExportEntries(uint64_t epoch) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<PersistedEntry> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) {  // front = MRU, so export is MRU-first
+    if (epoch < e.built_epoch || epoch > e.valid_through) continue;
+    out.push_back(PersistedEntry{e.key.vertex, e.key.dir, e.key.cap, e.map});
+  }
+  return out;
+}
+
+size_t EndpointDistanceCache::RestoreEntries(
+    std::vector<PersistedEntry> entries, uint64_t epoch) {
+  // Insert in reverse so entries[0] — the export's MRU — is inserted last
+  // and lands at the front of the LRU; if budgets force evictions during
+  // the restore, the coldest imports go first, exactly as if the original
+  // cache had been shrunk.
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    Insert(it->vertex, it->dir, it->cap, epoch, std::move(it->map));
+  }
+  // "Accepted" = still resident after the whole restore (evictions during
+  // the loop may have displaced earlier imports). Export keys are unique,
+  // so counting presence is exact.
+  size_t accepted = 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const PersistedEntry& e : entries) {
+    if (by_key_.count(Key{e.vertex, e.dir, e.cap}) != 0) ++accepted;
+  }
+  return accepted;
+}
+
 uint64_t EndpointDistanceCache::DebugSumEntryBytes() const {
   std::lock_guard<std::mutex> lk(mu_);
   uint64_t total = 0;

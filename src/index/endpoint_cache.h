@@ -136,6 +136,28 @@ class EndpointDistanceCache {
   /// Zeroes the hit/miss/eviction/invalidation counters (entries stay).
   void ResetCounters();
 
+  /// One cache entry lifted out of (or headed into) the LRU — the unit the
+  /// spill/restore layer (index/cache_persist.h) serializes.
+  struct PersistedEntry {
+    VertexId vertex;
+    Direction dir;
+    Hop cap;
+    VertexDistMap map;
+  };
+
+  /// Snapshot of every entry valid at `epoch`, most-recently-used first.
+  /// Entries whose validity interval misses `epoch` are skipped: a spill
+  /// taken at a checkpoint epoch must only carry maps that equal a fresh
+  /// BFS on the checkpointed graph. Maps are copied out under the lock.
+  std::vector<PersistedEntry> ExportEntries(uint64_t epoch) const;
+
+  /// Re-inserts previously exported entries as built at `epoch`, restoring
+  /// the export's recency order (first element of `entries` ends up most
+  /// recently used). Goes through Insert, so entry/byte budgets and the
+  /// 3-case epoch logic apply — restoring into a smaller cache keeps the
+  /// hottest prefix. Returns how many entries were accepted.
+  size_t RestoreEntries(std::vector<PersistedEntry> entries, uint64_t epoch);
+
   /// Recomputes sum over live entries of their accounted size — the
   /// invariant bytes() must equal after any operation sequence. Test-only
   /// (linear walk).

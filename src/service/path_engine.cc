@@ -9,6 +9,7 @@
 #include "core/basic_enum.h"
 #include "core/batch_enum.h"
 #include "core/path_enum.h"
+#include "index/cache_persist.h"
 #include "service/admission_status.h"
 #include "util/timer.h"
 
@@ -870,6 +871,34 @@ PathEngineStats PathEngine::GetStats() const {
 void PathEngine::InvalidateDistanceCache() {
   std::lock_guard<std::mutex> lk(run_mu_);
   cache_.Invalidate();
+}
+
+Status PathEngine::SaveDistanceCache(const std::string& path) {
+  if (!init_status_.ok()) return init_status_;
+  if (!options_.enable_distance_cache) {
+    return Status::FailedPrecondition(
+        "distance cache is disabled on this engine");
+  }
+  // update_mu_ excludes ApplyUpdates, so the view (and with it the epoch
+  // and run graph the export is keyed to) cannot advance mid-spill.
+  // Lookups/inserts from a concurrently running batch are fine: the cache
+  // is internally locked and ExportEntries only takes entries valid at
+  // this epoch.
+  std::lock_guard<std::mutex> update_lk(update_mu_);
+  std::shared_ptr<const EngineView> view = CurrentView();
+  return SaveEndpointCacheSpill(cache_, view->epoch, view->run_graph(), path);
+}
+
+StatusOr<size_t> PathEngine::RestoreDistanceCache(const std::string& path) {
+  if (!init_status_.ok()) return init_status_;
+  if (!options_.enable_distance_cache) {
+    return Status::FailedPrecondition(
+        "distance cache is disabled on this engine");
+  }
+  std::lock_guard<std::mutex> update_lk(update_mu_);
+  std::shared_ptr<const EngineView> view = CurrentView();
+  return RestoreEndpointCacheSpill(&cache_, view->epoch, view->run_graph(),
+                                   path);
 }
 
 }  // namespace hcpath

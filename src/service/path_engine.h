@@ -304,6 +304,24 @@ class PathEngine {
   /// Drops every cached distance map (counters and budgets stay).
   void InvalidateDistanceCache();
 
+  /// Spills the endpoint-distance cache to `path` (index/cache_persist.h,
+  /// docs/PERSIST.md): every entry valid at the current serving epoch,
+  /// keyed to the current RUN graph's content checksum — the id space the
+  /// cache's keys actually live in, remapped or not. Pair with
+  /// GraphStore::SaveSnapshot taken under the same quiesced epoch for a
+  /// consistent checkpoint. FailedPrecondition when the cache is disabled.
+  Status SaveDistanceCache(const std::string& path);
+
+  /// Restores a spill written by SaveDistanceCache into this engine's
+  /// cache, stamped at the current epoch. The spill is revalidated against
+  /// the current run graph's content checksum and refused on mismatch
+  /// (FailedPrecondition) — restoring is then exactly a warm cache, never
+  /// a wrong one. The engine must have the same remap_mode the saving
+  /// engine had (same graph + same mode → same deterministic remap →
+  /// same key space). Returns the number of entries resident after the
+  /// restore.
+  StatusOr<size_t> RestoreDistanceCache(const std::string& path);
+
   /// The engine's distance cache, or nullptr when disabled. The cache
   /// object is unsynchronized (the dispatcher mutates it while batches
   /// run), so reading its counters requires a quiesced engine — Drain()

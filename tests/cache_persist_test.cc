@@ -1,0 +1,265 @@
+// Endpoint-cache spill/restore (index/cache_persist.h, docs/PERSIST.md):
+// round-trip identity, LRU-order preservation into smaller caches, the
+// graph-content revalidation gate, corruption Statuses, and the
+// engine-level warm-restart integration (SaveSnapshot + SaveDistanceCache
+// then OpenSnapshot + RestoreDistanceCache → warm hits, identical paths).
+
+#include "index/cache_persist.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph_snapshot_io.h"
+#include "graph/graph_store.h"
+#include "service/path_engine.h"
+#include "util/rng.h"
+#include "workload/query_gen.h"
+
+namespace hcpath {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+VertexDistMap MakeMap(size_t universe,
+                      const std::vector<std::pair<VertexId, Hop>>& pairs) {
+  VertexDistMap m;
+  m.SetUniverse(universe);
+  for (auto [v, d] : pairs) m.InsertMin(v, d);
+  return m;
+}
+
+TEST(CachePersist, RoundTripIdentity) {
+  Rng rng(31);
+  auto g = GenerateErdosRenyi(60, 240, rng);
+  EndpointDistanceCache cache(16);
+  cache.Insert(3, Direction::kForward, 4, 0,
+               MakeMap(60, {{3, 0}, {5, 1}, {9, 2}}));
+  cache.Insert(7, Direction::kBackward, 3, 0, MakeMap(60, {{7, 0}, {2, 1}}));
+
+  std::string path = TempPath("spill_rt.hcc");
+  CacheSpillInfo save_info;
+  ASSERT_TRUE(
+      SaveEndpointCacheSpill(cache, 0, *g, path, &save_info).ok());
+  EXPECT_EQ(save_info.entry_count, 2u);
+  EXPECT_EQ(save_info.graph_checksum, GraphContentChecksum(*g));
+
+  // Restore into a fresh cache at a later epoch: lookups at that epoch
+  // must hit with identical map content.
+  EndpointDistanceCache fresh(16);
+  auto restored = RestoreEndpointCacheSpill(&fresh, 5, *g, path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(*restored, 2u);
+
+  VertexDistMap out;
+  ASSERT_TRUE(fresh.Lookup(3, Direction::kForward, 4, 5, &out));
+  EXPECT_EQ(out.Lookup(5), 1);
+  EXPECT_EQ(out.Lookup(9), 2);
+  EXPECT_EQ(out.Lookup(10), kUnreachable);
+  EXPECT_EQ(out.size(), 3u);
+  ASSERT_TRUE(fresh.Lookup(7, Direction::kBackward, 3, 5, &out));
+  EXPECT_EQ(out.Lookup(2), 1);
+  // Stamped at the restore epoch: a probe at an earlier epoch must miss.
+  EXPECT_FALSE(fresh.Lookup(3, Direction::kForward, 4, 4, &out));
+  std::remove(path.c_str());
+}
+
+TEST(CachePersist, ExportSkipsEntriesInvalidAtEpoch) {
+  EndpointDistanceCache cache(16);
+  cache.Insert(1, Direction::kForward, 3, 0, MakeMap(10, {{1, 0}}));
+  cache.Insert(2, Direction::kForward, 3, 7, MakeMap(10, {{2, 0}}));
+  // Only the epoch-7 entry is valid at 7.
+  auto entries = cache.ExportEntries(7);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].vertex, 2u);
+}
+
+TEST(CachePersist, LruOrderSurvivesRestoreIntoSmallerCache) {
+  Rng rng(32);
+  auto g = GenerateErdosRenyi(40, 160, rng);
+  EndpointDistanceCache cache(8);
+  for (VertexId v = 0; v < 6; ++v) {
+    cache.Insert(v, Direction::kForward, 3, 0, MakeMap(40, {{v, 0}}));
+  }
+  // Touch vertex 1 so it is the MRU at export time.
+  VertexDistMap out;
+  ASSERT_TRUE(cache.Lookup(1, Direction::kForward, 3, 0, &out));
+
+  std::string path = TempPath("spill_lru.hcc");
+  ASSERT_TRUE(SaveEndpointCacheSpill(cache, 0, *g, path).ok());
+
+  // A 1-entry restore target keeps exactly the hottest entry.
+  EndpointDistanceCache tiny(1);
+  auto restored = RestoreEndpointCacheSpill(&tiny, 0, *g, path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(*restored, 1u);
+  EXPECT_TRUE(tiny.Lookup(1, Direction::kForward, 3, 0, &out));
+  std::remove(path.c_str());
+}
+
+TEST(CachePersist, GraphMismatchIsFailedPrecondition) {
+  Rng rng(33);
+  auto g1 = GenerateErdosRenyi(50, 200, rng);
+  auto g2 = GenerateErdosRenyi(50, 200, rng);  // same n, different edges
+  ASSERT_NE(GraphContentChecksum(*g1), GraphContentChecksum(*g2));
+  EndpointDistanceCache cache(8);
+  cache.Insert(0, Direction::kForward, 3, 0, MakeMap(50, {{0, 0}}));
+  std::string path = TempPath("spill_mismatch.hcc");
+  ASSERT_TRUE(SaveEndpointCacheSpill(cache, 0, *g1, path).ok());
+
+  EndpointDistanceCache fresh(8);
+  auto restored = RestoreEndpointCacheSpill(&fresh, 0, *g2, path);
+  EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(fresh.entries(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CachePersist, CorruptSpillIsCleanStatus) {
+  Rng rng(34);
+  auto g = GenerateErdosRenyi(30, 120, rng);
+  EndpointDistanceCache cache(8);
+  cache.Insert(0, Direction::kForward, 3, 0,
+               MakeMap(30, {{0, 0}, {4, 1}, {9, 2}}));
+  std::string path = TempPath("spill_corrupt.hcc");
+  ASSERT_TRUE(SaveEndpointCacheSpill(cache, 0, *g, path).ok());
+
+  // Payload corruption → InvalidArgument (checksum).
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-2, std::ios::end);
+    char b = 0x7F;
+    f.write(&b, 1);
+  }
+  EndpointDistanceCache fresh(8);
+  auto restored = RestoreEndpointCacheSpill(&fresh, 0, *g, path);
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+
+  // Truncation → InvalidArgument.
+  ASSERT_TRUE(SaveEndpointCacheSpill(cache, 0, *g, path).ok());
+  std::filesystem::resize_file(
+      path, std::filesystem::file_size(path) - 3);
+  restored = RestoreEndpointCacheSpill(&fresh, 0, *g, path);
+  EXPECT_FALSE(restored.ok());
+
+  // Garbage → InvalidArgument; missing → IOError.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "definitely not a cache spill, far too short";
+  }
+  restored = RestoreEndpointCacheSpill(&fresh, 0, *g, path);
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+  restored = RestoreEndpointCacheSpill(&fresh, 0, *g, path);
+  EXPECT_EQ(restored.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(ReadCacheSpillInfo(path).status().code(), StatusCode::kIOError);
+}
+
+TEST(CachePersist, ReadInfoMatchesSave) {
+  Rng rng(35);
+  auto g = GenerateErdosRenyi(30, 120, rng);
+  EndpointDistanceCache cache(8);
+  cache.Insert(0, Direction::kForward, 3, 2, MakeMap(30, {{0, 0}}));
+  std::string path = TempPath("spill_info.hcc");
+  CacheSpillInfo save_info;
+  ASSERT_TRUE(SaveEndpointCacheSpill(cache, 2, *g, path, &save_info).ok());
+  auto info = ReadCacheSpillInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->epoch, 2u);
+  EXPECT_EQ(info->entry_count, 1u);
+  EXPECT_EQ(info->graph_checksum, save_info.graph_checksum);
+  EXPECT_EQ(info->file_bytes, save_info.file_bytes);
+  std::remove(path.c_str());
+}
+
+/// The integration the tentpole promises: engine A serves traffic warm,
+/// checkpoints graph + cache; a restarted engine B reopens both and its
+/// FIRST batch hits the cache, with paths identical to a cold engine.
+TEST(CachePersist, EngineWarmRestartIntegration) {
+  Rng rng(36);
+  auto g = GenerateBarabasiAlbert(400, 5, rng);
+  auto queries = GenerateRandomQueries(*g, 24, QueryGenOptions{}, rng);
+  ASSERT_TRUE(queries.ok()) << queries.status();
+
+  PathEngineOptions opt;
+  opt.max_wait_seconds = 0;
+  opt.max_batch_size = 1 << 20;
+  opt.batch.num_threads = 1;
+
+  std::string snap_path = TempPath("warm_restart.hcs");
+  std::string spill_path = TempPath("warm_restart.hcc");
+  std::vector<std::vector<std::vector<VertexId>>> warm_paths;
+
+  {
+    GraphStore store(*g);
+    PathEngine engine(&store, opt);
+    ASSERT_TRUE(engine.status().ok());
+    std::vector<std::future<QueryResult>> futs;
+    for (const auto& q : *queries) futs.push_back(engine.Submit(q));
+    engine.Flush();
+    engine.Drain();
+    for (auto& f : futs) {
+      QueryResult r = f.get();
+      ASSERT_TRUE(r.status.ok()) << r.status;
+      warm_paths.push_back(r.paths.ToSortedVectors());
+    }
+    ASSERT_GT(engine.distance_cache()->entries(), 0u);
+    ASSERT_TRUE(store.SaveSnapshot(snap_path).ok());
+    ASSERT_TRUE(engine.SaveDistanceCache(spill_path).ok());
+  }
+
+  // "Restarted process": reopen the snapshot (mmap) and restore the spill.
+  auto store2 = GraphStore::OpenSnapshot(snap_path);
+  ASSERT_TRUE(store2.ok()) << store2.status();
+  PathEngine engine2(store2->get(), opt);
+  ASSERT_TRUE(engine2.status().ok());
+  auto restored = engine2.RestoreDistanceCache(spill_path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_GT(*restored, 0u);
+
+  std::vector<std::future<QueryResult>> futs;
+  for (const auto& q : *queries) futs.push_back(engine2.Submit(q));
+  engine2.Flush();
+  engine2.Drain();
+  for (size_t i = 0; i < futs.size(); ++i) {
+    QueryResult r = futs[i].get();
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.paths.ToSortedVectors(), warm_paths[i]) << i;
+  }
+  // The restored cache must serve warm hits on the very first batch.
+  EXPECT_GT(engine2.GetStats().distance_cache_hits, 0u);
+
+  // A cache spilled against this graph must be refused by an engine
+  // serving different content.
+  std::vector<EdgeUpdate> tweak = {EdgeUpdate::Add(0, 399)};
+  ASSERT_TRUE(engine2.ApplyUpdates(tweak).ok());
+  auto refused = engine2.RestoreDistanceCache(spill_path);
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+
+  std::remove(snap_path.c_str());
+  std::remove(spill_path.c_str());
+}
+
+TEST(CachePersist, DisabledCacheIsFailedPrecondition) {
+  Rng rng(37);
+  auto g = GenerateErdosRenyi(30, 120, rng);
+  PathEngineOptions opt;
+  opt.max_wait_seconds = 0;
+  opt.enable_distance_cache = false;
+  PathEngine engine(*g, opt);
+  ASSERT_TRUE(engine.status().ok());
+  std::string path = TempPath("spill_disabled.hcc");
+  EXPECT_EQ(engine.SaveDistanceCache(path).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.RestoreDistanceCache(path).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace hcpath

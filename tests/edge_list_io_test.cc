@@ -4,6 +4,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/generators.h"
 #include "util/rng.h"
@@ -71,6 +75,117 @@ TEST(EdgeListIO, BinaryRejectsGarbage) {
     out << "this is not a graph";
   }
   EXPECT_FALSE(LoadEdgeListBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+// --- Header-hardening cases (PR 10): a corrupt 24-byte header must fail
+// --- with a clean Status before it can size any allocation.
+
+constexpr uint64_t kMagic = 0x48435041544847ULL;  // keep in sync with the .cc
+
+/// Writes a binary edge-list file with an arbitrary (possibly lying)
+/// header and `edges.size()` payload edges.
+void WriteBinaryFile(const std::string& path, uint64_t n, uint64_t m,
+                     const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  uint64_t magic = kMagic;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  for (auto [u, v] : edges) {
+    VertexId pair[2] = {u, v};
+    out.write(reinterpret_cast<const char*>(pair), sizeof(pair));
+  }
+}
+
+TEST(EdgeListIO, BinaryRejectsOversizedEdgeCount) {
+  // Header claims 2^40 edges over an 8-byte payload: must be rejected
+  // without attempting Reserve(2^40).
+  std::string path = ::testing::TempDir() + "/bad_m.bin";
+  WriteBinaryFile(path, 10, uint64_t{1} << 40, {{0, 1}});
+  auto g = LoadEdgeListBinary(path);
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument) << g.status();
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIO, BinaryRejectsOversizedVertexCount) {
+  // n = 0xF0000000 (< kInvalidVertex, so the old check passed it) with one
+  // edge: wildly inconsistent with the payload, must not size
+  // GraphBuilder(n).
+  std::string path = ::testing::TempDir() + "/bad_n.bin";
+  WriteBinaryFile(path, 0xF0000000ULL, 1, {{0, 1}});
+  auto g = LoadEdgeListBinary(path);
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument) << g.status();
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIO, BinaryRejectsTruncatedPayload) {
+  // Header says 3 edges, payload has 1.
+  std::string path = ::testing::TempDir() + "/trunc.bin";
+  WriteBinaryFile(path, 10, 3, {{0, 1}});
+  auto g = LoadEdgeListBinary(path);
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument) << g.status();
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIO, BinaryRejectsTrailingBytes) {
+  // Payload longer than 8*m is rejected too: a well-formed writer never
+  // produces trailing bytes, and accepting them would mask a corrupted
+  // edge count.
+  std::string path = ::testing::TempDir() + "/trailing.bin";
+  WriteBinaryFile(path, 10, 1, {{0, 1}, {1, 2}});
+  auto g = LoadEdgeListBinary(path);
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument) << g.status();
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIO, BinaryAllowsIsolatedVertices) {
+  // n beyond the largest endpoint is legitimate (isolated tail vertices)
+  // and must round-trip exactly.
+  std::string path = ::testing::TempDir() + "/isolated.bin";
+  WriteBinaryFile(path, 100, 2, {{0, 1}, {1, 2}});
+  auto g = LoadEdgeListBinary(path);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumVertices(), 100u);
+  EXPECT_EQ(g->NumEdges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIO, SaveUnwritablePathIsIOError) {
+  Rng rng(3);
+  auto g = GenerateErdosRenyi(10, 20, rng);
+  EXPECT_EQ(SaveEdgeListBinary(*g, "/no/such/dir/g.bin").code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(SaveEdgeListText(*g, "/no/such/dir/g.txt").code(),
+            StatusCode::kIOError);
+}
+
+TEST(EdgeListIO, BinarySaveBatchedBytesGolden) {
+  // The batched writer must produce byte-identical output to the
+  // documented format: header then (u, v) pairs in CSR order. Build the
+  // expected bytes by hand and compare the whole file.
+  Rng rng(4);
+  auto g = GenerateErdosRenyi(60, 300, rng);
+  std::string path = ::testing::TempDir() + "/golden.bin";
+  ASSERT_TRUE(SaveEdgeListBinary(*g, path).ok());
+
+  std::string expected;
+  auto append = [&expected](const void* p, size_t len) {
+    expected.append(static_cast<const char*>(p), len);
+  };
+  uint64_t magic = kMagic, n = g->NumVertices(), m = g->NumEdges();
+  append(&magic, 8);
+  append(&n, 8);
+  append(&m, 8);
+  for (auto [u, v] : g->Edges()) {
+    VertexId pair[2] = {u, v};
+    append(pair, sizeof(pair));
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  std::string actual((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_EQ(actual, expected);
   std::remove(path.c_str());
 }
 
